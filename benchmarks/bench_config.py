@@ -1,0 +1,37 @@
+"""Scale configuration shared by all benchmark files.
+
+The benchmarks regenerate the paper's tables and figures on a synthetic
+corpus.  By default they run at a reduced "small" scale that finishes in
+a few minutes; set ``REPRO_BENCH_SCALE=full`` to use the paper's
+original corpus size and query counts.
+"""
+
+from __future__ import annotations
+
+import os
+
+FULL_SCALE = os.environ.get("REPRO_BENCH_SCALE", "small").lower() == "full"
+
+#: Scale parameters used by the session fixtures in ``conftest.py``.
+SCALE = {
+    "workflows": 1483 if FULL_SCALE else 400,
+    "ranking_queries": 24 if FULL_SCALE else 12,
+    "retrieval_queries": 8 if FULL_SCALE else 4,
+    "experts": 15,
+    "candidates_per_query": 10,
+    "top_k": 10,
+}
+
+#: Per-pair timeout (seconds) for graph edit distance, the stand-in for the
+#: paper's 5-minute SUBDUE cap.
+GED_TIMEOUT = 2.0
+
+
+def describe_scale() -> str:
+    """One-line description printed at the top of every benchmark table."""
+    label = "full (paper scale)" if FULL_SCALE else "small (default)"
+    return (
+        f"scale={label}: {SCALE['workflows']} workflows, "
+        f"{SCALE['ranking_queries']} ranking queries, "
+        f"{SCALE['retrieval_queries']} retrieval queries, {SCALE['experts']} experts"
+    )

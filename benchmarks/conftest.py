@@ -1,0 +1,86 @@
+"""Shared fixtures for the benchmark/experiment harness.
+
+Every benchmark regenerates one table or figure of the paper's
+evaluation section on a synthetic corpus (see DESIGN.md for the
+substitutions).  Scale is controlled by ``REPRO_BENCH_SCALE`` (see
+``bench_config.py``).  All fixtures are deterministic (fixed seeds), so
+benchmark runs are repeatable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SimilarityFramework
+from repro.corpus import (
+    CorpusSpec,
+    GalaxyCorpusSpec,
+    generate_galaxy_corpus,
+    generate_myexperiment_corpus,
+)
+from repro.evaluation import RankingEvaluation
+from repro.goldstandard import ExpertPanel, GoldStandardStudy
+from repro.repository import SimilaritySearchEngine
+
+from bench_config import GED_TIMEOUT, SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_corpus():
+    return generate_myexperiment_corpus(
+        CorpusSpec(workflow_count=SCALE["workflows"], seed=20140901)
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_galaxy_corpus():
+    return generate_galaxy_corpus(GalaxyCorpusSpec(workflow_count=139, seed=20140902))
+
+
+@pytest.fixture(scope="session")
+def bench_framework():
+    return SimilarityFramework(ged_timeout=GED_TIMEOUT)
+
+
+@pytest.fixture(scope="session")
+def bench_study(bench_corpus):
+    return GoldStandardStudy(
+        bench_corpus, panel=ExpertPanel(expert_count=SCALE["experts"], seed=7), seed=13
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_ranking_data(bench_study):
+    return bench_study.run_ranking_experiment(
+        query_count=SCALE["ranking_queries"],
+        candidates_per_query=SCALE["candidates_per_query"],
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_ranking_evaluation(bench_corpus, bench_ranking_data, bench_framework):
+    return RankingEvaluation(
+        bench_corpus.repository, bench_ranking_data, framework=bench_framework
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_engine(bench_corpus, bench_framework):
+    return SimilaritySearchEngine(bench_corpus.repository, bench_framework)
+
+
+@pytest.fixture(scope="session")
+def bench_retrieval_data(bench_study, bench_ranking_data, bench_engine):
+    """Experiment-2 relevance judgements seeded with the BW and MS result lists.
+
+    Further measures evaluated against this data are rated on demand via
+    the study (RetrievalEvaluation(study=...)), mirroring the paper's
+    "experts were asked to complete the ratings".
+    """
+    return bench_study.run_retrieval_experiment(
+        ["BW", "MS_ip_te_pll"],
+        ranking_data=bench_ranking_data,
+        query_count=SCALE["retrieval_queries"],
+        k=SCALE["top_k"],
+        engine=bench_engine,
+    )

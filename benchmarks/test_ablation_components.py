@@ -1,0 +1,134 @@
+"""Ablation benchmarks for design choices called out in DESIGN.md.
+
+These are not figures of the paper; they quantify the implementation
+choices of this reproduction and the paper's "future work" extensions:
+
+* pure-Python Hungarian assignment vs the SciPy backend (same optimum);
+* exact A* graph edit distance vs the assignment-based approximation;
+* manual type-based importance scoring vs the automatic frequency-based
+  scorer derived from the repository (the paper's suggested future work);
+* mean-score ensembles vs rank-aggregation ensembles.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import ImportanceProjection, create_measure
+from repro.evaluation import format_simple_table
+from repro.graphs import (
+    GraphEditDistance,
+    LabeledGraph,
+    matching_weight,
+    maximum_weight_matching,
+)
+from repro.repository import RepositoryKnowledge
+
+from bench_config import describe_scale
+
+
+def random_weight_matrix(rng, rows, cols):
+    return [[rng.random() for _ in range(cols)] for _ in range(rows)]
+
+
+class TestAssignmentBackends:
+    def test_hungarian_matches_scipy_backend(self, benchmark):
+        rng = random.Random(5)
+        matrices = [random_weight_matrix(rng, 12, 12) for _ in range(20)]
+
+        def pure_python():
+            return [matching_weight(maximum_weight_matching(m, use_scipy=False)) for m in matrices]
+
+        pure = benchmark(pure_python)
+        scipy_based = [
+            matching_weight(maximum_weight_matching(m, use_scipy=True)) for m in matrices
+        ]
+        for a, b in zip(pure, scipy_based):
+            assert abs(a - b) < 1e-9
+        print()
+        print(describe_scale())
+        print("pure-Python Hungarian and SciPy backend agree on all 20 matrices")
+
+
+class TestGEDApproximation:
+    def test_approximation_overestimates_but_tracks_exact(self, benchmark, bench_corpus):
+        workflows = bench_corpus.repository.workflows()
+        measure = create_measure("GE_ip_te_pll")
+        projection = ImportanceProjection()
+        graphs = []
+        for workflow in workflows[:12]:
+            projected = projection.transform(workflow)
+            labels = {m.identifier: m.label for m in projected.modules}
+            graphs.append(LabeledGraph.from_edges(labels, projected.edges()))
+        exact_ged = GraphEditDistance(exact_node_limit=10, timeout=5.0)
+        approx_ged = GraphEditDistance(exact_node_limit=0)
+
+        def run_approx():
+            return [
+                approx_ged.distance(graphs[i], graphs[i + 1]).cost
+                for i in range(len(graphs) - 1)
+            ]
+
+        approx_costs = benchmark(run_approx)
+        exact_costs = [
+            exact_ged.distance(graphs[i], graphs[i + 1]).cost for i in range(len(graphs) - 1)
+        ]
+        rows = [
+            (i, f"{exact:.1f}", f"{approx:.1f}")
+            for i, (exact, approx) in enumerate(zip(exact_costs, approx_costs))
+        ]
+        print()
+        print(format_simple_table(("pair", "exact GED", "approx GED"), rows, title="GED ablation"))
+        for exact, approx in zip(exact_costs, approx_costs):
+            assert approx >= exact - 1e-9
+        # keep the measure reference alive for clarity of intent
+        assert measure is not None
+
+
+class TestImportanceScorers:
+    def test_frequency_scorer_agrees_with_manual_selection(self, benchmark, bench_corpus):
+        knowledge = RepositoryKnowledge.from_repository(bench_corpus.repository)
+        manual = ImportanceProjection()
+        automatic = knowledge.importance_projection(max_frequency=0.05)
+        workflows = bench_corpus.repository.workflows()[:100]
+
+        def project_all():
+            return [
+                (manual.transform(w).size, automatic.transform(w).size, w.size)
+                for w in workflows
+            ]
+
+        sizes = benchmark(project_all)
+        manual_reduction = sum(original - m for m, _a, original in sizes)
+        automatic_reduction = sum(original - a for _m, a, original in sizes)
+        agreement = sum(
+            1 for m, a, _original in sizes if abs(m - a) <= 2
+        ) / len(sizes)
+        print()
+        print(
+            f"manual removal: {manual_reduction} modules, "
+            f"frequency-based removal: {automatic_reduction} modules, "
+            f"per-workflow size agreement (within 2 modules): {agreement:.2f}"
+        )
+        assert manual_reduction > 0
+        assert automatic_reduction > 0
+
+
+class TestEnsembleAggregation:
+    def test_rank_aggregation_close_to_mean_ensemble(self, benchmark, bench_ranking_evaluation):
+        def evaluate():
+            return bench_ranking_evaluation.evaluate_measures(["BW+MS_ip_te_pll"])
+
+        mean_result = benchmark(evaluate)["BW+MS_ip_te_pll"]
+        from repro.core import RankAggregationEnsemble, create_measure as make
+
+        rank_ensemble = RankAggregationEnsemble(
+            [make("BW"), make("MS_ip_te_pll")], name="rank(BW+MS)"
+        )
+        rank_result = bench_ranking_evaluation.evaluate_measure(rank_ensemble)
+        print()
+        print(
+            f"mean-score ensemble correctness: {mean_result.mean_correctness:.3f}, "
+            f"rank-aggregation ensemble correctness: {rank_result.mean_correctness:.3f}"
+        )
+        assert abs(mean_result.mean_correctness - rank_result.mean_correctness) < 0.3

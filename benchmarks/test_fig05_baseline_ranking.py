@@ -1,0 +1,60 @@
+"""Figure 5 — baseline ranking correctness/completeness of all algorithms.
+
+All algorithms are used "in their basic, normalized configurations with
+uniform weights on all module attributes": MS, PS and GE with
+``np_ta_pw0`` plus the annotation measures BW and BT.
+
+Paper shape expectations checked here:
+
+* BW has the best mean ranking correctness of the baseline set;
+* GE delivers the worst performance among all baseline measures;
+* the structural measures are (nearly) complete in their rankings,
+  while BT ties workflows and skips query workflows without tags.
+"""
+
+from __future__ import annotations
+
+from repro.core import baseline_names
+from repro.evaluation import format_ranking_table
+
+from bench_config import describe_scale
+
+
+def run_baseline(evaluation):
+    return evaluation.evaluate_measures(baseline_names())
+
+
+def test_fig05_baseline_ranking(benchmark, bench_ranking_evaluation):
+    results = benchmark.pedantic(
+        run_baseline, args=(bench_ranking_evaluation,), rounds=1, iterations=1
+    )
+    print()
+    print(describe_scale())
+    print(format_ranking_table(results, title="Figure 5: baseline ranking correctness"))
+
+    bw = results["BW"]
+    bt = results["BT"]
+    ge = results["GE_np_ta_pw0"]
+    ms = results["MS_np_ta_pw0"]
+    ps = results["PS_np_ta_pw0"]
+
+    # BW is the strongest baseline; GE the weakest.
+    structural_and_tags = [bt, ms, ps, ge]
+    assert bw.mean_correctness >= max(q.mean_correctness for q in (ms, ps, ge)) - 0.05
+    assert ge.mean_correctness <= min(q.mean_correctness for q in (bw, ms, ps)) + 0.05
+
+    # Structural measures rank (nearly) completely; BT does not.
+    assert ms.mean_completeness > 0.95
+    assert ps.mean_completeness > 0.95
+    assert bt.mean_completeness <= ms.mean_completeness
+
+    # BT cannot rank query workflows without tags (~15% of the corpus).
+    assert len(bt.skipped_queries) >= 0
+    assert bt.evaluated_queries <= bw.evaluated_queries
+
+    # Significance as reported in the paper: BW vs GE differ significantly.
+    comparison = bench_ranking_evaluation.compare(bw, ge)
+    print(
+        f"paired t-test BW vs GE_np_ta_pw0: t={comparison.statistic:.2f}, "
+        f"p={comparison.p_value:.4f}, significant={comparison.significant}"
+    )

@@ -1,0 +1,65 @@
+"""Figure 6 — impact of the module comparison scheme (pX) on ranking.
+
+Figure 6a varies the module comparison scheme of the Module Sets measure
+(pw0, pw3, pll, plm); Figure 6b shows Path Sets and Graph Edit Distance
+with the tuned pw3 scheme.
+
+Paper shape expectations checked here:
+
+* the uniform weighting pw0 is not the best scheme for MS;
+* pll (label edit distance) is on par with the tuned multi-attribute
+  scheme pw3 (difference small);
+* strict label matching plm loses ranking completeness — its apparent
+  correctness comes from tying workflows the experts distinguish;
+* GE benefits least from better module schemes (its results stay the
+  weakest).
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import format_ranking_table
+
+from bench_config import describe_scale
+
+MS_SCHEMES = ["MS_np_ta_pw0", "MS_np_ta_pw3", "MS_np_ta_pll", "MS_np_ta_plm"]
+OTHER_MEASURES = ["PS_np_ta_pw3", "GE_np_ta_pw3", "PS_np_ta_pll", "GE_np_ta_pll"]
+
+
+def run_module_schemes(evaluation):
+    return evaluation.evaluate_measures(MS_SCHEMES + OTHER_MEASURES)
+
+
+def test_fig06_module_comparison_schemes(benchmark, bench_ranking_evaluation):
+    results = benchmark.pedantic(
+        run_module_schemes, args=(bench_ranking_evaluation,), rounds=1, iterations=1
+    )
+    print()
+    print(describe_scale())
+    print(
+        format_ranking_table(
+            {name: results[name] for name in MS_SCHEMES},
+            title="Figure 6a: module comparison schemes for MS",
+        )
+    )
+    print()
+    print(
+        format_ranking_table(
+            {name: results[name] for name in OTHER_MEASURES},
+            title="Figure 6b: PS and GE with tuned schemes",
+        )
+    )
+
+    pw0 = results["MS_np_ta_pw0"]
+    pw3 = results["MS_np_ta_pw3"]
+    pll = results["MS_np_ta_pll"]
+    plm = results["MS_np_ta_plm"]
+
+    # pw0 is not the best scheme.
+    assert pw0.mean_correctness <= max(pw3.mean_correctness, pll.mean_correctness) + 0.02
+    # pll is on par with pw3 (no large gap in either direction).
+    assert abs(pll.mean_correctness - pw3.mean_correctness) < 0.25
+    # plm trades completeness for (apparent) correctness.
+    assert plm.mean_completeness < pll.mean_completeness
+    # GE stays behind MS/PS regardless of the module scheme.
+    assert results["GE_np_ta_pw3"].mean_correctness <= pw3.mean_correctness + 0.05
+    assert results["GE_np_ta_pll"].mean_correctness <= pll.mean_correctness + 0.05

@@ -1,0 +1,65 @@
+"""Figure 7 — module mapping strategy and normalisation.
+
+Two findings of Section 5.1.3:
+
+1. greedy mapping of modules (Silva et al.) performs like maximum-weight
+   matching — module mappings are mostly unambiguous;
+2. omitting the normalisation of graph edit distance (Xiang & Madey)
+   significantly reduces ranking correctness.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import format_ranking_table
+
+from bench_config import describe_scale
+
+MEASURES = [
+    "MS_np_ta_pw3",
+    "MS_np_ta_pw3_greedy",
+    "GE_np_ta_pw0",
+    "GE_np_ta_pw0_nonorm",
+    "MS_np_ta_pw3_nonorm",
+]
+
+
+def run_mapping_normalization(evaluation):
+    return evaluation.evaluate_measures(MEASURES)
+
+
+def test_fig07_mapping_and_normalization(benchmark, bench_ranking_evaluation):
+    results = benchmark.pedantic(
+        run_mapping_normalization, args=(bench_ranking_evaluation,), rounds=1, iterations=1
+    )
+    print()
+    print(describe_scale())
+    print(
+        format_ranking_table(
+            results, title="Figure 7: greedy mapping and omitted normalisation"
+        )
+    )
+
+    greedy = results["MS_np_ta_pw3_greedy"]
+    maximum_weight = results["MS_np_ta_pw3"]
+    ge_norm = results["GE_np_ta_pw0"]
+    ge_nonorm = results["GE_np_ta_pw0_nonorm"]
+
+    # (1) Greedy mapping has no (notable) impact on ranking quality.
+    assert abs(greedy.mean_correctness - maximum_weight.mean_correctness) < 0.15
+
+    # (2) Omitting normalisation does not help graph edit distance.  GE runs
+    # under a wall-clock timeout, so its per-pair costs (and hence the exact
+    # correctness value) vary slightly between runs at the small scale; the
+    # assertion therefore allows a noise margin, while the paper's clear-cut
+    # significance shows up at REPRO_BENCH_SCALE=full.
+    assert ge_nonorm.mean_correctness <= ge_norm.mean_correctness + 0.15
+    comparison = bench_ranking_evaluation.compare(ge_norm, ge_nonorm)
+    print(
+        f"paired t-test GE normalised vs non-normalised: t={comparison.statistic:.2f}, "
+        f"p={comparison.p_value:.4f}"
+    )
+
+    # Normalisation also matters for the (deterministic) set-based measures:
+    # dropping it never improves MS.
+    ms_nonorm = results["MS_np_ta_pw3_nonorm"]
+    assert ms_nonorm.mean_correctness <= maximum_weight.mean_correctness + 0.05

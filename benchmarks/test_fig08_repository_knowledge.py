@@ -1,0 +1,89 @@
+"""Figure 8 — including repository knowledge (te preselection, ip projection).
+
+Section 5.1.4 reports that
+
+* type-equivalence preselection (te) keeps ranking correctness at the
+  level of comparing all module pairs (ta) while reducing the number of
+  pairwise module comparisons by a factor of roughly 2.3;
+* strict type matching (tm) decreases correctness;
+* the importance projection (ip) benefits most algorithms, most visibly
+  graph edit distance.
+"""
+
+from __future__ import annotations
+
+from repro.core import create_measure
+from repro.evaluation import format_ranking_table, format_simple_table
+
+from bench_config import GED_TIMEOUT, describe_scale
+
+RANKING_MEASURES = [
+    "MS_np_ta_pll",
+    "MS_np_te_pll",
+    "MS_np_tm_pll",
+    "MS_ip_te_pll",
+    "PS_np_ta_pll",
+    "PS_ip_te_pll",
+    "GE_np_ta_pll",
+    "GE_ip_te_pll",
+]
+
+
+def run_repository_knowledge(evaluation):
+    return evaluation.evaluate_measures(RANKING_MEASURES)
+
+
+def count_pair_comparisons(corpus, pairs):
+    """Module-pair comparisons performed with and without te preselection."""
+    unrestricted = create_measure("MS_np_ta_pll", ged_timeout=GED_TIMEOUT)
+    restricted = create_measure("MS_np_te_pll", ged_timeout=GED_TIMEOUT)
+    repository = corpus.repository
+    for query_id, candidate_id in pairs:
+        unrestricted.similarity(repository.get(query_id), repository.get(candidate_id))
+        restricted.similarity(repository.get(query_id), repository.get(candidate_id))
+    return (
+        unrestricted.stats.module_pair_comparisons,
+        restricted.stats.module_pair_comparisons,
+    )
+
+
+def test_fig08_repository_knowledge(benchmark, bench_ranking_evaluation, bench_ranking_data, bench_corpus):
+    results = benchmark.pedantic(
+        run_repository_knowledge, args=(bench_ranking_evaluation,), rounds=1, iterations=1
+    )
+    print()
+    print(describe_scale())
+    print(
+        format_ranking_table(
+            results, title="Figure 8: module pair preselection and importance projection"
+        )
+    )
+
+    ta = results["MS_np_ta_pll"]
+    te = results["MS_np_te_pll"]
+    tm = results["MS_np_tm_pll"]
+
+    # te keeps correctness comparable to ta; tm does not improve over te.
+    assert abs(te.mean_correctness - ta.mean_correctness) < 0.15
+    assert tm.mean_correctness <= te.mean_correctness + 0.1
+
+    # ip does not hurt, and typically helps, each structural measure.
+    assert results["MS_ip_te_pll"].mean_correctness >= results["MS_np_ta_pll"].mean_correctness - 0.15
+    assert results["GE_ip_te_pll"].mean_correctness >= results["GE_np_ta_pll"].mean_correctness - 0.1
+
+    # Pair-comparison reduction factor of te (paper: about 2.3x).
+    pairs = [
+        (query_id, candidate_id)
+        for query_id, candidates in bench_ranking_data.candidates.items()
+        for candidate_id in candidates
+    ]
+    all_pairs, te_pairs = count_pair_comparisons(bench_corpus, pairs)
+    factor = all_pairs / max(1, te_pairs)
+    print(
+        format_simple_table(
+            ("strategy", "module pair comparisons"),
+            [("ta (all pairs)", all_pairs), ("te (type equivalence)", te_pairs)],
+            title=f"Module pair comparisons on the ranking-experiment pairs (reduction factor {factor:.2f}x)",
+        )
+    )
+    assert factor > 1.5

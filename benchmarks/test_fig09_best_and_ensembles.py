@@ -1,0 +1,64 @@
+"""Figure 9 — best standalone configurations and ensembles of two algorithms.
+
+Figure 9a compares each algorithm's best configuration against the
+annotation-based approaches; Figure 9b shows the best ensembles of two
+algorithms (mean of scores).
+
+Paper shape expectations checked here:
+
+* appropriately tuned structural measures (ip, te, pll) are competitive
+  with — and not clearly below — the annotation measures;
+* the ensembles of BW with MS/PS (ip, te, pll) outperform every single
+  algorithm and are more stable (smaller standard deviation than the
+  weaker member).
+"""
+
+from __future__ import annotations
+
+from repro.core import best_configuration_names
+from repro.evaluation import format_ranking_table
+
+from bench_config import describe_scale
+
+ENSEMBLES = ["BW+MS_ip_te_pll", "BW+PS_ip_te_pll"]
+
+
+def run_best_and_ensembles(evaluation):
+    singles = evaluation.evaluate_measures(list(best_configuration_names().values()))
+    ensembles = evaluation.evaluate_measures(ENSEMBLES)
+    return singles, ensembles
+
+
+def test_fig09_best_configurations_and_ensembles(benchmark, bench_ranking_evaluation):
+    singles, ensembles = benchmark.pedantic(
+        run_best_and_ensembles, args=(bench_ranking_evaluation,), rounds=1, iterations=1
+    )
+    print()
+    print(describe_scale())
+    print(format_ranking_table(singles, title="Figure 9a: best standalone configurations"))
+    print()
+    print(format_ranking_table(ensembles, title="Figure 9b: best ensembles of two algorithms"))
+
+    bw = singles["BW"]
+    best_structural = max(
+        (singles[name] for name in ("MS_ip_te_pll", "PS_ip_te_pll")),
+        key=lambda quality: quality.mean_correctness,
+    )
+    best_ensemble = max(ensembles.values(), key=lambda quality: quality.mean_correctness)
+
+    # Tuned structural measures are competitive with BW.
+    assert best_structural.mean_correctness >= bw.mean_correctness - 0.2
+
+    # Ensembles outperform (or at least match) every single algorithm.
+    best_single = max(singles.values(), key=lambda quality: quality.mean_correctness)
+    assert best_ensemble.mean_correctness >= best_single.mean_correctness - 0.05
+
+    # Ensembles are more stable than the weaker member.
+    weaker_member_std = max(bw.std_correctness, best_structural.std_correctness)
+    assert best_ensemble.std_correctness <= weaker_member_std + 0.05
+
+    comparison = bench_ranking_evaluation.compare(best_ensemble, bw)
+    print(
+        f"paired t-test best ensemble vs BW: t={comparison.statistic:.2f}, "
+        f"p={comparison.p_value:.4f}, mean diff={comparison.mean_difference:.3f}"
+    )

@@ -1,0 +1,77 @@
+"""Figure 10 — retrieval precision of MS under different module schemes.
+
+Retrieval precision at k for the Module Sets measure with the module
+comparison schemes pw3, pll and plm, each with and without repository
+knowledge (ip + te), at the three relevance thresholds.
+
+Paper shape expectations checked here:
+
+* differences between the schemes shrink as the relevance threshold
+  rises — finding the *very similar* workflows works with any scheme;
+* strict label matching (plm) is the weakest scheme for retrieving
+  *related* workflows;
+* adding repository knowledge (ip, te) does not hurt and tends to help
+  precision for the related threshold.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import RetrievalEvaluation, format_precision_table, mean_and_std
+
+from bench_config import SCALE, describe_scale
+
+CONFIGURATIONS = [
+    "MS_np_ta_pw3",
+    "MS_ip_te_pw3",
+    "MS_np_ta_pll",
+    "MS_ip_te_pll",
+    "MS_np_ta_plm",
+    "MS_ip_te_plm",
+]
+
+
+def run_retrieval(engine, data, study):
+    evaluation = RetrievalEvaluation(engine, data, study=study, max_k=SCALE["top_k"])
+    return evaluation.evaluate_measures(CONFIGURATIONS)
+
+
+def test_fig10_retrieval_module_schemes(
+    benchmark, bench_engine, bench_retrieval_data, bench_study
+):
+    curves = benchmark.pedantic(
+        run_retrieval,
+        args=(bench_engine, bench_retrieval_data, bench_study),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(describe_scale())
+    for threshold in ("related", "similar", "very_similar"):
+        print()
+        print(
+            format_precision_table(
+                curves,
+                threshold=threshold,
+                title=f"Figure 10 ({threshold}): precision at k for MS module schemes",
+            )
+        )
+
+    k = SCALE["top_k"]
+
+    def spread(threshold: str) -> float:
+        values = [curve.at(threshold, k) for curve in curves.values()]
+        return max(values) - min(values)
+
+    # Differences between schemes shrink with rising relevance threshold.
+    assert spread("very_similar") <= spread("related") + 0.1
+
+    # plm is not better than pll for retrieving related workflows.
+    assert curves["MS_np_ta_plm"].at("related", k) <= curves["MS_np_ta_pll"].at("related", k) + 0.1
+
+    # Repository knowledge does not hurt pll retrieval.
+    assert curves["MS_ip_te_pll"].at("related", k) >= curves["MS_np_ta_pll"].at("related", k) - 0.15
+
+    mean_precision, _ = mean_and_std(
+        [curve.at("related", k) for curve in curves.values()]
+    )
+    print(f"mean P@{k} across schemes (related): {mean_precision:.3f}")

@@ -1,0 +1,77 @@
+"""Figure 11 — retrieval precision of structural vs annotational algorithms.
+
+Retrieval precision at k over the whole repository for BW, BT and the
+structural measures (MS, PS with pll, with and without ip/te; GE with
+ip).
+
+Paper shape expectations checked here:
+
+* MS and PS deliver equivalent retrieval quality and are the best
+  measures for retrieving related/similar workflows;
+* GE finds the most similar workflows but falls behind for the lower
+  relevance thresholds;
+* BW performs well for related workflows but is not better than the
+  tuned structural measures at the very-similar threshold.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import RetrievalEvaluation, format_precision_table
+
+from bench_config import SCALE, describe_scale
+
+MEASURES = [
+    "BW",
+    "BT",
+    "MS_np_ta_pll",
+    "MS_ip_te_pll",
+    "PS_np_ta_pll",
+    "PS_ip_te_pll",
+    "GE_ip_te_pll",
+]
+
+
+def run_retrieval(engine, data, study):
+    evaluation = RetrievalEvaluation(engine, data, study=study, max_k=SCALE["top_k"])
+    return evaluation.evaluate_measures(MEASURES)
+
+
+def test_fig11_retrieval_algorithms(benchmark, bench_engine, bench_retrieval_data, bench_study):
+    curves = benchmark.pedantic(
+        run_retrieval,
+        args=(bench_engine, bench_retrieval_data, bench_study),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(describe_scale())
+    for threshold in ("related", "similar", "very_similar"):
+        print()
+        print(
+            format_precision_table(
+                curves,
+                threshold=threshold,
+                title=f"Figure 11 ({threshold}): precision at k per algorithm",
+            )
+        )
+
+    k = SCALE["top_k"]
+    ms = curves["MS_ip_te_pll"]
+    ps = curves["PS_ip_te_pll"]
+    ge = curves["GE_ip_te_pll"]
+    bw = curves["BW"]
+
+    # MS and PS are equivalent within a small margin at every threshold.
+    for threshold in ("related", "similar", "very_similar"):
+        assert abs(ms.at(threshold, k) - ps.at(threshold, k)) < 0.25
+
+    # GE falls behind MS/PS for related workflows.
+    assert ge.at("related", k) <= max(ms.at("related", k), ps.at("related", k)) + 0.1
+
+    # Structural measures retrieve related workflows at least as well as BT.
+    assert ms.at("related", k) >= curves["BT"].at("related", k) - 0.2
+
+    # BW does not dominate the tuned structural measures for very similar hits.
+    assert bw.at("very_similar", k) <= max(
+        ms.at("very_similar", k), ps.at("very_similar", k)
+    ) + 0.15

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Import real workflow files (Galaxy .ga / SCUFL-like XML) and compare them.
+
+The similarity framework is format-agnostic: any workflow brought into
+the internal model can be compared with any measure.  This example
+writes two Galaxy ``.ga`` documents and one Taverna-style XML document
+to a temporary directory, parses them back through the format parsers,
+applies the paper's dataset preparation (sub-workflow inlining and port
+removal), and compares the results across formats.
+
+Run with::
+
+    python examples/galaxy_import.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.core import SimilarityFramework
+from repro.corpus import GalaxyCorpusSpec, generate_galaxy_corpus
+from repro.workflow import (
+    parse_galaxy_file,
+    parse_scufl_file,
+    prepare_workflow,
+    write_galaxy,
+    write_scufl,
+)
+
+
+def main() -> None:
+    # Materialise a few synthetic workflows in their native file formats.
+    galaxy_corpus = generate_galaxy_corpus(GalaxyCorpusSpec(workflow_count=6, seed=3))
+    workflows = galaxy_corpus.repository.workflows()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = Path(tmp)
+        galaxy_a = directory / "rna_seq_a.ga"
+        galaxy_b = directory / "rna_seq_b.ga"
+        scufl_path = directory / "taverna_pathway.xml"
+
+        galaxy_a.write_text(write_galaxy(workflows[0]))
+        galaxy_b.write_text(write_galaxy(workflows[1]))
+        scufl_path.write_text(write_scufl(workflows[2]))
+
+        print("files written:")
+        for path in (galaxy_a, galaxy_b, scufl_path):
+            print(f"  {path.name}: {path.stat().st_size} bytes")
+
+        # Parse them back through the format-specific parsers.
+        first = prepare_workflow(parse_galaxy_file(galaxy_a))
+        second = prepare_workflow(parse_galaxy_file(galaxy_b))
+        third = prepare_workflow(parse_scufl_file(scufl_path))
+
+    print()
+    for workflow in (first, second, third):
+        print(workflow.describe(), f"[format: {workflow.source_format}]")
+
+    framework = SimilarityFramework()
+    print()
+    print("cross-format comparison (module labels + structure, gw1 scheme):")
+    pairs = [(first, second), (first, third), (second, third)]
+    for a, b in pairs:
+        structural = framework.similarity(a, b, "MS_np_ta_gw1")
+        annotation = framework.similarity(a, b, "BW")
+        print(
+            f"  {a.identifier:<14} vs {b.identifier:<14} "
+            f"MS_np_ta_gw1={structural:.3f}  BW={annotation:.3f}"
+        )
+
+    print()
+    print(
+        "Note how the annotation-based measure is uninformative for the sparsely "
+        "annotated Galaxy workflows, while the structural measure still separates "
+        "related from unrelated pipelines (the finding behind Figure 12)."
+    )
+
+
+if __name__ == "__main__":
+    main()

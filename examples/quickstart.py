@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Quickstart: compare two scientific workflows with every class of measure.
+
+Builds the two example workflows from Figure 1 of the paper (a KEGG
+pathway analysis and a "Get Pathway-Genes by Entrez gene id" workflow),
+then compares them with annotation-based, structural and ensemble
+similarity measures, and shows the effect of the importance projection.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import SimilarityFramework, WorkflowBuilder
+from repro.core import ImportanceProjection, create_measure
+
+
+def build_kegg_pathway_analysis():
+    """Workflow 1189: KEGG pathway analysis (Figure 1a, simplified)."""
+    return (
+        WorkflowBuilder(
+            "1189",
+            title="KEGG pathway analysis",
+            description=(
+                "This workflow takes a KEGG gene id, retrieves the pathways the gene "
+                "participates in and renders coloured pathway diagrams."
+            ),
+            tags=("kegg", "pathway", "gene", "bioinformatics"),
+            author="alice",
+        )
+        .add_module(
+            "get_pathways",
+            label="get_pathways_by_genes",
+            module_type="wsdl",
+            description="Retrieves the KEGG pathways for a gene identifier",
+            service_authority="KEGG",
+            service_name="KEGGService",
+            service_uri="http://soap.genome.jp/KEGG.wsdl",
+        )
+        .add_module(
+            "split_ids",
+            label="Split_string_into_list",
+            module_type="localworker",
+            description="Splits a string into a list of strings",
+        )
+        .add_module(
+            "color_pathway",
+            label="color_pathway_by_objects",
+            module_type="wsdl",
+            description="Colours pathway maps by the given objects",
+            service_authority="KEGG",
+            service_name="KEGGService",
+            service_uri="http://soap.genome.jp/KEGG.wsdl",
+        )
+        .add_module(
+            "render_report",
+            label="Render_report",
+            module_type="beanshell",
+            script='StringBuilder html = new StringBuilder("<html>");',
+        )
+        .chain("get_pathways", "split_ids", "color_pathway", "render_report")
+        .build()
+    )
+
+
+def build_get_pathway_genes():
+    """Workflow 2805: Get Pathway-Genes by Entrez gene id (Figure 1b, simplified)."""
+    return (
+        WorkflowBuilder(
+            "2805",
+            title="Get Pathway-Genes by Entrez gene id",
+            description=(
+                "Given an Entrez gene id, this workflow maps the gene to KEGG, fetches the "
+                "pathways and returns the list of genes on each pathway."
+            ),
+            tags=("kegg", "entrez", "gene"),
+            author="bob",
+        )
+        .add_module(
+            "convert_id",
+            label="convert_entrez_to_kegg",
+            module_type="wsdl",
+            description="Converts Entrez gene ids to KEGG gene ids",
+            service_authority="KEGG",
+            service_name="KEGGService",
+            service_uri="http://soap.genome.jp/KEGG.wsdl",
+        )
+        .add_module(
+            "get_pathways",
+            label="getPathwaysByGenes",
+            module_type="wsdl",
+            description="Retrieves the KEGG pathways for a gene identifier",
+            service_authority="KEGG",
+            service_name="KEGGService",
+            service_uri="http://soap.genome.jp/KEGG.wsdl",
+        )
+        .add_module(
+            "merge_list",
+            label="Merge_string_list",
+            module_type="stringmerge",
+            description="Merges a list of strings into a single string",
+        )
+        .add_module(
+            "get_genes",
+            label="get_genes_by_pathway",
+            module_type="wsdl",
+            description="Lists the genes contained in a KEGG pathway",
+            service_authority="KEGG",
+            service_name="KEGGService",
+            service_uri="http://soap.genome.jp/KEGG.wsdl",
+        )
+        .chain("convert_id", "get_pathways", "merge_list", "get_genes")
+        .build()
+    )
+
+
+def main() -> None:
+    first = build_kegg_pathway_analysis()
+    second = build_get_pathway_genes()
+    print(first.describe())
+    print(second.describe())
+    print()
+
+    framework = SimilarityFramework()
+    measures = [
+        "BW",               # bag of words over title + description
+        "BT",               # bag of tags
+        "MS_np_ta_pw0",     # module sets, baseline configuration
+        "MS_ip_te_pll",     # module sets, best configuration of the paper
+        "PS_ip_te_pll",     # path sets, best configuration
+        "GE_ip_te_pll",     # graph edit distance with importance projection
+        "BW+MS_ip_te_pll",  # the paper's best ensemble
+    ]
+    print(f"{'measure':<22}{'similarity(1189, 2805)':>25}")
+    print("-" * 47)
+    for name in measures:
+        value = framework.similarity(first, second, name)
+        print(f"{name:<22}{value:>25.3f}")
+
+    # The importance projection removes trivial shim modules before comparing.
+    projection = ImportanceProjection()
+    projected = projection.transform(first)
+    print()
+    print(
+        f"importance projection: {first.identifier} keeps "
+        f"{projected.size} of {first.size} modules "
+        f"({', '.join(m.label for m in projected.modules)})"
+    )
+
+    # Detailed output of a single measure: the module mapping behind MS.
+    measure = create_measure("MS_ip_te_pll")
+    detail = measure.compare(first, second)
+    print()
+    print("module mapping of MS_ip_te_pll (module of 1189 -> module of 2805, similarity):")
+    for source, target, weight in detail.extras["mapping"]:
+        print(f"  {source:<30} -> {target:<30} {weight:.2f}")
+
+
+if __name__ == "__main__":
+    main()

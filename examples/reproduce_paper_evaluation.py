@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's full evaluation pipeline end to end (small scale).
+
+This example walks through everything Section 4 and 5 of the paper do:
+
+1. generate a corpus standing in for the myExperiment data set;
+2. run the two-phase expert study (simulated panel of 15 raters), i.e.
+   collect Likert ratings, build BioConsert consensus rankings and
+   retrieval relevance judgements;
+3. evaluate baseline and tuned similarity measures on ranking
+   correctness/completeness and retrieval precision;
+4. print the resulting tables (the same ones the benchmark harness under
+   ``benchmarks/`` regenerates per figure).
+
+Run with::
+
+    python examples/reproduce_paper_evaluation.py [corpus_size] [n_queries]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.core import SimilarityFramework, baseline_names
+from repro.corpus import CorpusSpec, generate_myexperiment_corpus
+from repro.evaluation import (
+    RankingEvaluation,
+    RetrievalEvaluation,
+    format_agreement_table,
+    format_precision_table,
+    format_ranking_table,
+    inter_annotator_agreement,
+)
+from repro.goldstandard import ExpertPanel, GoldStandardStudy
+from repro.repository import SimilaritySearchEngine
+
+TUNED_MEASURES = ["MS_ip_te_pll", "PS_ip_te_pll", "GE_ip_te_pll", "BW+MS_ip_te_pll"]
+
+
+def main() -> None:
+    corpus_size = int(sys.argv[1]) if len(sys.argv) > 1 else 300
+    query_count = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+    started = time.time()
+
+    print(f"[1/4] generating corpus of {corpus_size} workflows ...")
+    corpus = generate_myexperiment_corpus(CorpusSpec(workflow_count=corpus_size, seed=31))
+
+    print("[2/4] running the simulated expert study (ranking phase) ...")
+    study = GoldStandardStudy(corpus, panel=ExpertPanel(expert_count=15, seed=5), seed=17)
+    ranking_data = study.run_ranking_experiment(
+        query_count=query_count, candidates_per_query=10
+    )
+    print(
+        f"      {ranking_data.pair_count()} rated workflow pairs, "
+        f"{len(ranking_data.ratings)} individual ratings"
+    )
+    print()
+    print(format_agreement_table(inter_annotator_agreement(ranking_data)))
+
+    print()
+    print("[3/4] evaluating ranking correctness (baseline + tuned configurations) ...")
+    framework = SimilarityFramework(ged_timeout=2.0)
+    evaluation = RankingEvaluation(corpus.repository, ranking_data, framework=framework)
+    results = evaluation.evaluate_measures(baseline_names() + TUNED_MEASURES)
+    print(format_ranking_table(results, title="Ranking correctness vs expert consensus"))
+
+    print()
+    print("[4/4] retrieval over the whole corpus (precision at k) ...")
+    engine = SimilaritySearchEngine(corpus.repository, framework)
+    retrieval_data = study.run_retrieval_experiment(
+        ["BW", "MS_ip_te_pll"],
+        ranking_data=ranking_data,
+        query_count=min(4, query_count),
+        k=10,
+        engine=engine,
+    )
+    retrieval = RetrievalEvaluation(engine, retrieval_data, study=study, max_k=10)
+    curves = retrieval.evaluate_measures(["BW", "MS_ip_te_pll", "PS_ip_te_pll"])
+    for threshold in ("related", "similar", "very_similar"):
+        print()
+        print(format_precision_table(curves, threshold=threshold))
+
+    print()
+    print(f"done in {time.time() - started:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` is the documented install path; this file lets
+``python setup.py develop`` work in fully offline environments where
+pip cannot build an editable wheel.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""repro — Similarity Search for Scientific Workflows.
+
+A from-scratch Python reproduction of Starlinger, Brancotte,
+Cohen-Boulakia, Leser: "Similarity Search for Scientific Workflows",
+PVLDB 7(12), 2014.
+
+The package is organised along the paper's own structure:
+
+* :mod:`repro.workflow` — the scientific workflow model and parsers;
+* :mod:`repro.core` — the similarity framework (module comparison,
+  module mapping, topological comparison, normalisation, repository
+  knowledge, annotation measures, ensembles);
+* :mod:`repro.repository` — workflow repositories, repository knowledge
+  and similarity search;
+* :mod:`repro.corpus` — synthetic myExperiment-style and Galaxy-style
+  corpora with latent ground truth;
+* :mod:`repro.goldstandard` — Likert ratings, simulated experts and
+  BioConsert consensus rankings;
+* :mod:`repro.evaluation` — ranking correctness/completeness, retrieval
+  precision and the experiment harnesses behind every figure;
+* :mod:`repro.text`, :mod:`repro.graphs` — the textual and graph
+  algorithm substrates everything above is built on.
+
+Quickstart::
+
+    from repro.workflow import WorkflowBuilder
+    from repro.core import SimilarityFramework
+
+    framework = SimilarityFramework()
+    score = framework.similarity(workflow_a, workflow_b, "MS_ip_te_pll")
+"""
+
+from .core.framework import SimilarityFramework
+from .core.registry import create_measure
+from .repository.repository import WorkflowRepository
+from .repository.search import SimilaritySearchEngine
+from .workflow.builder import WorkflowBuilder
+from .workflow.model import Module, Workflow, WorkflowAnnotations
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SimilarityFramework",
+    "create_measure",
+    "WorkflowRepository",
+    "SimilaritySearchEngine",
+    "WorkflowBuilder",
+    "Module",
+    "Workflow",
+    "WorkflowAnnotations",
+    "__version__",
+]

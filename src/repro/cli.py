@@ -1,0 +1,187 @@
+"""Command-line interface for the workflow similarity toolkit.
+
+Provides the operations a repository maintainer would script against the
+library without writing Python:
+
+* ``repro compare A B --measure MS_ip_te_pll`` — similarity of two
+  workflow files (internal JSON, SCUFL-like XML or Galaxy ``.ga``);
+* ``repro search CORPUS QUERY_ID --measure BW+MS_ip_te_pll -k 10`` —
+  top-k similarity search over a corpus file;
+* ``repro generate-corpus OUT.json --workflows 500`` — write a synthetic
+  myExperiment-style (or Galaxy-style) corpus to disk;
+* ``repro stats CORPUS`` — corpus statistics (size, annotations, module
+  types);
+* ``repro measures`` — list all available measure configurations.
+
+Run ``python -m repro --help`` for details.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .core.framework import SimilarityFramework
+from .core.registry import all_configuration_names
+from .corpus.galaxy import GalaxyCorpusSpec, generate_galaxy_corpus
+from .corpus.generator import CorpusSpec, generate_myexperiment_corpus
+from .repository.repository import WorkflowRepository
+from .repository.search import SimilaritySearchEngine
+from .workflow.galaxy import parse_galaxy_file
+from .workflow.model import Workflow
+from .workflow.preprocess import prepare_workflow
+from .workflow.scufl import parse_scufl_file
+from .workflow.serialization import load_workflow
+
+__all__ = ["main", "build_parser", "load_workflow_file"]
+
+
+def load_workflow_file(path: str | Path) -> Workflow:
+    """Load a workflow from a file, dispatching on its extension.
+
+    ``.ga``/``.json`` with a Galaxy payload are parsed as Galaxy
+    workflows, ``.xml``/``.scufl``/``.t2flow`` as the SCUFL-like dialect,
+    anything else as the internal JSON format.  The paper's dataset
+    preparation (sub-workflow inlining, port removal) is applied.
+    """
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".ga":
+        workflow = parse_galaxy_file(path)
+    elif suffix in (".xml", ".scufl", ".t2flow"):
+        workflow = parse_scufl_file(path)
+    else:
+        text = path.read_text()
+        if '"a_galaxy_workflow"' in text:
+            workflow = parse_galaxy_file(path)
+        else:
+            workflow = load_workflow(path)
+    return prepare_workflow(workflow)
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    first = load_workflow_file(args.first)
+    second = load_workflow_file(args.second)
+    framework = SimilarityFramework(ged_timeout=args.ged_timeout)
+    for name in args.measure:
+        value = framework.similarity(first, second, name)
+        print(f"{name}\t{value:.4f}")
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    repository = WorkflowRepository.load(args.corpus)
+    engine = SimilaritySearchEngine(
+        repository, SimilarityFramework(ged_timeout=args.ged_timeout)
+    )
+    if args.query not in repository:
+        print(f"error: query workflow {args.query!r} not found in corpus", file=sys.stderr)
+        return 2
+    results = engine.search(args.query, args.measure, k=args.top_k)
+    print(f"top-{args.top_k} results for query {args.query} under {args.measure}:")
+    for hit in results:
+        title = repository.get(hit.workflow_id).annotations.title
+        print(f"{hit.rank:>3}  {hit.workflow_id:<16} {hit.similarity:.4f}  {title}")
+    return 0
+
+
+def _cmd_generate_corpus(args: argparse.Namespace) -> int:
+    if args.format == "galaxy":
+        corpus = generate_galaxy_corpus(
+            GalaxyCorpusSpec(workflow_count=args.workflows, seed=args.seed)
+        )
+    else:
+        corpus = generate_myexperiment_corpus(
+            CorpusSpec(workflow_count=args.workflows, seed=args.seed)
+        )
+    corpus.repository.save(args.output)
+    stats = corpus.repository.statistics()
+    print(
+        f"wrote {stats.workflow_count} workflows "
+        f"({stats.mean_modules_per_workflow:.1f} modules/workflow, "
+        f"{stats.untagged_fraction:.0%} untagged) to {args.output}"
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    repository = WorkflowRepository.load(args.corpus)
+    stats = repository.statistics()
+    print(f"corpus: {args.corpus}")
+    print(f"workflows:                 {stats.workflow_count}")
+    print(f"modules:                   {stats.module_count}")
+    print(f"datalinks:                 {stats.datalink_count}")
+    print(f"mean modules / workflow:   {stats.mean_modules_per_workflow:.2f}")
+    print(f"mean datalinks / workflow: {stats.mean_datalinks_per_workflow:.2f}")
+    print(f"untagged workflows:        {stats.untagged_fraction:.1%}")
+    print(f"unannotated workflows:     {stats.undescribed_fraction:.1%}")
+    print("module categories:")
+    for category, count in sorted(stats.category_histogram.items(), key=lambda kv: -kv[1]):
+        print(f"  {category:<20} {count}")
+    return 0
+
+
+def _cmd_measures(_args: argparse.Namespace) -> int:
+    for name in all_configuration_names():
+        print(name)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Similarity search for scientific workflows (Starlinger et al., PVLDB 2014)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    compare = subparsers.add_parser("compare", help="compare two workflow files")
+    compare.add_argument("first", help="first workflow file (.json/.xml/.ga)")
+    compare.add_argument("second", help="second workflow file")
+    compare.add_argument(
+        "--measure",
+        action="append",
+        default=None,
+        help="measure name (repeatable); default: BW, MS_ip_te_pll, BW+MS_ip_te_pll",
+    )
+    compare.add_argument("--ged-timeout", type=float, default=5.0)
+    compare.set_defaults(func=_cmd_compare)
+
+    search = subparsers.add_parser("search", help="top-k similarity search over a corpus file")
+    search.add_argument("corpus", help="corpus JSON file (see 'generate-corpus' or WorkflowRepository.save)")
+    search.add_argument("query", help="identifier of the query workflow inside the corpus")
+    search.add_argument("--measure", default="BW+MS_ip_te_pll")
+    search.add_argument("-k", "--top-k", type=int, default=10)
+    search.add_argument("--ged-timeout", type=float, default=5.0)
+    search.set_defaults(func=_cmd_search)
+
+    generate = subparsers.add_parser("generate-corpus", help="write a synthetic corpus to disk")
+    generate.add_argument("output", help="output JSON file")
+    generate.add_argument("--workflows", type=int, default=500)
+    generate.add_argument("--seed", type=int, default=20140901)
+    generate.add_argument("--format", choices=("taverna", "galaxy"), default="taverna")
+    generate.set_defaults(func=_cmd_generate_corpus)
+
+    stats = subparsers.add_parser("stats", help="print statistics of a corpus file")
+    stats.add_argument("corpus")
+    stats.set_defaults(func=_cmd_stats)
+
+    measures = subparsers.add_parser("measures", help="list all measure configurations")
+    measures.set_defaults(func=_cmd_measures)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "command", None) == "compare" and not args.measure:
+        args.measure = ["BW", "MS_ip_te_pll", "BW+MS_ip_te_pll"]
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

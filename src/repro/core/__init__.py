@@ -1,0 +1,104 @@
+"""The scientific-workflow similarity framework (the paper's core contribution)."""
+
+from .annotations import BagOfTagsSimilarity, BagOfWordsSimilarity, bag_overlap_similarity
+from .base import ComparisonStats, SimilarityDetail, WorkflowSimilarityMeasure
+from .comparators import COMPARATORS, get_comparator
+from .configs import available_module_configs, get_module_config, gll, gw1, pll, plm, pw0, pw3
+from .ensemble import MeanEnsemble, RankAggregationEnsemble, WeightedEnsemble
+from .framework import RankedWorkflow, SimilarityFramework
+from .mapping import (
+    GreedyMapping,
+    MappingStrategy,
+    MaximumWeightMapping,
+    NonCrossingMapping,
+    get_mapping,
+)
+from .module_similarity import AttributeRule, ModuleComparator, ModuleComparisonConfig
+from .normalization import clamp_unit_interval, normalize_edit_cost, similarity_jaccard
+from .preprocessing import (
+    FrequencyImportanceScorer,
+    ImportanceProjection,
+    ImportanceScorer,
+    NoPreprocessing,
+    TypeImportanceScorer,
+    WorkflowPreprocessor,
+    get_preprocessor,
+)
+from .preselection import (
+    AllPairs,
+    PairPreselection,
+    StrictTypeMatch,
+    TypeEquivalence,
+    get_preselection,
+)
+from .registry import (
+    all_configuration_names,
+    baseline_names,
+    best_configuration_names,
+    create_measure,
+    iter_structural_names,
+    paper_approach_matrix,
+)
+from .topological import (
+    GraphEditSimilarity,
+    ModuleSetsSimilarity,
+    PathSetsSimilarity,
+    StructuralMeasure,
+)
+
+__all__ = [
+    "BagOfTagsSimilarity",
+    "BagOfWordsSimilarity",
+    "bag_overlap_similarity",
+    "ComparisonStats",
+    "SimilarityDetail",
+    "WorkflowSimilarityMeasure",
+    "COMPARATORS",
+    "get_comparator",
+    "available_module_configs",
+    "get_module_config",
+    "gll",
+    "gw1",
+    "pll",
+    "plm",
+    "pw0",
+    "pw3",
+    "MeanEnsemble",
+    "RankAggregationEnsemble",
+    "WeightedEnsemble",
+    "RankedWorkflow",
+    "SimilarityFramework",
+    "GreedyMapping",
+    "MappingStrategy",
+    "MaximumWeightMapping",
+    "NonCrossingMapping",
+    "get_mapping",
+    "AttributeRule",
+    "ModuleComparator",
+    "ModuleComparisonConfig",
+    "clamp_unit_interval",
+    "normalize_edit_cost",
+    "similarity_jaccard",
+    "FrequencyImportanceScorer",
+    "ImportanceProjection",
+    "ImportanceScorer",
+    "NoPreprocessing",
+    "TypeImportanceScorer",
+    "WorkflowPreprocessor",
+    "get_preprocessor",
+    "AllPairs",
+    "PairPreselection",
+    "StrictTypeMatch",
+    "TypeEquivalence",
+    "get_preselection",
+    "all_configuration_names",
+    "baseline_names",
+    "best_configuration_names",
+    "create_measure",
+    "iter_structural_names",
+    "paper_approach_matrix",
+    "GraphEditSimilarity",
+    "ModuleSetsSimilarity",
+    "PathSetsSimilarity",
+    "StructuralMeasure",
+]

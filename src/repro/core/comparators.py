@@ -1,0 +1,119 @@
+"""Attribute comparators for pairwise module comparison.
+
+Section 2.1.1 of the paper compares single module attributes either by
+exact string matching (module type, web-service authority/name/uri) or
+by Levenshtein edit distance (labels, descriptions, scripts).  The
+comparators here are plain functions mapping two attribute strings to a
+similarity in ``[0, 1]``; the module comparison configurations assemble
+them with per-attribute weights.
+
+A small registry maps comparator names to functions so configurations
+can be described declaratively (and serialised in experiment reports).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..text.levenshtein import levenshtein_similarity
+from ..text.tokenize import tokenize, tokenize_label
+
+__all__ = [
+    "AttributeComparator",
+    "exact_match",
+    "exact_match_ignore_case",
+    "levenshtein",
+    "levenshtein_ignore_case",
+    "token_jaccard",
+    "label_token_jaccard",
+    "prefix_match",
+    "COMPARATORS",
+    "get_comparator",
+]
+
+AttributeComparator = Callable[[str, str], float]
+
+
+def exact_match(a: str, b: str) -> float:
+    """Strict string equality (1.0 or 0.0)."""
+    return 1.0 if a == b else 0.0
+
+
+def exact_match_ignore_case(a: str, b: str) -> float:
+    """Case-insensitive string equality.
+
+    Goderis et al. found lowercasing of labels to slightly improve
+    retrieval; this comparator makes that variant available.
+    """
+    return 1.0 if a.lower() == b.lower() else 0.0
+
+
+def levenshtein(a: str, b: str) -> float:
+    """Levenshtein-based similarity (1 - normalised edit distance)."""
+    return levenshtein_similarity(a, b)
+
+
+def levenshtein_ignore_case(a: str, b: str) -> float:
+    """Levenshtein similarity on lowercased strings."""
+    return levenshtein_similarity(a.lower(), b.lower())
+
+
+def token_jaccard(a: str, b: str) -> float:
+    """Jaccard overlap of the token sets of two strings.
+
+    Useful for long descriptions and scripts where character-level edit
+    distance is dominated by formatting.
+    """
+    tokens_a = set(tokenize(a, filter_stopwords=False))
+    tokens_b = set(tokenize(b, filter_stopwords=False))
+    if not tokens_a and not tokens_b:
+        return 0.0
+    union = tokens_a | tokens_b
+    return len(tokens_a & tokens_b) / len(union)
+
+
+def label_token_jaccard(a: str, b: str) -> float:
+    """Jaccard overlap of label tokens (CamelCase/snake_case aware)."""
+    tokens_a = set(tokenize_label(a))
+    tokens_b = set(tokenize_label(b))
+    if not tokens_a and not tokens_b:
+        return 0.0
+    return len(tokens_a & tokens_b) / len(tokens_a | tokens_b)
+
+
+def prefix_match(a: str, b: str) -> float:
+    """Length of the common prefix relative to the longer string.
+
+    Handy for service URIs where endpoints of the same provider share a
+    long common prefix.
+    """
+    if not a or not b:
+        return 0.0
+    longest = max(len(a), len(b))
+    common = 0
+    for char_a, char_b in zip(a, b):
+        if char_a != char_b:
+            break
+        common += 1
+    return common / longest
+
+
+COMPARATORS: dict[str, AttributeComparator] = {
+    "exact": exact_match,
+    "exact_ci": exact_match_ignore_case,
+    "levenshtein": levenshtein,
+    "levenshtein_ci": levenshtein_ignore_case,
+    "token_jaccard": token_jaccard,
+    "label_token_jaccard": label_token_jaccard,
+    "prefix": prefix_match,
+}
+
+
+def get_comparator(name: str) -> AttributeComparator:
+    """Look up a comparator by its registry name."""
+    try:
+        return COMPARATORS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown comparator {name!r}; available: {sorted(COMPARATORS)}"
+        ) from None

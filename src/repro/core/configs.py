@@ -1,0 +1,148 @@
+"""The module comparison configurations evaluated in the paper.
+
+Section 2.1.1 defines four configurations for the Taverna/myExperiment
+corpus and Section 5.3 two more for the Galaxy corpus:
+
+``pw0``
+    Uniform weights on all attributes; module type and the web-service
+    properties (authority, name, uri) compared by exact string matching;
+    labels, descriptions and scripts by Levenshtein edit distance.
+``pw3``
+    Same per-attribute comparators but tuned, non-uniform weights:
+    labels, script and service uri highest, then service name, then
+    service authority (following Silva et al.).
+``pll``
+    Labels only, compared by Levenshtein edit distance (Bergmann & Gil).
+``plm``
+    Labels only, compared by strict string matching (Santos et al.,
+    Goderis et al., Xiang & Madey).
+``gw1``
+    Galaxy: a selection of attributes with uniform weights (tool id,
+    label, annotation, parameters).
+``gll``
+    Galaxy: labels only, by edit distance.
+"""
+
+from __future__ import annotations
+
+from .module_similarity import AttributeRule, ModuleComparisonConfig
+
+__all__ = [
+    "pw0",
+    "pw3",
+    "pll",
+    "plm",
+    "gw1",
+    "gll",
+    "MODULE_CONFIGS",
+    "get_module_config",
+    "available_module_configs",
+]
+
+
+def pw0() -> ModuleComparisonConfig:
+    """Uniform attribute weights (the baseline scheme of Figure 5)."""
+    return ModuleComparisonConfig(
+        name="pw0",
+        description="uniform weights on all attributes",
+        rules=(
+            AttributeRule("label", "levenshtein", 1.0),
+            AttributeRule("description", "levenshtein", 1.0),
+            AttributeRule("script", "levenshtein", 1.0),
+            AttributeRule("type", "exact", 1.0),
+            AttributeRule("service_authority", "exact", 1.0),
+            AttributeRule("service_name", "exact", 1.0),
+            AttributeRule("service_uri", "exact", 1.0),
+        ),
+    )
+
+
+def pw3() -> ModuleComparisonConfig:
+    """Tuned attribute weights, similar to Silva et al. [34].
+
+    Labels, scripts and the service uri carry the highest weight,
+    followed by service name and service authority; type stays at the
+    base weight.
+    """
+    return ModuleComparisonConfig(
+        name="pw3",
+        description="tuned non-uniform weights (labels/script/uri highest)",
+        rules=(
+            AttributeRule("label", "levenshtein", 3.0),
+            AttributeRule("script", "levenshtein", 3.0),
+            AttributeRule("service_uri", "exact", 3.0),
+            AttributeRule("service_name", "exact", 2.0),
+            AttributeRule("service_authority", "exact", 1.5),
+            AttributeRule("description", "levenshtein", 1.0),
+            AttributeRule("type", "exact", 1.0),
+        ),
+    )
+
+
+def pll() -> ModuleComparisonConfig:
+    """Labels only, Levenshtein edit distance (best overall in the paper)."""
+    return ModuleComparisonConfig(
+        name="pll",
+        description="labels only, Levenshtein edit distance",
+        rules=(AttributeRule("label", "levenshtein", 1.0, skip_if_both_empty=False),),
+    )
+
+
+def plm() -> ModuleComparisonConfig:
+    """Labels only, strict string matching."""
+    return ModuleComparisonConfig(
+        name="plm",
+        description="labels only, strict string matching",
+        rules=(AttributeRule("label", "exact", 1.0, skip_if_both_empty=False),),
+    )
+
+
+def gw1() -> ModuleComparisonConfig:
+    """Galaxy: selection of attributes with uniform weights (Section 5.3)."""
+    return ModuleComparisonConfig(
+        name="gw1",
+        description="Galaxy: uniform weights on tool id, label, annotation, parameters",
+        rules=(
+            AttributeRule("label", "levenshtein", 1.0),
+            AttributeRule("service_name", "exact", 1.0),
+            AttributeRule("service_uri", "exact", 1.0),
+            AttributeRule("description", "levenshtein", 1.0),
+            AttributeRule("parameters", "token_jaccard", 1.0),
+        ),
+    )
+
+
+def gll() -> ModuleComparisonConfig:
+    """Galaxy: labels only, Levenshtein edit distance."""
+    return ModuleComparisonConfig(
+        name="gll",
+        description="Galaxy: labels only, Levenshtein edit distance",
+        rules=(AttributeRule("label", "levenshtein", 1.0, skip_if_both_empty=False),),
+    )
+
+
+MODULE_CONFIGS = {
+    "pw0": pw0,
+    "pw3": pw3,
+    "pll": pll,
+    "plm": plm,
+    "gw1": gw1,
+    "gll": gll,
+}
+
+
+def get_module_config(name: str) -> ModuleComparisonConfig:
+    """Return the module comparison configuration registered as ``name``."""
+    try:
+        factory = MODULE_CONFIGS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown module comparison configuration {name!r}; "
+            f"available: {sorted(MODULE_CONFIGS)}"
+        ) from None
+    return factory()
+
+
+def available_module_configs() -> list[str]:
+    """Names of all registered module comparison configurations."""
+    return sorted(MODULE_CONFIGS)

@@ -1,0 +1,101 @@
+"""Module mapping strategies (step 2 of the framework).
+
+Once all pairwise module similarities are known, a mapping of the
+modules of the two workflows onto each other has to be established
+(Section 2.1.2).  The framework supports
+
+* ``greedy`` — greedy selection of mapped modules (Silva et al.),
+* ``mw`` — the matching of maximum overall weight (Bergmann & Gil), and
+* ``mwnc`` — the maximum-weight non-crossing matching used when the
+  modules carry an order, i.e. for path-wise comparison.
+
+All strategies operate on the dense similarity matrix produced by
+:class:`repro.core.module_similarity.ModuleComparator` and return
+:class:`repro.graphs.matching.MatchedPair` lists.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from ..graphs.matching import (
+    MatchedPair,
+    greedy_matching,
+    matching_weight,
+    maximum_weight_matching,
+    maximum_weight_noncrossing_matching,
+)
+
+__all__ = [
+    "MappingStrategy",
+    "GreedyMapping",
+    "MaximumWeightMapping",
+    "NonCrossingMapping",
+    "MAPPINGS",
+    "get_mapping",
+]
+
+
+class MappingStrategy(ABC):
+    """Maps the modules of two workflows onto each other."""
+
+    #: Shorthand used in configuration names (``greedy``, ``mw``, ``mwnc``).
+    code: str = "mw"
+
+    @abstractmethod
+    def match(self, weights: Sequence[Sequence[float]]) -> list[MatchedPair]:
+        """Return the selected pairs for a similarity matrix."""
+
+    def score(self, weights: Sequence[Sequence[float]]) -> float:
+        """Total similarity of the selected pairs (``nnsim`` contribution)."""
+        return matching_weight(self.match(weights))
+
+
+class GreedyMapping(MappingStrategy):
+    """Greedy selection of the best remaining pair (Silva et al. [34])."""
+
+    code = "greedy"
+
+    def match(self, weights: Sequence[Sequence[float]]) -> list[MatchedPair]:
+        return greedy_matching(weights)
+
+
+class MaximumWeightMapping(MappingStrategy):
+    """Mapping of maximum overall weight (``mw``, Bergmann & Gil [4])."""
+
+    code = "mw"
+
+    def match(self, weights: Sequence[Sequence[float]]) -> list[MatchedPair]:
+        return maximum_weight_matching(weights)
+
+
+class NonCrossingMapping(MappingStrategy):
+    """Maximum-weight non-crossing matching (``mwnc``, Malucelli et al. [27]).
+
+    Only meaningful when rows and columns are ordered, e.g. modules along
+    a workflow path; crossings in the mapping would contradict the flow
+    of data.
+    """
+
+    code = "mwnc"
+
+    def match(self, weights: Sequence[Sequence[float]]) -> list[MatchedPair]:
+        return maximum_weight_noncrossing_matching(weights)
+
+
+MAPPINGS = {
+    "greedy": GreedyMapping,
+    "mw": MaximumWeightMapping,
+    "mwnc": NonCrossingMapping,
+}
+
+
+def get_mapping(code: str) -> MappingStrategy:
+    """Instantiate the mapping strategy registered as ``code``."""
+    try:
+        return MAPPINGS[code]()
+    except KeyError:
+        raise KeyError(
+            f"unknown mapping strategy {code!r}; available: {sorted(MAPPINGS)}"
+        ) from None

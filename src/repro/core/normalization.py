@@ -1,0 +1,84 @@
+"""Normalisation of workflow similarity values (step 4 of the framework).
+
+Section 2.1.4: the goal of normalisation is to maximise the information
+about how well two workflows match *globally*, producing values in
+``[0, 1]``.  The paper uses
+
+* a similarity-weighted variant of the Jaccard index for the set-based
+  topological comparisons (module sets, path sets)::
+
+      sim = nnsim / (|A| + |B| - nnsim)
+
+  where the overlap term of the classical Jaccard index is replaced by
+  the total similarity of the mapped elements, and
+
+* a maximum-cost normalisation for graph edit distance::
+
+      sim = 1 - cost / (max(|V1|, |V2|) + |E1| + |E2|)
+
+Omitting normalisation altogether is also supported (it significantly
+hurts ranking quality, as Figure 7 shows).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "similarity_jaccard",
+    "normalize_edit_cost",
+    "clamp_unit_interval",
+]
+
+
+def clamp_unit_interval(value: float) -> float:
+    """Clamp a similarity value into ``[0, 1]``.
+
+    Floating-point noise in the matching algorithms can push values a
+    hair outside the interval; downstream ranking code assumes the
+    bounds hold exactly.
+    """
+    if value < 0.0:
+        return 0.0
+    if value > 1.0:
+        return 1.0
+    return value
+
+
+def similarity_jaccard(nnsim: float, size_a: int, size_b: int) -> float:
+    """Similarity-weighted Jaccard normalisation for set-based measures.
+
+    Parameters
+    ----------
+    nnsim:
+        The non-normalised similarity: the total similarity score of the
+        mapped elements (modules or paths).
+    size_a, size_b:
+        The number of elements in the two compared sets
+        (``|V_wf1|``/``|V_wf2|`` for module sets, ``|PS_wf1|``/``|PS_wf2|``
+        for path sets).
+
+    If both sets are empty the workflows are trivially identical in this
+    respect and 1.0 is returned; if exactly one is empty they share
+    nothing and 0.0 is returned.
+    """
+    if size_a == 0 and size_b == 0:
+        return 1.0
+    denominator = size_a + size_b - nnsim
+    if denominator <= 0.0:
+        # Can only happen when nnsim ≈ size_a == size_b (identical sets).
+        return 1.0
+    return clamp_unit_interval(nnsim / denominator)
+
+
+def normalize_edit_cost(
+    cost: float, node_count_a: int, node_count_b: int, edge_count_a: int, edge_count_b: int
+) -> float:
+    """Normalise a graph edit cost into a similarity value.
+
+    Uses the paper's worst-case bound for uniform costs of 1: every node
+    of the bigger node set is substituted or deleted and all edges of
+    both graphs are inserted or deleted.
+    """
+    maximum = max(node_count_a, node_count_b) + edge_count_a + edge_count_b
+    if maximum <= 0:
+        return 1.0
+    return clamp_unit_interval(1.0 - cost / maximum)

@@ -1,0 +1,200 @@
+"""Structural workflow preprocessing (repository knowledge, part 2).
+
+The *importance projection* (``ip``, Section 2.1.5) removes modules that
+contribute little to a workflow's specific functionality — typically the
+predefined local operations and constants used most frequently across a
+repository — and projects the workflow onto its remaining, relevant
+modules.  Connectivity is preserved: if two important modules were
+connected by one or more paths through unimportant modules, they are
+connected by a single edge in the projection, i.e. the projection is the
+transitive reduction of the reachability relation between important
+modules.
+
+Two importance scorers are provided:
+
+* :class:`TypeImportanceScorer` — the manual, type-based selection the
+  paper uses (trivial local operations and constants score 0);
+* :class:`FrequencyImportanceScorer` — the automatic, usage-frequency
+  based selection the paper names as future work: modules whose
+  label/service occurs in more than a configurable fraction of the
+  repository's workflows are considered unspecific.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Mapping
+
+from ..graphs.dag import transitive_reduction
+from ..workflow.model import DataLink, Module, Workflow
+
+__all__ = [
+    "ImportanceScorer",
+    "TypeImportanceScorer",
+    "FrequencyImportanceScorer",
+    "WorkflowPreprocessor",
+    "NoPreprocessing",
+    "ImportanceProjection",
+    "get_preprocessor",
+]
+
+
+class ImportanceScorer(ABC):
+    """Assigns each module a score for its functional importance."""
+
+    @abstractmethod
+    def score(self, module: Module, workflow: Workflow) -> float:
+        """Return an importance score in ``[0, 1]`` for ``module``."""
+
+
+class TypeImportanceScorer(ImportanceScorer):
+    """Manual, type-based importance: trivial module types score 0.
+
+    This reproduces the paper's selection: "Modules that perform
+    predefined, trivial local operations are removed."
+    """
+
+    def __init__(self, *, trivial_score: float = 0.0, default_score: float = 1.0) -> None:
+        self.trivial_score = trivial_score
+        self.default_score = default_score
+
+    def score(self, module: Module, workflow: Workflow) -> float:
+        return self.trivial_score if module.is_trivial else self.default_score
+
+
+class FrequencyImportanceScorer(ImportanceScorer):
+    """Automatic importance from module usage frequencies across a repository.
+
+    ``frequencies`` maps a module signature (its label, lowercased, or
+    its service name when present) to the fraction of repository
+    workflows using it.  Modules used in more than ``max_frequency`` of
+    all workflows are deemed unspecific (score 0); the remaining modules
+    get ``1 - frequency`` so rarely used, specific modules score high.
+    """
+
+    def __init__(
+        self, frequencies: Mapping[str, float], *, max_frequency: float = 0.25
+    ) -> None:
+        self.frequencies = dict(frequencies)
+        self.max_frequency = max_frequency
+
+    @staticmethod
+    def signature(module: Module) -> str:
+        """The key under which a module's usage frequency is recorded."""
+        if module.service_name:
+            return f"service:{module.service_name.lower()}"
+        return f"label:{module.label.lower()}"
+
+    def score(self, module: Module, workflow: Workflow) -> float:
+        frequency = self.frequencies.get(self.signature(module), 0.0)
+        if frequency > self.max_frequency:
+            return 0.0
+        return 1.0 - frequency
+
+
+class WorkflowPreprocessor(ABC):
+    """Transforms a workflow before structural comparison."""
+
+    #: Shorthand used in configuration names (``np`` or ``ip``).
+    code: str = "np"
+
+    @abstractmethod
+    def transform(self, workflow: Workflow) -> Workflow:
+        """Return the (possibly) transformed workflow."""
+
+
+class NoPreprocessing(WorkflowPreprocessor):
+    """Identity preprocessing (``np``)."""
+
+    code = "np"
+
+    def transform(self, workflow: Workflow) -> Workflow:
+        return workflow
+
+
+class ImportanceProjection(WorkflowPreprocessor):
+    """Project a workflow onto its important modules (``ip``).
+
+    Parameters
+    ----------
+    scorer:
+        The importance scorer; defaults to the type-based manual
+        selection used in the paper.
+    threshold:
+        Modules with a score strictly below this threshold are removed.
+    keep_all_if_empty:
+        A projection that would remove *every* module is useless for
+        comparison; when ``True`` (default) the original workflow is
+        returned instead in that case.
+    """
+
+    code = "ip"
+
+    def __init__(
+        self,
+        scorer: ImportanceScorer | None = None,
+        *,
+        threshold: float = 0.5,
+        keep_all_if_empty: bool = True,
+    ) -> None:
+        self.scorer = scorer or TypeImportanceScorer()
+        self.threshold = threshold
+        self.keep_all_if_empty = keep_all_if_empty
+
+    def important_modules(self, workflow: Workflow) -> list[Module]:
+        """The modules whose importance score passes the threshold."""
+        return [
+            module
+            for module in workflow.modules
+            if self.scorer.score(module, workflow) >= self.threshold
+        ]
+
+    def transform(self, workflow: Workflow) -> Workflow:
+        important = self.important_modules(workflow)
+        if not important:
+            return workflow if self.keep_all_if_empty else workflow.with_modules((), ())
+        if len(important) == workflow.size:
+            return workflow
+        keep = {module.identifier for module in important}
+
+        # Reachability between important modules along paths of unimportant ones.
+        adjacency = workflow.adjacency()
+        projected_edges: set[tuple[str, str]] = set()
+        for start in keep:
+            # Breadth-first search that stops expanding once an important
+            # module is reached: a path may only pass through unimportant
+            # modules.
+            frontier = list(adjacency[start])
+            visited: set[str] = set()
+            while frontier:
+                node = frontier.pop()
+                if node in visited:
+                    continue
+                visited.add(node)
+                if node in keep:
+                    if node != start:
+                        projected_edges.add((start, node))
+                    continue
+                frontier.extend(adjacency[node])
+
+        # Transitive reduction keeps only the minimal set of edges.
+        projection_adjacency: dict[str, set[str]] = {name: set() for name in keep}
+        for source, target in projected_edges:
+            projection_adjacency[source].add(target)
+        reduced = transitive_reduction(projection_adjacency)
+
+        datalinks = tuple(
+            DataLink(source=source, target=target)
+            for source in sorted(reduced)
+            for target in sorted(reduced[source])
+        )
+        return workflow.with_modules(important, datalinks)
+
+
+def get_preprocessor(code: str, scorer: ImportanceScorer | None = None) -> WorkflowPreprocessor:
+    """Instantiate a preprocessor from its shorthand code (``np``/``ip``)."""
+    if code == "np":
+        return NoPreprocessing()
+    if code == "ip":
+        return ImportanceProjection(scorer)
+    raise KeyError(f"unknown preprocessing code {code!r}; available: ['ip', 'np']")

@@ -1,0 +1,136 @@
+"""Module-pair preselection strategies (repository knowledge, part 1).
+
+Section 2.1.5 of the paper reduces the number of pairwise module
+comparisons by restricting the candidate pairs from the Cartesian
+product of the two module sets:
+
+* ``ta`` — no restriction, all pairs are compared (the default);
+* ``tm`` — strict type matching: only modules with identical type
+  identifiers are candidates (this *decreases* ranking correctness);
+* ``te`` — type equivalence: module types are cast to technical
+  equivalence classes (web service, script, local operation, ...) and
+  only modules of the same class are candidates.  This keeps result
+  quality while cutting the number of comparisons roughly in half.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Mapping, Sequence
+
+from ..workflow.model import Module
+from ..workflow.types import category_of
+
+__all__ = [
+    "PairPreselection",
+    "AllPairs",
+    "StrictTypeMatch",
+    "TypeEquivalence",
+    "PRESELECTIONS",
+    "get_preselection",
+]
+
+
+class PairPreselection(ABC):
+    """Selects the candidate module pairs to be compared."""
+
+    #: Shorthand used in configuration names (``ta``, ``tm``, ``te``).
+    code: str = "ta"
+
+    @abstractmethod
+    def candidate_pairs(
+        self, first_modules: Sequence[Module], second_modules: Sequence[Module]
+    ) -> set[tuple[int, int]] | None:
+        """Return the admissible ``(row, column)`` index pairs.
+
+        ``None`` means "no restriction" (every pair is a candidate),
+        which lets callers skip building a full index set for the ``ta``
+        strategy.
+        """
+
+    def candidate_count(
+        self, first_modules: Sequence[Module], second_modules: Sequence[Module]
+    ) -> int:
+        """Number of module pairs that would be compared under this strategy."""
+        pairs = self.candidate_pairs(first_modules, second_modules)
+        if pairs is None:
+            return len(first_modules) * len(second_modules)
+        return len(pairs)
+
+
+class AllPairs(PairPreselection):
+    """Compare every pair from the Cartesian product (``ta``)."""
+
+    code = "ta"
+
+    def candidate_pairs(
+        self, first_modules: Sequence[Module], second_modules: Sequence[Module]
+    ) -> None:
+        return None
+
+
+class StrictTypeMatch(PairPreselection):
+    """Only compare modules whose type identifiers match exactly (``tm``)."""
+
+    code = "tm"
+
+    def candidate_pairs(
+        self, first_modules: Sequence[Module], second_modules: Sequence[Module]
+    ) -> set[tuple[int, int]]:
+        by_type: dict[str, list[int]] = {}
+        for j, module in enumerate(second_modules):
+            by_type.setdefault(module.module_type.lower(), []).append(j)
+        pairs: set[tuple[int, int]] = set()
+        for i, module in enumerate(first_modules):
+            for j in by_type.get(module.module_type.lower(), ()):
+                pairs.add((i, j))
+        return pairs
+
+
+class TypeEquivalence(PairPreselection):
+    """Compare modules within the same technical equivalence class (``te``).
+
+    The default classes follow the categorisation of Wassink et al.
+    (web service, script, local operation, data constant, ...); a custom
+    mapping from type identifier to class name can be supplied, e.g. one
+    derived automatically from a repository.
+    """
+
+    code = "te"
+
+    def __init__(self, categories: Mapping[str, str] | None = None) -> None:
+        self._categories = dict(categories) if categories is not None else None
+
+    def _category(self, module: Module) -> str:
+        if self._categories is not None:
+            return self._categories.get(module.module_type.lower(), "other")
+        return category_of(module.module_type)
+
+    def candidate_pairs(
+        self, first_modules: Sequence[Module], second_modules: Sequence[Module]
+    ) -> set[tuple[int, int]]:
+        by_category: dict[str, list[int]] = {}
+        for j, module in enumerate(second_modules):
+            by_category.setdefault(self._category(module), []).append(j)
+        pairs: set[tuple[int, int]] = set()
+        for i, module in enumerate(first_modules):
+            for j in by_category.get(self._category(module), ()):
+                pairs.add((i, j))
+        return pairs
+
+
+PRESELECTIONS = {
+    "ta": AllPairs,
+    "tm": StrictTypeMatch,
+    "te": TypeEquivalence,
+}
+
+
+def get_preselection(code: str) -> PairPreselection:
+    """Instantiate the preselection strategy registered as ``code``."""
+    try:
+        return PRESELECTIONS[code]()
+    except KeyError:
+        raise KeyError(
+            f"unknown preselection strategy {code!r}; available: {sorted(PRESELECTIONS)}"
+        ) from None

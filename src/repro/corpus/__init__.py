@@ -1,0 +1,41 @@
+"""Synthetic workflow corpora standing in for the myExperiment and Galaxy data sets."""
+
+from .families import FamilyGenerator, FamilySeed, ModuleSpec, VariantInfo, perturb_label
+from .galaxy import GALAXY_TOOLBOX, GalaxyCorpusSpec, generate_galaxy_corpus
+from .generator import CorpusSpec, GeneratedCorpus, generate_myexperiment_corpus
+from .ground_truth import CorpusGroundTruth
+from .vocabulary import (
+    DOMAINS,
+    LIFE_SCIENCE_DOMAINS,
+    SCRIPT_TEMPLATES,
+    TRIVIAL_OPERATIONS,
+    DomainVocabulary,
+    ServiceCatalog,
+    ServiceOperation,
+    domain_names,
+    get_domain,
+)
+
+__all__ = [
+    "FamilyGenerator",
+    "FamilySeed",
+    "ModuleSpec",
+    "VariantInfo",
+    "perturb_label",
+    "GALAXY_TOOLBOX",
+    "GalaxyCorpusSpec",
+    "generate_galaxy_corpus",
+    "CorpusSpec",
+    "GeneratedCorpus",
+    "generate_myexperiment_corpus",
+    "CorpusGroundTruth",
+    "DOMAINS",
+    "LIFE_SCIENCE_DOMAINS",
+    "SCRIPT_TEMPLATES",
+    "TRIVIAL_OPERATIONS",
+    "DomainVocabulary",
+    "ServiceCatalog",
+    "ServiceOperation",
+    "domain_names",
+    "get_domain",
+]

@@ -1,0 +1,418 @@
+"""Workflow families: seeds and mutation-based variants.
+
+Real workflow repositories grow largely by *reuse*: authors copy an
+existing workflow and adapt it — relabel modules, replace a web service
+by an equivalent one or by a local script, insert or remove shim
+operations, reword the description (Starlinger et al., SSDBM 2012).  The
+synthetic corpus reproduces this process explicitly:
+
+* a :class:`FamilySeed` describes the functional core of one workflow
+  family (an ordered chain of analysis modules of one domain, a subject,
+  and seed annotations);
+* :class:`FamilyGenerator` derives concrete workflows ("variants") from
+  a seed by applying randomised mutations whose aggregate strength is
+  recorded as the variant's *mutation distance*.
+
+The mutation distance, family membership and domain together define the
+latent functional similarity that the simulated experts rate — the
+quantity that plays the role of the human notion of similarity in the
+paper's gold standard.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..workflow.builder import WorkflowBuilder
+from ..workflow.model import Workflow
+from .vocabulary import (
+    DomainVocabulary,
+    LABEL_SYNONYMS,
+    SCRIPT_TEMPLATES,
+    TRIVIAL_OPERATIONS,
+    get_domain,
+)
+
+__all__ = ["ModuleSpec", "FamilySeed", "VariantInfo", "FamilyGenerator"]
+
+
+@dataclass(frozen=True)
+class ModuleSpec:
+    """Specification of one core analysis module of a family."""
+
+    role: str
+    label: str
+    module_type: str
+    description: str = ""
+    script: str = ""
+    service_authority: str = ""
+    service_name: str = ""
+    service_uri: str = ""
+
+
+@dataclass(frozen=True)
+class FamilySeed:
+    """The functional core shared by all members of a workflow family."""
+
+    family_id: str
+    domain: str
+    subject: str
+    core: tuple[ModuleSpec, ...]
+    title: str
+    description: str
+    tags: tuple[str, ...]
+    #: Concrete study focus (gene, organism, dataset) the family works on.
+    #: Authors carry it into module names ("get_pathway_brca2"), which is
+    #: what makes module labels "telling" in the sense of the paper.
+    focus: str = ""
+
+
+#: Concrete study subjects (genes, organisms, datasets) families focus on.
+FOCUS_TOKENS: tuple[str, ...] = (
+    "brca2", "tp53", "egfr", "kras", "apoe", "cftr", "mycn", "pten", "braf", "notch1",
+    "ecoli", "yeast", "arabidopsis", "zebrafish", "drosophila", "celegans", "mouse", "human",
+    "hg19", "grch38", "chr21", "exome", "mirna", "lncrna", "ribosome", "kinome",
+    "diabetes", "melanoma", "leukemia", "alzheimer", "malaria", "influenza", "hiv", "covid",
+    "gut_microbiome", "soil_sample", "biofilm", "plasmid", "operon", "proteome",
+)
+
+
+@dataclass(frozen=True)
+class VariantInfo:
+    """Provenance of a generated workflow within the synthetic corpus."""
+
+    workflow_id: str
+    family_id: str
+    domain: str
+    mutation_distance: float
+    core_roles: frozenset[str] = field(default_factory=frozenset)
+
+
+# -- label perturbation -------------------------------------------------------
+
+
+def _case_variant(label: str, rng: random.Random) -> str:
+    choice = rng.randrange(4)
+    if choice == 0:
+        return label.lower()
+    if choice == 1:
+        return label.replace("_", " ").title().replace(" ", "_")
+    if choice == 2:
+        parts = label.replace("_", " ").split()
+        return parts[0].lower() + "".join(part.title() for part in parts[1:])
+    return label.upper()
+
+
+def _separator_variant(label: str, rng: random.Random) -> str:
+    if "_" in label:
+        return label.replace("_", " " if rng.random() < 0.5 else "")
+    return label.replace(" ", "_")
+
+
+def _typo_variant(label: str, rng: random.Random) -> str:
+    if len(label) < 4:
+        return label
+    index = rng.randrange(1, len(label) - 2)
+    if rng.random() < 0.5:
+        # swap two adjacent characters
+        return label[:index] + label[index + 1] + label[index] + label[index + 2:]
+    return label[:index] + label[index + 1:]
+
+
+def _synonym_variant(label: str, rng: random.Random) -> str:
+    separator = "_" if "_" in label else " "
+    parts = label.split(separator) if separator in label else [label]
+    for i, part in enumerate(parts):
+        synonyms = LABEL_SYNONYMS.get(part.lower())
+        if synonyms:
+            replacement = rng.choice(synonyms)
+            parts[i] = replacement if part.islower() else replacement.title()
+            break
+    return separator.join(parts)
+
+
+def _suffix_variant(label: str, rng: random.Random) -> str:
+    return f"{label}_{rng.choice(['2', 'v2', 'new', 'copy'])}"
+
+
+_LABEL_MUTATIONS = (
+    _case_variant,
+    _separator_variant,
+    _typo_variant,
+    _synonym_variant,
+    _suffix_variant,
+)
+
+
+def perturb_label(label: str, rng: random.Random, *, strength: float = 0.5) -> str:
+    """Apply zero or more label perturbations, controlled by ``strength``."""
+    result = label
+    for mutation in _LABEL_MUTATIONS:
+        if rng.random() < strength * 0.4:
+            result = mutation(result, rng)
+    return result
+
+
+# -- family generation -------------------------------------------------------
+
+
+class FamilyGenerator:
+    """Creates family seeds and mutated variants from the domain vocabulary."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+
+    # -- seeds ----------------------------------------------------------------
+
+    def make_seed(self, family_id: str, domain_name: str) -> FamilySeed:
+        """Create the functional core of a new workflow family."""
+        domain = get_domain(domain_name)
+        rng = self.rng
+        subject = rng.choice(domain.subjects)
+        # Authors frequently name modules after the concrete data they work
+        # on ("get_pathway_brca2"); family-specific suffixes keep labels
+        # telling: variants of the same family share them, unrelated
+        # workflows that call the same service do not.
+        focus = rng.choice(FOCUS_TOKENS)
+        core_length = rng.randint(3, 7)
+        core: list[ModuleSpec] = []
+        used_labels: set[str] = set()
+        for index in range(core_length):
+            spec = self._core_module_spec(domain, f"core{index}", used_labels)
+            if rng.random() < 0.6:
+                spec = ModuleSpec(
+                    role=spec.role,
+                    label=f"{spec.label}_{focus}",
+                    module_type=spec.module_type,
+                    description=spec.description,
+                    script=spec.script,
+                    service_authority=spec.service_authority,
+                    service_name=spec.service_name,
+                    service_uri=spec.service_uri,
+                )
+            core.append(spec)
+            used_labels.add(spec.label)
+        first_op = core[0].label.replace("_", " ")
+        title = rng.choice(domain.title_templates).format(op=first_op, subject=subject)
+        description = rng.choice(domain.description_templates).format(subject=subject)
+        tag_count = rng.randint(2, min(5, len(domain.tags)))
+        tags = tuple(rng.sample(list(domain.tags), tag_count))
+        return FamilySeed(
+            family_id=family_id,
+            domain=domain_name,
+            subject=subject,
+            core=tuple(core),
+            title=title,
+            description=description,
+            tags=tags,
+            focus=focus,
+        )
+
+    def _core_module_spec(
+        self, domain: DomainVocabulary, role: str, used_labels: set[str]
+    ) -> ModuleSpec:
+        rng = self.rng
+        if rng.random() < 0.75:
+            service = rng.choice(domain.services)
+            operation = rng.choice(service.operations)
+            label = operation.label
+            if label in used_labels:
+                label = f"{label}_{len(used_labels)}"
+            return ModuleSpec(
+                role=role,
+                label=label,
+                module_type=service.service_type,
+                description=operation.description,
+                service_authority=service.authority,
+                service_name=service.name,
+                service_uri=service.uri,
+            )
+        name, script_type, body = rng.choice(SCRIPT_TEMPLATES)
+        label = name if name not in used_labels else f"{name}_{len(used_labels)}"
+        return ModuleSpec(
+            role=role,
+            label=label,
+            module_type=script_type,
+            description=f"Scripted step: {name.replace('_', ' ').lower()}",
+            script=body,
+        )
+
+    # -- variants --------------------------------------------------------------
+
+    def make_variant(
+        self,
+        seed: FamilySeed,
+        workflow_id: str,
+        *,
+        mutation_strength: float,
+        author: str = "",
+        drop_tags: bool = False,
+    ) -> tuple[Workflow, VariantInfo]:
+        """Derive one concrete workflow from a family seed.
+
+        ``mutation_strength`` in ``[0, 1]`` controls how far the variant
+        drifts from the seed; the realised drift is returned as the
+        variant's ``mutation_distance``.
+        """
+        rng = self.rng
+        domain = get_domain(seed.domain)
+        distance = 0.0
+        core = list(seed.core)
+
+        # Possibly drop a core module (functional change).
+        if len(core) > 3 and rng.random() < mutation_strength * 0.5:
+            core.pop(rng.randrange(len(core)))
+            distance += 0.15
+
+        # Possibly swap core modules against functionally equivalent services
+        # (a different provider's operation, or a local script replacing a
+        # web service).  Authors keep the context in the module name, so the
+        # family's focus token survives the swap.
+        focus_token = seed.focus or seed.subject.split()[-1].lower()
+        for _swap in range(2):
+            if rng.random() < mutation_strength * 0.6:
+                index = rng.randrange(len(core))
+                replacement = self._core_module_spec(domain, core[index].role, set())
+                label = replacement.label
+                if rng.random() < 0.6:
+                    label = f"{label}_{focus_token}"
+                core[index] = ModuleSpec(
+                    role=replacement.role,
+                    label=label,
+                    module_type=replacement.module_type,
+                    description=replacement.description,
+                    script=replacement.script,
+                    service_authority=replacement.service_authority,
+                    service_name=replacement.service_name,
+                    service_uri=replacement.service_uri,
+                )
+                distance += 0.1
+
+        # Perturb labels (no functional change, but breaks strict matching).
+        relabeled: list[ModuleSpec] = []
+        for spec in core:
+            if rng.random() < mutation_strength:
+                new_label = perturb_label(spec.label, rng, strength=mutation_strength)
+                if new_label != spec.label:
+                    distance += 0.02
+                spec = ModuleSpec(
+                    role=spec.role,
+                    label=new_label,
+                    module_type=spec.module_type,
+                    description=spec.description,
+                    script=spec.script,
+                    service_authority=spec.service_authority,
+                    service_name=spec.service_name,
+                    service_uri=spec.service_uri,
+                )
+            relabeled.append(spec)
+        core = relabeled
+
+        builder = WorkflowBuilder(workflow_id, source_format="scufl")
+        identifiers: list[str] = []
+        for index, spec in enumerate(core):
+            identifier = f"{workflow_id}:{spec.role}"
+            builder.add_module(
+                identifier,
+                label=spec.label,
+                module_type=spec.module_type,
+                description=spec.description,
+                script=spec.script,
+                service_authority=spec.service_authority,
+                service_name=spec.service_name,
+                service_uri=spec.service_uri,
+            )
+            identifiers.append(identifier)
+        builder.chain(*identifiers)
+
+        # Optional branch between two core modules (structural variation).
+        if len(identifiers) >= 3 and rng.random() < 0.4:
+            source = rng.randrange(len(identifiers) - 2)
+            target = rng.randrange(source + 2, len(identifiers))
+            builder.connect(identifiers[source], identifiers[target])
+
+        # Structural noise: trivial shims and helper scripts, freely varying
+        # between variants of the same family.
+        shim_count = rng.randint(1, 6)
+        for shim_index in range(shim_count):
+            label, shim_type, shim_description = rng.choice(TRIVIAL_OPERATIONS)
+            identifier = f"{workflow_id}:shim{shim_index}"
+            builder.add_module(
+                identifier,
+                label=perturb_label(label, rng, strength=0.3),
+                module_type=shim_type,
+                description=shim_description,
+            )
+            anchor = rng.randrange(len(identifiers))
+            if rng.random() < 0.5 and anchor + 1 < len(identifiers):
+                # Splice the shim between two consecutive core modules.
+                builder.connect(identifiers[anchor], identifier)
+                builder.connect(identifier, identifiers[anchor + 1])
+            elif rng.random() < 0.5:
+                builder.connect(identifier, identifiers[anchor])
+            else:
+                builder.connect(identifiers[anchor], identifier)
+        if rng.random() < 0.4:
+            name, script_type, body = rng.choice(SCRIPT_TEMPLATES)
+            identifier = f"{workflow_id}:helper"
+            builder.add_module(
+                identifier,
+                label=perturb_label(name, rng, strength=0.3),
+                module_type=script_type,
+                script=body,
+                description=f"Helper script: {name.replace('_', ' ').lower()}",
+            )
+            builder.connect(identifiers[-1], identifier)
+
+        # Annotations: same subject and domain wording, but authors reword
+        # titles and descriptions rather freely when adapting a workflow —
+        # and a notable share of repository entries carries poor, generic
+        # descriptions.  This keeps the annotation-based measures good but
+        # imperfect, as observed on myExperiment.
+        title = seed.title
+        description = seed.description
+        if rng.random() < 0.3 + 0.5 * mutation_strength:
+            title = rng.choice(domain.title_templates).format(
+                op=core[0].label.replace("_", " "), subject=seed.subject
+            )
+            distance += 0.02
+        if rng.random() < 0.3 + 0.5 * mutation_strength:
+            description = rng.choice(domain.description_templates).format(subject=seed.subject)
+            distance += 0.02
+        annotation_quality = rng.random()
+        if annotation_quality < 0.1:
+            description = ""
+        elif annotation_quality < 0.28:
+            description = rng.choice(
+                (
+                    f"Workflow for {seed.subject}.",
+                    "Imported workflow, see the original entry for details.",
+                    f"Test version of a {seed.domain.replace('_', ' ')} workflow.",
+                    "Updated copy of an earlier workflow.",
+                )
+            )
+        if rng.random() < 0.12:
+            title = rng.choice(
+                (f"Workflow {workflow_id}", "Untitled workflow", "My workflow", "test")
+            )
+        tags: tuple[str, ...] = ()
+        if not drop_tags:
+            tags = tuple(
+                tag for tag in seed.tags if rng.random() > mutation_strength * 0.3
+            ) or seed.tags[:1]
+            if rng.random() < 0.4:
+                extra = rng.choice(domain.tags)
+                if extra not in tags:
+                    tags = tags + (extra,)
+        builder.annotate(title=title, description=description, tags=tags, author=author)
+
+        workflow = builder.build()
+        info = VariantInfo(
+            workflow_id=workflow_id,
+            family_id=seed.family_id,
+            domain=seed.domain,
+            mutation_distance=min(1.0, distance),
+            core_roles=frozenset(spec.role for spec in core),
+        )
+        return workflow, info

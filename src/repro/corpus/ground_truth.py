@@ -1,0 +1,138 @@
+"""Latent functional similarity of the synthetic corpus.
+
+The paper's gold standard is the human experts' notion of functional
+similarity.  For the synthetic corpus this notion is made explicit: the
+generator records for every workflow which family it was derived from,
+how far it was mutated away from the family seed, and which domain it
+belongs to.  :class:`CorpusGroundTruth` turns that provenance into a
+latent similarity value in ``[0, 1]`` which the simulated experts then
+rate on the paper's Likert scale (with noise, bias and abstentions).
+
+The mapping is deliberately simple and monotone:
+
+* two variants of the same family are the more similar the less both
+  were mutated;
+* workflows of the same domain but different families are "related";
+* workflows of different domains are dissimilar (slightly less so if
+  both are life-science workflows).
+
+A small deterministic per-pair jitter models the fact that human
+similarity judgements are not a clean function of these three factors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from .families import VariantInfo
+from .vocabulary import DOMAINS
+
+__all__ = ["CorpusGroundTruth"]
+
+
+def _pair_jitter(first_id: str, second_id: str) -> float:
+    """Deterministic pseudo-random value in [0, 1) for a workflow pair."""
+    key = "|".join(sorted((first_id, second_id))).encode("utf-8")
+    digest = hashlib.sha256(key).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass
+class CorpusGroundTruth:
+    """Latent pairwise similarity derived from corpus provenance."""
+
+    variants: dict[str, VariantInfo] = field(default_factory=dict)
+
+    #: Thresholds used when converting a latent similarity to a Likert level
+    #: (shared with the simulated experts for consistency).
+    very_similar_threshold: float = 0.78
+    similar_threshold: float = 0.55
+    related_threshold: float = 0.28
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def register(self, info: VariantInfo) -> None:
+        self.variants[info.workflow_id] = info
+
+    def update(self, infos: Mapping[str, VariantInfo]) -> None:
+        self.variants.update(infos)
+
+    def info(self, workflow_id: str) -> VariantInfo:
+        try:
+            return self.variants[workflow_id]
+        except KeyError:
+            raise KeyError(f"no ground-truth record for workflow {workflow_id!r}") from None
+
+    def family_of(self, workflow_id: str) -> str:
+        return self.info(workflow_id).family_id
+
+    def domain_of(self, workflow_id: str) -> str:
+        return self.info(workflow_id).domain
+
+    def family_members(self, family_id: str) -> list[str]:
+        return sorted(
+            workflow_id
+            for workflow_id, info in self.variants.items()
+            if info.family_id == family_id
+        )
+
+    # -- the latent similarity ---------------------------------------------------
+
+    def true_similarity(self, first_id: str, second_id: str) -> float:
+        """Latent functional similarity of two corpus workflows."""
+        if first_id == second_id:
+            return 1.0
+        first = self.info(first_id)
+        second = self.info(second_id)
+        jitter = _pair_jitter(first_id, second_id)
+        if first.family_id == second.family_id:
+            base = 0.93 - 0.45 * (first.mutation_distance + second.mutation_distance)
+            # Workflows that kept more of the family's core functionality in
+            # common are more similar.
+            if first.core_roles and second.core_roles:
+                overlap = len(first.core_roles & second.core_roles) / len(
+                    first.core_roles | second.core_roles
+                )
+                base += 0.05 * (overlap - 0.5)
+            return _clip(base + 0.04 * (jitter - 0.5), 0.5, 0.97)
+        if first.domain == second.domain:
+            return _clip(0.34 + 0.12 * (jitter - 0.5), 0.2, 0.5)
+        first_ls = _is_life_science(first.domain)
+        second_ls = _is_life_science(second.domain)
+        if first_ls and second_ls:
+            return _clip(0.14 + 0.1 * (jitter - 0.5), 0.02, 0.26)
+        return _clip(0.06 + 0.06 * (jitter - 0.5), 0.0, 0.15)
+
+    # -- Likert-style interpretation -------------------------------------------
+
+    def relevance_level(self, first_id: str, second_id: str) -> int:
+        """The latent similarity expressed on the paper's 4-step scale.
+
+        Returns 3 (very similar), 2 (similar), 1 (related) or 0
+        (dissimilar); this is what a perfectly consistent, noise-free
+        expert would answer.
+        """
+        value = self.true_similarity(first_id, second_id)
+        if value >= self.very_similar_threshold:
+            return 3
+        if value >= self.similar_threshold:
+            return 2
+        if value >= self.related_threshold:
+            return 1
+        return 0
+
+
+def _clip(value: float, low: float, high: float) -> float:
+    return max(low, min(high, value))
+
+
+def _is_life_science(domain: str) -> bool:
+    """Whether a domain is a life-science domain.
+
+    Domains unknown to the Taverna vocabulary (e.g. the Galaxy tool
+    domains) are treated as life science, which is what they model.
+    """
+    vocabulary = DOMAINS.get(domain)
+    return True if vocabulary is None else vocabulary.life_science

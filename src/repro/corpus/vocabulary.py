@@ -1,0 +1,524 @@
+"""Domain vocabulary used by the synthetic corpus generators.
+
+The paper evaluates on real workflows from myExperiment (mostly life
+science Taverna workflows) and from the public Galaxy repository.  Those
+corpora cannot be redistributed here, so the generators in this package
+synthesise workflows with the same *measurable* properties: module labels
+drawn from a realistic, heterogeneous vocabulary of bioinformatics
+services and operations, web-service attributes (authority/name/uri),
+scripted shim modules, trivial local operations, and repository
+annotations (titles, descriptions, keyword tags) whose wording correlates
+with the workflow's function.
+
+Everything the similarity measures can observe is generated from the
+domain descriptions below; nothing else about the original corpora is
+assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ServiceOperation",
+    "ServiceCatalog",
+    "DomainVocabulary",
+    "DOMAINS",
+    "LIFE_SCIENCE_DOMAINS",
+    "TRIVIAL_OPERATIONS",
+    "SCRIPT_TEMPLATES",
+    "LABEL_SYNONYMS",
+    "get_domain",
+    "domain_names",
+]
+
+
+@dataclass(frozen=True)
+class ServiceOperation:
+    """One operation offered by a web service (becomes a module)."""
+
+    label: str
+    description: str
+
+
+@dataclass(frozen=True)
+class ServiceCatalog:
+    """A web service with its callable operations."""
+
+    authority: str
+    name: str
+    uri: str
+    service_type: str  # one of the web-service type identifiers
+    operations: tuple[ServiceOperation, ...]
+
+
+@dataclass(frozen=True)
+class DomainVocabulary:
+    """Everything needed to synthesise workflows of one scientific domain."""
+
+    name: str
+    life_science: bool
+    subjects: tuple[str, ...]
+    services: tuple[ServiceCatalog, ...]
+    tags: tuple[str, ...]
+    title_templates: tuple[str, ...]
+    description_templates: tuple[str, ...]
+    keywords: tuple[str, ...] = field(default_factory=tuple)
+
+
+#: Labels (and descriptions) of trivial, predefined local operations — the
+#: "structural noise" the importance projection removes.
+TRIVIAL_OPERATIONS: tuple[tuple[str, str, str], ...] = (
+    ("Split_string_into_list", "localworker", "Splits a string into a list of strings"),
+    ("Merge_string_list", "stringmerge", "Merges a list of strings into a single string"),
+    ("Concatenate_two_strings", "localworker", "Concatenates two strings"),
+    ("Flatten_list", "localworker", "Flattens a nested list"),
+    ("Remove_duplicates", "filter", "Removes duplicate entries from a list"),
+    ("Filter_empty_values", "filter", "Drops empty strings from a list"),
+    ("String_constant", "stringconstant", "A constant string value"),
+    ("Format_specifier", "stringconstant", "Output format constant"),
+    ("Extract_xml_element", "xmlsplitter", "Extracts an element from an XML document"),
+    ("Encode_url", "localworker", "URL-encodes a string"),
+    ("Decode_base64", "localworker", "Decodes a base64 string"),
+    ("Select_first_item", "localworker", "Selects the first item of a list"),
+)
+
+#: Beanshell/Rshell script bodies used for scripted shim and analysis modules.
+SCRIPT_TEMPLATES: tuple[tuple[str, str, str], ...] = (
+    (
+        "Parse_service_response",
+        "beanshell",
+        'String[] lines = response.split("\\n");\nList ids = new ArrayList();\n'
+        'for (String line : lines) { if (line.length() > 0) ids.add(line.trim()); }',
+    ),
+    (
+        "Build_query_string",
+        "beanshell",
+        'String query = prefix + "?id=" + identifier + "&format=" + format;',
+    ),
+    (
+        "Filter_significant_hits",
+        "rshell",
+        "hits <- read.table(input, sep='\\t')\nsignificant <- hits[hits$pvalue < 0.05, ]",
+    ),
+    (
+        "Compute_statistics",
+        "rshell",
+        "values <- as.numeric(unlist(strsplit(input, ',')))\nsummary(values)",
+    ),
+    (
+        "Extract_identifiers",
+        "beanshell",
+        'Pattern p = Pattern.compile("[A-Z]{2}_[0-9]+");\nMatcher m = p.matcher(text);',
+    ),
+    (
+        "Render_report",
+        "beanshell",
+        'StringBuilder html = new StringBuilder("<html><body>");\n'
+        "for (Object row : rows) { html.append(row.toString()); }",
+    ),
+)
+
+#: Synonym groups for module label mutation; workflows of the same family
+#: frequently label functionally identical modules differently.
+LABEL_SYNONYMS: dict[str, tuple[str, ...]] = {
+    "get": ("fetch", "retrieve", "obtain", "download"),
+    "fetch": ("get", "retrieve", "download"),
+    "parse": ("process", "extract", "read"),
+    "run": ("execute", "invoke", "perform"),
+    "build": ("construct", "create", "generate"),
+    "compute": ("calculate", "derive"),
+    "annotate": ("label", "describe"),
+    "align": ("map", "match"),
+    "plot": ("draw", "render", "visualise"),
+    "filter": ("select", "restrict"),
+    "merge": ("combine", "join"),
+    "convert": ("transform", "translate"),
+    "search": ("query", "lookup", "find"),
+}
+
+
+def _domain(
+    name: str,
+    *,
+    life_science: bool,
+    subjects: tuple[str, ...],
+    services: tuple[ServiceCatalog, ...],
+    tags: tuple[str, ...],
+    titles: tuple[str, ...],
+    descriptions: tuple[str, ...],
+    keywords: tuple[str, ...] = (),
+) -> DomainVocabulary:
+    return DomainVocabulary(
+        name=name,
+        life_science=life_science,
+        subjects=subjects,
+        services=services,
+        tags=tags,
+        title_templates=titles,
+        description_templates=descriptions,
+        keywords=keywords,
+    )
+
+
+DOMAINS: dict[str, DomainVocabulary] = {
+    "pathway_analysis": _domain(
+        "pathway_analysis",
+        life_science=True,
+        subjects=("KEGG pathway", "metabolic pathway", "signalling pathway", "Entrez gene id"),
+        services=(
+            ServiceCatalog(
+                authority="KEGG",
+                name="KEGGService",
+                uri="http://soap.genome.jp/KEGG.wsdl",
+                service_type="wsdl",
+                operations=(
+                    ServiceOperation("get_pathway_by_gene", "Retrieves the KEGG pathways for a gene identifier"),
+                    ServiceOperation("get_genes_by_pathway", "Lists the genes contained in a KEGG pathway"),
+                    ServiceOperation("color_pathway_by_objects", "Colours pathway maps by the given objects"),
+                    ServiceOperation("convert_entrez_to_kegg", "Converts Entrez gene ids to KEGG gene ids"),
+                ),
+            ),
+            ServiceCatalog(
+                authority="EBI",
+                name="Reactome",
+                uri="http://www.reactome.org/services/analysis.wsdl",
+                service_type="arbitrarywsdl",
+                operations=(
+                    ServiceOperation("map_identifiers_to_pathways", "Maps identifiers onto Reactome pathways"),
+                    ServiceOperation("get_pathway_participants", "Returns participants of a Reactome pathway"),
+                    ServiceOperation("export_pathway_diagram", "Exports a pathway diagram image"),
+                ),
+            ),
+            ServiceCatalog(
+                authority="NCBI",
+                name="EntrezUtils",
+                uri="http://eutils.ncbi.nlm.nih.gov/entrez/eutils/soap/eutils.wsdl",
+                service_type="soaplabwsdl",
+                operations=(
+                    ServiceOperation("esearch_gene", "Searches Entrez Gene for identifiers"),
+                    ServiceOperation("efetch_gene_summary", "Fetches gene summaries from Entrez"),
+                    ServiceOperation("elink_gene_to_pathway", "Links genes to pathway records"),
+                ),
+            ),
+        ),
+        tags=("kegg", "pathway", "gene", "entrez", "bioinformatics", "annotation"),
+        titles=(
+            "{op} for {subject}",
+            "KEGG pathway analysis of {subject}",
+            "Pathway annotation workflow for {subject}",
+            "Get pathway genes by {subject}",
+        ),
+        descriptions=(
+            "This workflow takes a {subject} and retrieves the corresponding pathways "
+            "from KEGG, extracts the participating genes and returns an annotated gene list.",
+            "Given a {subject}, the workflow queries pathway databases, maps identifiers "
+            "and produces a coloured pathway diagram together with the gene annotations.",
+            "Retrieves pathway information for a {subject}, filters significant entries and "
+            "compiles a report of pathway membership.",
+        ),
+        keywords=("pathway", "gene", "kegg"),
+    ),
+    "sequence_alignment": _domain(
+        "sequence_alignment",
+        life_science=True,
+        subjects=("protein sequence", "nucleotide sequence", "FASTA file", "sequence set"),
+        services=(
+            ServiceCatalog(
+                authority="EBI",
+                name="WSBlast",
+                uri="http://www.ebi.ac.uk/Tools/services/soap/ncbiblast.wsdl",
+                service_type="wsdl",
+                operations=(
+                    ServiceOperation("run_blast_search", "Runs a BLAST similarity search"),
+                    ServiceOperation("get_blast_result", "Retrieves the result of a BLAST job"),
+                    ServiceOperation("check_blast_status", "Polls the status of a BLAST job"),
+                ),
+            ),
+            ServiceCatalog(
+                authority="EBI",
+                name="ClustalW2",
+                uri="http://www.ebi.ac.uk/Tools/services/soap/clustalw2.wsdl",
+                service_type="arbitrarywsdl",
+                operations=(
+                    ServiceOperation("submit_multiple_alignment", "Submits a multiple sequence alignment job"),
+                    ServiceOperation("get_alignment_result", "Retrieves the computed alignment"),
+                    ServiceOperation("build_guide_tree", "Builds the guide tree of an alignment"),
+                ),
+            ),
+            ServiceCatalog(
+                authority="DDBJ",
+                name="DDBJBlast",
+                uri="http://xml.nig.ac.jp/wsdl/Blast.wsdl",
+                service_type="soaplabwsdl",
+                operations=(
+                    ServiceOperation("search_simple", "Simple BLAST search against DDBJ"),
+                    ServiceOperation("extract_best_hits", "Extracts the best hits of a search"),
+                ),
+            ),
+        ),
+        tags=("blast", "alignment", "sequence", "fasta", "protein", "bioinformatics"),
+        titles=(
+            "{op} of {subject}",
+            "BLAST search workflow for {subject}",
+            "Multiple alignment of {subject}",
+            "Sequence similarity search for {subject}",
+        ),
+        descriptions=(
+            "Performs a similarity search for a {subject} against public databases using BLAST, "
+            "collects the hits and aligns the best matches.",
+            "This workflow submits a {subject} to an alignment service, waits for completion and "
+            "parses the resulting alignment for downstream analysis.",
+            "Aligns a {subject} with ClustalW, extracts conserved regions and reports identity scores.",
+        ),
+        keywords=("blast", "alignment", "sequence"),
+    ),
+    "gene_expression": _domain(
+        "gene_expression",
+        life_science=True,
+        subjects=("microarray dataset", "expression matrix", "Affymetrix CEL files", "gene list"),
+        services=(
+            ServiceCatalog(
+                authority="EBI",
+                name="ArrayExpress",
+                uri="http://www.ebi.ac.uk/arrayexpress/xml/v2/experiments.wsdl",
+                service_type="wsdl",
+                operations=(
+                    ServiceOperation("query_experiments", "Queries ArrayExpress for experiments"),
+                    ServiceOperation("download_expression_data", "Downloads expression data files"),
+                ),
+            ),
+            ServiceCatalog(
+                authority="BioConductor",
+                name="ExpressionAnalysis",
+                uri="http://bioconductor.org/services/expression.wsdl",
+                service_type="arbitrarywsdl",
+                operations=(
+                    ServiceOperation("normalise_expression_matrix", "Normalises an expression matrix (RMA)"),
+                    ServiceOperation("detect_differential_expression", "Detects differentially expressed genes"),
+                    ServiceOperation("cluster_expression_profiles", "Clusters expression profiles"),
+                ),
+            ),
+            ServiceCatalog(
+                authority="NCBI",
+                name="GEOQuery",
+                uri="http://www.ncbi.nlm.nih.gov/geo/soap/geo.wsdl",
+                service_type="soaplabwsdl",
+                operations=(
+                    ServiceOperation("fetch_geo_series", "Fetches a GEO series record"),
+                    ServiceOperation("list_geo_platforms", "Lists platforms of a GEO series"),
+                ),
+            ),
+        ),
+        tags=("microarray", "expression", "genes", "statistics", "bioconductor"),
+        titles=(
+            "{op} for {subject}",
+            "Differential expression analysis of {subject}",
+            "Microarray normalisation workflow for {subject}",
+        ),
+        descriptions=(
+            "Normalises a {subject}, detects differentially expressed genes and annotates the "
+            "significant probes with gene symbols.",
+            "This workflow downloads a {subject} from a public archive, applies quality control and "
+            "statistical testing, and produces a ranked gene list.",
+        ),
+        keywords=("expression", "microarray", "genes"),
+    ),
+    "proteomics": _domain(
+        "proteomics",
+        life_science=True,
+        subjects=("mass spectrum", "peptide list", "protein identification", "UniProt entry"),
+        services=(
+            ServiceCatalog(
+                authority="EBI",
+                name="UniProtRetrieval",
+                uri="http://www.uniprot.org/services/uniprot.wsdl",
+                service_type="wsdl",
+                operations=(
+                    ServiceOperation("fetch_uniprot_entry", "Fetches a UniProt entry by accession"),
+                    ServiceOperation("map_accession_numbers", "Maps accession numbers between databases"),
+                    ServiceOperation("get_protein_features", "Retrieves sequence features of a protein"),
+                ),
+            ),
+            ServiceCatalog(
+                authority="Mascot",
+                name="MascotSearch",
+                uri="http://www.matrixscience.com/mascot/search.wsdl",
+                service_type="arbitrarywsdl",
+                operations=(
+                    ServiceOperation("submit_peptide_search", "Submits a peptide mass fingerprint search"),
+                    ServiceOperation("parse_search_report", "Parses a Mascot search report"),
+                ),
+            ),
+        ),
+        tags=("proteomics", "protein", "uniprot", "mass-spectrometry"),
+        titles=(
+            "{op} of {subject}",
+            "Protein identification workflow for {subject}",
+            "Proteomics annotation pipeline for {subject}",
+        ),
+        descriptions=(
+            "Identifies proteins from a {subject} using a search engine, maps the hits to UniProt and "
+            "annotates them with functional features.",
+            "This workflow processes a {subject}, performs a database search and compiles an annotated "
+            "protein report.",
+        ),
+        keywords=("protein", "proteomics", "uniprot"),
+    ),
+    "phylogenetics": _domain(
+        "phylogenetics",
+        life_science=True,
+        subjects=("sequence alignment", "gene family", "16S rRNA set", "orthologue group"),
+        services=(
+            ServiceCatalog(
+                authority="EBI",
+                name="PhylogenyService",
+                uri="http://www.ebi.ac.uk/Tools/services/soap/phylogeny.wsdl",
+                service_type="wsdl",
+                operations=(
+                    ServiceOperation("build_phylogenetic_tree", "Builds a phylogenetic tree from an alignment"),
+                    ServiceOperation("bootstrap_tree", "Computes bootstrap support values"),
+                    ServiceOperation("root_tree_by_outgroup", "Roots a tree using an outgroup"),
+                ),
+            ),
+            ServiceCatalog(
+                authority="CIPRES",
+                name="TreeBuilder",
+                uri="http://www.phylo.org/cipres/treebuilder.wsdl",
+                service_type="arbitrarywsdl",
+                operations=(
+                    ServiceOperation("run_raxml_analysis", "Runs a RAxML maximum likelihood analysis"),
+                    ServiceOperation("convert_tree_format", "Converts between tree file formats"),
+                ),
+            ),
+        ),
+        tags=("phylogenetics", "tree", "evolution", "alignment"),
+        titles=(
+            "{op} for {subject}",
+            "Phylogenetic tree construction from {subject}",
+            "Evolutionary analysis of {subject}",
+        ),
+        descriptions=(
+            "Builds a phylogenetic tree from a {subject}, computes bootstrap support and renders the "
+            "resulting tree.",
+            "This workflow aligns the sequences of a {subject}, infers a maximum likelihood tree and "
+            "annotates the clades.",
+        ),
+        keywords=("tree", "phylogeny", "evolution"),
+    ),
+    "text_mining": _domain(
+        "text_mining",
+        life_science=True,
+        subjects=("PubMed query", "abstract collection", "gene mention corpus", "MeSH term"),
+        services=(
+            ServiceCatalog(
+                authority="NCBI",
+                name="PubMedSearch",
+                uri="http://eutils.ncbi.nlm.nih.gov/entrez/eutils/soap/pubmed.wsdl",
+                service_type="wsdl",
+                operations=(
+                    ServiceOperation("search_pubmed", "Searches PubMed for a query"),
+                    ServiceOperation("fetch_abstracts", "Fetches abstracts for PubMed identifiers"),
+                ),
+            ),
+            ServiceCatalog(
+                authority="EBI",
+                name="Whatizit",
+                uri="http://www.ebi.ac.uk/webservices/whatizit/ws.wsdl",
+                service_type="arbitrarywsdl",
+                operations=(
+                    ServiceOperation("annotate_gene_mentions", "Annotates gene mentions in text"),
+                    ServiceOperation("extract_disease_terms", "Extracts disease terms from abstracts"),
+                ),
+            ),
+        ),
+        tags=("text-mining", "pubmed", "literature", "annotation"),
+        titles=(
+            "{op} for {subject}",
+            "Literature mining workflow for {subject}",
+            "PubMed annotation pipeline for {subject}",
+        ),
+        descriptions=(
+            "Searches the literature for a {subject}, downloads matching abstracts and annotates "
+            "biomedical entities in the text.",
+            "This workflow queries PubMed with a {subject}, extracts entity mentions and summarises "
+            "the co-occurrence statistics.",
+        ),
+        keywords=("literature", "pubmed", "mining"),
+    ),
+    "astronomy": _domain(
+        "astronomy",
+        life_science=False,
+        subjects=("sky survey region", "light curve", "FITS image set", "stellar catalogue"),
+        services=(
+            ServiceCatalog(
+                authority="IVOA",
+                name="ConeSearch",
+                uri="http://vo.astro.org/services/conesearch.wsdl",
+                service_type="wsdl",
+                operations=(
+                    ServiceOperation("query_cone_search", "Queries a cone search service"),
+                    ServiceOperation("crossmatch_catalogues", "Cross-matches two source catalogues"),
+                    ServiceOperation("fetch_fits_cutout", "Fetches a FITS image cutout"),
+                ),
+            ),
+        ),
+        tags=("astronomy", "catalogue", "fits", "survey"),
+        titles=(
+            "{op} of {subject}",
+            "Catalogue cross-match workflow for {subject}",
+        ),
+        descriptions=(
+            "Queries astronomical archives for a {subject}, cross-matches the sources and produces a "
+            "merged catalogue.",
+        ),
+        keywords=("astronomy", "catalogue"),
+    ),
+    "earth_science": _domain(
+        "earth_science",
+        life_science=False,
+        subjects=("climate model output", "satellite scene", "river gauge series", "weather station data"),
+        services=(
+            ServiceCatalog(
+                authority="ESA",
+                name="EarthObservation",
+                uri="http://services.esa.int/eo/processing.wsdl",
+                service_type="wsdl",
+                operations=(
+                    ServiceOperation("reproject_raster", "Reprojects a raster dataset"),
+                    ServiceOperation("compute_vegetation_index", "Computes the NDVI of a scene"),
+                    ServiceOperation("aggregate_time_series", "Aggregates a measurement time series"),
+                ),
+            ),
+        ),
+        tags=("earth-science", "climate", "remote-sensing"),
+        titles=(
+            "{op} for {subject}",
+            "Earth observation processing of {subject}",
+        ),
+        descriptions=(
+            "Processes a {subject}: reprojection, index computation and aggregation into a summary "
+            "product.",
+        ),
+        keywords=("climate", "observation"),
+    ),
+}
+
+LIFE_SCIENCE_DOMAINS: tuple[str, ...] = tuple(
+    name for name, domain in DOMAINS.items() if domain.life_science
+)
+
+
+def get_domain(name: str) -> DomainVocabulary:
+    """Return the vocabulary of one domain."""
+    try:
+        return DOMAINS[name]
+    except KeyError:
+        raise KeyError(f"unknown domain {name!r}; available: {sorted(DOMAINS)}") from None
+
+
+def domain_names(*, life_science_only: bool = False) -> list[str]:
+    """Names of all (or only the life-science) domains."""
+    if life_science_only:
+        return list(LIFE_SCIENCE_DOMAINS)
+    return list(DOMAINS)

@@ -1,0 +1,46 @@
+"""Evaluation metrics and experiment harnesses (ranking, retrieval, agreement)."""
+
+from .interrater import ExpertAgreement, inter_annotator_agreement
+from .metrics import (
+    RELEVANCE_THRESHOLDS,
+    average_precision,
+    correctness_and_completeness,
+    mean_and_std,
+    precision_at_k,
+    precision_curve,
+    ranking_completeness,
+    ranking_correctness,
+)
+from .ranking import RankingEvaluation, RankingQuality
+from .report import (
+    format_agreement_table,
+    format_precision_table,
+    format_ranking_table,
+    format_simple_table,
+)
+from .retrieval import PrecisionCurves, RetrievalEvaluation, RetrievalQuality
+from .significance import PairedTTestResult, paired_t_test
+
+__all__ = [
+    "ExpertAgreement",
+    "inter_annotator_agreement",
+    "RELEVANCE_THRESHOLDS",
+    "average_precision",
+    "correctness_and_completeness",
+    "mean_and_std",
+    "precision_at_k",
+    "precision_curve",
+    "ranking_completeness",
+    "ranking_correctness",
+    "RankingEvaluation",
+    "RankingQuality",
+    "format_agreement_table",
+    "format_precision_table",
+    "format_ranking_table",
+    "format_simple_table",
+    "PrecisionCurves",
+    "RetrievalEvaluation",
+    "RetrievalQuality",
+    "PairedTTestResult",
+    "paired_t_test",
+]

@@ -1,0 +1,52 @@
+"""Inter-annotator agreement (Figure 4 of the paper).
+
+Figure 4 compares every single expert's rankings against the BioConsert
+consensus using the same ranking correctness and completeness measures
+used for the algorithms.  This module computes those per-expert values
+from a :class:`~repro.goldstandard.study.RankingExperimentData`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..goldstandard.study import RankingExperimentData
+from .metrics import correctness_and_completeness, mean_and_std
+
+__all__ = ["ExpertAgreement", "inter_annotator_agreement"]
+
+
+@dataclass
+class ExpertAgreement:
+    """Agreement of one expert with the consensus rankings."""
+
+    expert_id: str
+    per_query_correctness: dict[str, float] = field(default_factory=dict)
+    per_query_completeness: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mean_correctness(self) -> float:
+        return mean_and_std(self.per_query_correctness.values())[0]
+
+    @property
+    def std_correctness(self) -> float:
+        return mean_and_std(self.per_query_correctness.values())[1]
+
+    @property
+    def mean_completeness(self) -> float:
+        return mean_and_std(self.per_query_completeness.values())[0]
+
+
+def inter_annotator_agreement(data: RankingExperimentData) -> dict[str, ExpertAgreement]:
+    """Per-expert ranking correctness/completeness against the consensus."""
+    experts = sorted(
+        {expert_id for rankings in data.expert_rankings.values() for expert_id in rankings}
+    )
+    agreements = {expert_id: ExpertAgreement(expert_id=expert_id) for expert_id in experts}
+    for query_id, consensus in data.consensus.items():
+        for expert_id, ranking in data.expert_rankings.get(query_id, {}).items():
+            correctness, completeness = correctness_and_completeness(consensus, ranking)
+            agreement = agreements[expert_id]
+            agreement.per_query_correctness[query_id] = correctness
+            agreement.per_query_completeness[query_id] = completeness
+    return agreements

@@ -1,0 +1,154 @@
+"""Evaluation metrics (Section 4.3 of the paper).
+
+* **Ranking correctness** compares the order of each pair of elements in
+  an algorithmic ranking against the expert consensus ranking; pairs
+  tied in either ranking do not count::
+
+      correctness = (#concordant - #discordant) / (#concordant + #discordant)
+
+* **Ranking completeness** penalises ties introduced by the algorithm
+  where the experts distinguish the elements::
+
+      completeness = (#concordant + #discordant) / #pairs ranked by experts
+
+* **Precision at k** evaluates retrieval: the fraction of the top-k
+  results whose (median) expert rating reaches a relevance threshold
+  (*related*, *similar* or *very similar*).
+"""
+
+from __future__ import annotations
+
+from statistics import mean, pstdev
+from typing import Iterable, Mapping, Sequence
+
+from ..goldstandard.rankings import Ranking, pair_order_counts
+from ..goldstandard.ratings import LikertRating
+
+__all__ = [
+    "ranking_correctness",
+    "ranking_completeness",
+    "correctness_and_completeness",
+    "precision_at_k",
+    "precision_curve",
+    "average_precision",
+    "mean_and_std",
+    "RELEVANCE_THRESHOLDS",
+]
+
+#: The three relevance thresholds the paper uses for retrieval evaluation.
+RELEVANCE_THRESHOLDS: dict[str, LikertRating] = {
+    "related": LikertRating.RELATED,
+    "similar": LikertRating.SIMILAR,
+    "very_similar": LikertRating.VERY_SIMILAR,
+}
+
+
+def ranking_correctness(reference: Ranking, predicted: Ranking) -> float:
+    """Ranking correctness of ``predicted`` against the expert ``reference``.
+
+    Ranges from -1 (perfectly anti-correlated) over 0 (uncorrelated) to 1
+    (perfectly correlated); returns 0.0 when no pair is comparable.
+    """
+    counts = pair_order_counts(reference, predicted)
+    if counts.compared == 0:
+        return 0.0
+    return (counts.concordant - counts.discordant) / counts.compared
+
+
+def ranking_completeness(reference: Ranking, predicted: Ranking) -> float:
+    """Fraction of expert-ordered pairs that the algorithm also orders."""
+    counts = pair_order_counts(reference, predicted)
+    expert_ordered = counts.concordant + counts.discordant + counts.tied_in_other_only
+    if expert_ordered == 0:
+        return 1.0
+    return (counts.concordant + counts.discordant) / expert_ordered
+
+
+def correctness_and_completeness(reference: Ranking, predicted: Ranking) -> tuple[float, float]:
+    """Both ranking metrics computed from a single pair-order pass."""
+    counts = pair_order_counts(reference, predicted)
+    if counts.compared == 0:
+        correctness = 0.0
+    else:
+        correctness = (counts.concordant - counts.discordant) / counts.compared
+    expert_ordered = counts.concordant + counts.discordant + counts.tied_in_other_only
+    completeness = 1.0 if expert_ordered == 0 else counts.compared / expert_ordered
+    return correctness, completeness
+
+
+def _relevance_flags(
+    result_ids: Sequence[str],
+    ratings: Mapping[str, LikertRating],
+    threshold: LikertRating,
+) -> list[int]:
+    flags = []
+    for workflow_id in result_ids:
+        rating = ratings.get(workflow_id)
+        relevant = rating is not None and rating.is_judgement and rating >= threshold
+        flags.append(1 if relevant else 0)
+    return flags
+
+
+def precision_at_k(
+    result_ids: Sequence[str],
+    ratings: Mapping[str, LikertRating],
+    k: int,
+    *,
+    threshold: LikertRating = LikertRating.SIMILAR,
+) -> float:
+    """Precision at rank ``k`` of a retrieval result list.
+
+    Results without a rating are counted as not relevant (a conservative
+    choice; the study rates every returned workflow, so this only matters
+    for measures evaluated post hoc).
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    flags = _relevance_flags(result_ids[:k], ratings, threshold)
+    if not flags:
+        return 0.0
+    return sum(flags) / k
+
+
+def precision_curve(
+    result_ids: Sequence[str],
+    ratings: Mapping[str, LikertRating],
+    *,
+    max_k: int = 10,
+    threshold: LikertRating = LikertRating.SIMILAR,
+) -> list[float]:
+    """Precision at every rank position ``1..max_k`` (the curves of Fig. 10/11)."""
+    return [
+        precision_at_k(result_ids, ratings, k, threshold=threshold)
+        for k in range(1, max_k + 1)
+    ]
+
+
+def average_precision(
+    result_ids: Sequence[str],
+    ratings: Mapping[str, LikertRating],
+    *,
+    threshold: LikertRating = LikertRating.SIMILAR,
+) -> float:
+    """Average precision of a result list (an additional summary metric)."""
+    flags = _relevance_flags(result_ids, ratings, threshold)
+    relevant_total = sum(flags)
+    if relevant_total == 0:
+        return 0.0
+    hits = 0
+    precision_sum = 0.0
+    for index, flag in enumerate(flags, start=1):
+        if flag:
+            hits += 1
+            precision_sum += hits / index
+    return precision_sum / relevant_total
+
+
+def mean_and_std(values: Iterable[float]) -> tuple[float, float]:
+    """Mean and population standard deviation, (0, 0) for empty input."""
+    values = list(values)
+    if not values:
+        return 0.0, 0.0
+    if len(values) == 1:
+        return values[0], 0.0
+    return mean(values), pstdev(values)

@@ -1,0 +1,143 @@
+"""Experiment 1 harness: algorithmic ranking against the expert consensus.
+
+For every query workflow of the ranking experiment, a similarity
+algorithm ranks the query's 10 candidate workflows; the ranking is
+compared to the BioConsert consensus of the expert rankings with the
+correctness and completeness metrics.  The paper's Figures 5-9 and 12
+are all means (and standard deviations) of these per-query values across
+different algorithm configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.base import WorkflowSimilarityMeasure
+from ..core.framework import SimilarityFramework
+from ..goldstandard.rankings import Ranking
+from ..goldstandard.study import RankingExperimentData
+from ..repository.repository import WorkflowRepository
+from .metrics import correctness_and_completeness, mean_and_std
+from .significance import PairedTTestResult, paired_t_test
+
+__all__ = ["RankingQuality", "RankingEvaluation"]
+
+
+@dataclass
+class RankingQuality:
+    """Per-measure summary of ranking performance."""
+
+    measure: str
+    per_query_correctness: dict[str, float] = field(default_factory=dict)
+    per_query_completeness: dict[str, float] = field(default_factory=dict)
+    skipped_queries: list[str] = field(default_factory=list)
+
+    @property
+    def mean_correctness(self) -> float:
+        return mean_and_std(self.per_query_correctness.values())[0]
+
+    @property
+    def std_correctness(self) -> float:
+        return mean_and_std(self.per_query_correctness.values())[1]
+
+    @property
+    def mean_completeness(self) -> float:
+        return mean_and_std(self.per_query_completeness.values())[0]
+
+    @property
+    def evaluated_queries(self) -> int:
+        return len(self.per_query_correctness)
+
+    def paired_values(self, other: "RankingQuality") -> tuple[list[float], list[float]]:
+        """Correctness values of both measures over the shared queries."""
+        shared = sorted(
+            set(self.per_query_correctness) & set(other.per_query_correctness)
+        )
+        return (
+            [self.per_query_correctness[query] for query in shared],
+            [other.per_query_correctness[query] for query in shared],
+        )
+
+
+class RankingEvaluation:
+    """Evaluates similarity measures on the ranking experiment's gold standard."""
+
+    def __init__(
+        self,
+        repository: WorkflowRepository,
+        data: RankingExperimentData,
+        *,
+        framework: SimilarityFramework | None = None,
+    ) -> None:
+        self.repository = repository
+        self.data = data
+        self.framework = framework or SimilarityFramework()
+
+    # -- single measure ----------------------------------------------------
+
+    def algorithm_ranking(
+        self, measure: WorkflowSimilarityMeasure, query_id: str
+    ) -> Ranking:
+        """The measure's ranking of the query's candidate workflows."""
+        query = self.repository.get(query_id)
+        scores = {
+            candidate_id: measure.similarity(query, self.repository.get(candidate_id))
+            for candidate_id in self.data.candidates[query_id]
+        }
+        return Ranking.from_scores(scores)
+
+    def evaluate_measure(self, measure: str | WorkflowSimilarityMeasure) -> RankingQuality:
+        """Correctness/completeness of one measure over all queries.
+
+        Queries the measure is not applicable to (e.g. Bag of Tags for an
+        untagged query workflow) are skipped, exactly as in the paper.
+        """
+        instance = self.framework.measure(measure)
+        quality = RankingQuality(measure=instance.name)
+        for query_id in self.data.query_ids:
+            query = self.repository.get(query_id)
+            if not instance.is_applicable_to(query):
+                quality.skipped_queries.append(query_id)
+                continue
+            predicted = self.algorithm_ranking(instance, query_id)
+            reference = self.data.consensus[query_id]
+            correctness, completeness = correctness_and_completeness(reference, predicted)
+            quality.per_query_correctness[query_id] = correctness
+            quality.per_query_completeness[query_id] = completeness
+        return quality
+
+    # -- measure sets ---------------------------------------------------------
+
+    def evaluate_measures(
+        self, measures: Sequence[str | WorkflowSimilarityMeasure]
+    ) -> dict[str, RankingQuality]:
+        """Evaluate several measures; keyed by measure name."""
+        results: dict[str, RankingQuality] = {}
+        for measure in measures:
+            quality = self.evaluate_measure(measure)
+            results[quality.measure] = quality
+        return results
+
+    def best_configuration(
+        self, candidates: Sequence[str | WorkflowSimilarityMeasure]
+    ) -> tuple[str, RankingQuality]:
+        """The candidate with the highest mean ranking correctness."""
+        results = self.evaluate_measures(candidates)
+        best_name = max(results, key=lambda name: results[name].mean_correctness)
+        return best_name, results[best_name]
+
+    # -- significance -----------------------------------------------------------
+
+    def compare(
+        self,
+        first: RankingQuality | str | WorkflowSimilarityMeasure,
+        second: RankingQuality | str | WorkflowSimilarityMeasure,
+    ) -> PairedTTestResult:
+        """Paired t-test of two measures' per-query correctness values."""
+        first_quality = first if isinstance(first, RankingQuality) else self.evaluate_measure(first)
+        second_quality = (
+            second if isinstance(second, RankingQuality) else self.evaluate_measure(second)
+        )
+        values_first, values_second = first_quality.paired_values(second_quality)
+        return paired_t_test(values_first, values_second)

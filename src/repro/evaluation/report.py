@@ -1,0 +1,101 @@
+"""Plain-text result tables for the experiment harnesses.
+
+The benchmarks regenerate the paper's figures as text tables; the
+helpers here keep the formatting in one place so every benchmark prints
+the same layout (measure name, mean, standard deviation, completeness,
+or precision-at-k series).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from .interrater import ExpertAgreement
+from .ranking import RankingQuality
+from .retrieval import PrecisionCurves
+
+__all__ = [
+    "format_ranking_table",
+    "format_precision_table",
+    "format_agreement_table",
+    "format_simple_table",
+]
+
+
+def format_simple_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], *, title: str = ""
+) -> str:
+    """Render a fixed-width text table."""
+    columns = len(headers)
+    rendered_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered_rows)) if rendered_rows else len(headers[i])
+        for i in range(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(columns)))
+    for row in rendered_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(columns)))
+    return "\n".join(lines)
+
+
+def format_ranking_table(
+    results: Mapping[str, RankingQuality], *, title: str = "Ranking correctness"
+) -> str:
+    """Table of mean correctness / stddev / completeness per measure."""
+    rows = [
+        (
+            name,
+            f"{quality.mean_correctness:.3f}",
+            f"{quality.std_correctness:.3f}",
+            f"{quality.mean_completeness:.3f}",
+            quality.evaluated_queries,
+            len(quality.skipped_queries),
+        )
+        for name, quality in results.items()
+    ]
+    rows.sort(key=lambda row: -float(row[1]))
+    return format_simple_table(
+        ("measure", "correctness", "stddev", "completeness", "queries", "skipped"),
+        rows,
+        title=title,
+    )
+
+
+def format_precision_table(
+    results: Mapping[str, PrecisionCurves],
+    *,
+    threshold: str = "similar",
+    ranks: Sequence[int] = (1, 3, 5, 10),
+    title: str | None = None,
+) -> str:
+    """Table of precision at selected ranks for one relevance threshold."""
+    headers = ["measure"] + [f"P@{k}" for k in ranks]
+    rows = []
+    for name, curves in results.items():
+        rows.append([name] + [f"{curves.at(threshold, k):.3f}" for k in ranks])
+    rows.sort(key=lambda row: -float(row[-1]))
+    return format_simple_table(
+        headers, rows, title=title or f"Retrieval precision (threshold: {threshold})"
+    )
+
+
+def format_agreement_table(
+    agreements: Mapping[str, ExpertAgreement], *, title: str = "Inter-annotator agreement"
+) -> str:
+    """Table of per-expert agreement with the consensus (Figure 4)."""
+    rows = [
+        (
+            expert_id,
+            f"{agreement.mean_correctness:.3f}",
+            f"{agreement.std_correctness:.3f}",
+            f"{agreement.mean_completeness:.3f}",
+        )
+        for expert_id, agreement in sorted(agreements.items())
+    ]
+    return format_simple_table(
+        ("expert", "correctness", "stddev", "completeness"), rows, title=title
+    )

@@ -1,0 +1,120 @@
+"""Experiment 2 harness: retrieval precision over the whole repository.
+
+Each evaluated algorithm retrieves the top-10 most similar workflows for
+every retrieval query from the complete repository; precision at k
+(1 ≤ k ≤ 10) against the median expert relevance judgements is computed
+for the three relevance thresholds *related*, *similar* and *very
+similar*.  Figures 10 and 11 of the paper are means of these curves over
+the retrieval queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.base import WorkflowSimilarityMeasure
+from ..goldstandard.ratings import LikertRating
+from ..goldstandard.study import GoldStandardStudy, RetrievalExperimentData
+from ..repository.search import SimilaritySearchEngine
+from .metrics import RELEVANCE_THRESHOLDS, mean_and_std, precision_curve
+
+__all__ = ["PrecisionCurves", "RetrievalQuality", "RetrievalEvaluation"]
+
+
+@dataclass
+class PrecisionCurves:
+    """Mean precision-at-k curves of one measure at the three thresholds."""
+
+    measure: str
+    max_k: int
+    curves: dict[str, list[float]] = field(default_factory=dict)
+    std: dict[str, list[float]] = field(default_factory=dict)
+
+    def at(self, threshold: str, k: int) -> float:
+        """Mean precision at rank ``k`` for a named threshold."""
+        return self.curves[threshold][k - 1]
+
+
+@dataclass
+class RetrievalQuality:
+    """Per-query precision curves of one measure."""
+
+    measure: str
+    max_k: int
+    per_query: dict[str, dict[str, list[float]]] = field(default_factory=dict)
+
+    def mean_curves(self) -> PrecisionCurves:
+        summary = PrecisionCurves(measure=self.measure, max_k=self.max_k)
+        for threshold in RELEVANCE_THRESHOLDS:
+            per_rank_means: list[float] = []
+            per_rank_std: list[float] = []
+            for rank_index in range(self.max_k):
+                values = [
+                    curves[threshold][rank_index] for curves in self.per_query.values()
+                ]
+                mean_value, std_value = mean_and_std(values)
+                per_rank_means.append(mean_value)
+                per_rank_std.append(std_value)
+            summary.curves[threshold] = per_rank_means
+            summary.std[threshold] = per_rank_std
+        return summary
+
+
+class RetrievalEvaluation:
+    """Evaluates retrieval precision of similarity measures."""
+
+    def __init__(
+        self,
+        engine: SimilaritySearchEngine,
+        data: RetrievalExperimentData,
+        *,
+        study: GoldStandardStudy | None = None,
+        max_k: int = 10,
+    ) -> None:
+        self.engine = engine
+        self.data = data
+        #: When given, the study is asked to rate result workflows that were
+        #: not part of the original merged candidate lists (the paper's
+        #: "experts were asked to complete the ratings").
+        self.study = study
+        self.max_k = max_k
+
+    def evaluate_measure(self, measure: str | WorkflowSimilarityMeasure) -> RetrievalQuality:
+        """Precision curves of one measure over all retrieval queries."""
+        instance = self.engine.framework.measure(measure)
+        quality = RetrievalQuality(measure=instance.name, max_k=self.max_k)
+        for query_id in self.data.query_ids:
+            query = self.engine.repository.get(query_id)
+            if not instance.is_applicable_to(query):
+                continue
+            results = self.engine.search(query_id, instance, k=self.max_k)
+            result_ids = results.identifiers()
+            if self.study is not None:
+                self.study.extend_relevance(self.data, query_id, result_ids)
+            ratings = self.data.relevance.get(query_id, {})
+            quality.per_query[query_id] = {
+                name: precision_curve(
+                    result_ids, ratings, max_k=self.max_k, threshold=threshold
+                )
+                for name, threshold in RELEVANCE_THRESHOLDS.items()
+            }
+        return quality
+
+    def evaluate_measures(
+        self, measures: Sequence[str | WorkflowSimilarityMeasure]
+    ) -> dict[str, PrecisionCurves]:
+        """Mean precision curves for several measures, keyed by name."""
+        summaries: dict[str, PrecisionCurves] = {}
+        for measure in measures:
+            quality = self.evaluate_measure(measure)
+            summaries[quality.measure] = quality.mean_curves()
+        return summaries
+
+    def relevance_distribution(self) -> dict[LikertRating, int]:
+        """Histogram of the median relevance judgements (a sanity check)."""
+        histogram: dict[LikertRating, int] = {}
+        for candidates in self.data.relevance.values():
+            for rating in candidates.values():
+                histogram[rating] = histogram.get(rating, 0) + 1
+        return histogram

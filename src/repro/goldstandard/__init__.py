@@ -1,0 +1,25 @@
+"""Gold-standard machinery: Likert ratings, simulated experts, consensus rankings."""
+
+from .consensus import bioconsert_consensus, kendall_tau_with_ties, total_distance
+from .experts import ExpertPanel, SimulatedExpert
+from .rankings import PairOrder, Ranking, pair_order_counts
+from .ratings import LikertRating, RatingCorpus, SimilarityRating, median_rating
+from .study import GoldStandardStudy, RankingExperimentData, RetrievalExperimentData
+
+__all__ = [
+    "bioconsert_consensus",
+    "kendall_tau_with_ties",
+    "total_distance",
+    "ExpertPanel",
+    "SimulatedExpert",
+    "PairOrder",
+    "Ranking",
+    "pair_order_counts",
+    "LikertRating",
+    "RatingCorpus",
+    "SimilarityRating",
+    "median_rating",
+    "GoldStandardStudy",
+    "RankingExperimentData",
+    "RetrievalExperimentData",
+]

@@ -1,0 +1,169 @@
+"""BioConsert-style consensus ranking (median ranking with ties).
+
+The paper aggregates the individual experts' rankings of each query's
+candidate workflows into a consensus ranking using the BioConsert
+algorithm (Cohen-Boulakia, Denise, Hamel; SSDBM 2011), "extended to allow
+incomplete rankings with unsure ratings".  BioConsert is a local-search
+median-ranking heuristic:
+
+1. the distance between two rankings with ties is a generalised
+   Kendall-tau distance: a pair ordered oppositely in the two rankings
+   costs 1, a pair tied in exactly one of them costs a tie penalty
+   (0.5 here);
+2. starting from each input ranking in turn (completed with the missing
+   items), elements are repeatedly moved into other buckets or into new
+   buckets of their own as long as the summed distance to all input
+   rankings decreases;
+3. the best ranking over all starting points is returned.
+
+Incomplete input rankings are handled by evaluating the distance only
+over the pairs the input ranking actually orders.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .rankings import Ranking
+
+__all__ = ["kendall_tau_with_ties", "total_distance", "bioconsert_consensus"]
+
+#: Cost of a pair tied in one ranking but ordered in the other.
+TIE_PENALTY = 0.5
+
+
+def kendall_tau_with_ties(
+    first: Ranking, second: Ranking, *, tie_penalty: float = TIE_PENALTY
+) -> float:
+    """Generalised Kendall-tau distance between two rankings with ties.
+
+    Only pairs ranked by both rankings contribute (support for
+    incomplete rankings).
+    """
+    common = sorted(first.item_set() & second.item_set())
+    distance = 0.0
+    for index, item_a in enumerate(common):
+        for item_b in common[index + 1:]:
+            order_first = first.order(item_a, item_b)
+            order_second = second.order(item_a, item_b)
+            if order_first is None or order_second is None:  # pragma: no cover
+                continue
+            if order_first == order_second:
+                continue
+            if order_first == 0 or order_second == 0:
+                distance += tie_penalty
+            else:
+                distance += 1.0
+    return distance
+
+
+def total_distance(
+    candidate: Ranking, rankings: Sequence[Ranking], *, tie_penalty: float = TIE_PENALTY
+) -> float:
+    """Summed distance of a candidate consensus to all input rankings."""
+    return sum(
+        kendall_tau_with_ties(candidate, ranking, tie_penalty=tie_penalty)
+        for ranking in rankings
+    )
+
+
+def _complete_ranking(ranking: Ranking, universe: Sequence[str]) -> list[list[str]]:
+    """Buckets of ``ranking`` plus a trailing bucket of unranked items."""
+    buckets = [list(bucket) for bucket in ranking.buckets]
+    missing = [item for item in universe if not ranking.contains(item)]
+    if missing:
+        buckets.append(sorted(missing))
+    return buckets
+
+
+def _local_search(
+    buckets: list[list[str]],
+    rankings: Sequence[Ranking],
+    *,
+    tie_penalty: float,
+    max_rounds: int,
+) -> tuple[Ranking, float]:
+    """BioConsert's element-move local search from one starting point."""
+    current = Ranking(buckets)
+    current_cost = total_distance(current, rankings, tie_penalty=tie_penalty)
+    items = current.items()
+    for _ in range(max_rounds):
+        improved = False
+        for item in items:
+            working = [
+                [other for other in bucket if other != item] for bucket in current.buckets
+            ]
+            working = [bucket for bucket in working if bucket]
+            best_cost = current_cost
+            best_buckets: list[list[str]] | None = None
+            # Try putting the item into every existing bucket ("change") and
+            # into a new singleton bucket at every position ("add").
+            for position in range(len(working)):
+                candidate_buckets = [list(bucket) for bucket in working]
+                candidate_buckets[position].append(item)
+                candidate = Ranking(candidate_buckets)
+                cost = total_distance(candidate, rankings, tie_penalty=tie_penalty)
+                if cost < best_cost - 1e-12:
+                    best_cost = cost
+                    best_buckets = candidate_buckets
+            for position in range(len(working) + 1):
+                candidate_buckets = [list(bucket) for bucket in working]
+                candidate_buckets.insert(position, [item])
+                candidate = Ranking(candidate_buckets)
+                cost = total_distance(candidate, rankings, tie_penalty=tie_penalty)
+                if cost < best_cost - 1e-12:
+                    best_cost = cost
+                    best_buckets = candidate_buckets
+            if best_buckets is not None:
+                current = Ranking(best_buckets)
+                current_cost = best_cost
+                improved = True
+        if not improved:
+            break
+    return current, current_cost
+
+
+def bioconsert_consensus(
+    rankings: Sequence[Ranking],
+    *,
+    universe: Iterable[str] | None = None,
+    tie_penalty: float = TIE_PENALTY,
+    max_rounds: int = 20,
+) -> Ranking:
+    """Compute a consensus ranking of several (possibly incomplete) rankings.
+
+    Parameters
+    ----------
+    rankings:
+        The input rankings (e.g. one per expert).
+    universe:
+        The complete set of items to rank; defaults to the union of the
+        items of all input rankings.  Items never ranked by anyone end up
+        in a trailing bucket of every starting point.
+    tie_penalty:
+        Cost of a pair tied in one ranking but ordered in the other.
+    max_rounds:
+        Upper bound on local-search sweeps per starting point.
+    """
+    rankings = [ranking for ranking in rankings if len(ranking) > 0]
+    if not rankings:
+        return Ranking(())
+    if universe is None:
+        universe_items: list[str] = sorted(
+            {item for ranking in rankings for item in ranking.items()}
+        )
+    else:
+        universe_items = sorted(set(universe))
+
+    best_ranking: Ranking | None = None
+    best_cost = float("inf")
+    for start in rankings:
+        starting_buckets = _complete_ranking(start, universe_items)
+        candidate, cost = _local_search(
+            starting_buckets, rankings, tie_penalty=tie_penalty, max_rounds=max_rounds
+        )
+        if cost < best_cost:
+            best_cost = cost
+            best_ranking = candidate
+    assert best_ranking is not None
+    return best_ranking

@@ -1,0 +1,122 @@
+"""Simulated workflow experts (the substitution for the paper's 15 raters).
+
+The paper collected 2424 similarity ratings from 15 domain experts of
+six institutions.  The reproduction replaces the humans with simulated
+raters that judge the *latent* functional similarity recorded by the
+corpus generator (see :class:`repro.corpus.CorpusGroundTruth`) on the
+same four-step Likert scale, with the imperfections real raters show:
+
+* an individual *bias* (some experts systematically rate more
+  generously than others),
+* per-judgement *noise* (the same expert would not always give the same
+  answer), and
+* occasional *unsure* abstentions.
+
+The thresholds mapping latent similarity to the Likert levels are the
+same as those of the ground truth, so a noise-free, unbiased expert
+reproduces the latent relevance level exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..corpus.ground_truth import CorpusGroundTruth
+from .ratings import LikertRating, RatingCorpus, SimilarityRating
+
+__all__ = ["SimulatedExpert", "ExpertPanel"]
+
+
+@dataclass
+class SimulatedExpert:
+    """One simulated rater."""
+
+    expert_id: str
+    bias: float = 0.0
+    noise: float = 0.06
+    unsure_rate: float = 0.04
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random((hash(self.expert_id) & 0xFFFF) ^ self.seed)
+
+    def rate_similarity(self, true_similarity: float, ground_truth: CorpusGroundTruth) -> LikertRating:
+        """Rate a latent similarity value on the Likert scale."""
+        if self._rng.random() < self.unsure_rate:
+            return LikertRating.UNSURE
+        perceived = true_similarity + self.bias + self._rng.gauss(0.0, self.noise)
+        if perceived >= ground_truth.very_similar_threshold:
+            return LikertRating.VERY_SIMILAR
+        if perceived >= ground_truth.similar_threshold:
+            return LikertRating.SIMILAR
+        if perceived >= ground_truth.related_threshold:
+            return LikertRating.RELATED
+        return LikertRating.DISSIMILAR
+
+    def rate_pair(
+        self, query_id: str, candidate_id: str, ground_truth: CorpusGroundTruth
+    ) -> SimilarityRating:
+        """Rate one (query, candidate) workflow pair."""
+        true_similarity = ground_truth.true_similarity(query_id, candidate_id)
+        return SimilarityRating(
+            expert_id=self.expert_id,
+            query_id=query_id,
+            candidate_id=candidate_id,
+            rating=self.rate_similarity(true_similarity, ground_truth),
+        )
+
+
+class ExpertPanel:
+    """A panel of simulated experts with individually varying behaviour."""
+
+    def __init__(
+        self,
+        *,
+        expert_count: int = 15,
+        seed: int = 7,
+        max_bias: float = 0.06,
+        max_noise: float = 0.1,
+        max_unsure_rate: float = 0.08,
+    ) -> None:
+        rng = random.Random(seed)
+        self.experts: list[SimulatedExpert] = []
+        for index in range(expert_count):
+            self.experts.append(
+                SimulatedExpert(
+                    expert_id=f"expert{index + 1:02d}",
+                    bias=rng.uniform(-max_bias, max_bias),
+                    noise=rng.uniform(0.02, max_noise),
+                    unsure_rate=rng.uniform(0.0, max_unsure_rate),
+                    seed=seed * 1000 + index,
+                )
+            )
+
+    def __len__(self) -> int:
+        return len(self.experts)
+
+    def __iter__(self):
+        return iter(self.experts)
+
+    def rate_pairs(
+        self,
+        pairs: list[tuple[str, str]],
+        ground_truth: CorpusGroundTruth,
+        *,
+        participation: float = 1.0,
+        rng: random.Random | None = None,
+    ) -> RatingCorpus:
+        """Collect ratings for the given pairs from all experts.
+
+        ``participation`` < 1 makes each expert skip a random subset of
+        the pairs, which mirrors that not every expert rated every pair
+        in the original study.
+        """
+        rng = rng or random.Random(0)
+        corpus = RatingCorpus()
+        for expert in self.experts:
+            for query_id, candidate_id in pairs:
+                if participation < 1.0 and rng.random() > participation:
+                    continue
+                corpus.add(expert.rate_pair(query_id, candidate_id, ground_truth))
+        return corpus

@@ -1,0 +1,193 @@
+"""Rankings with ties ("bucket orders") over workflow identifiers.
+
+Both the expert-derived consensus rankings and the rankings produced by
+the similarity algorithms are *rankings with ties*: a sequence of
+buckets, where items in the same bucket are considered equally similar
+to the query.  Rankings may also be *incomplete* — the paper extends the
+BioConsert consensus to rankings where experts answered "unsure" for
+some candidates, which simply do not appear in that expert's ranking.
+
+This module provides the data structure plus the pairwise order
+statistics (concordant / discordant / tied pairs) that both the
+consensus algorithm and the evaluation metrics are built on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from .ratings import LikertRating
+
+__all__ = ["Ranking", "PairOrder", "pair_order_counts"]
+
+
+@dataclass(frozen=True)
+class PairOrder:
+    """Counts of pair order relations between two rankings."""
+
+    concordant: int
+    discordant: int
+    tied_in_reference_only: int
+    tied_in_other_only: int
+    tied_in_both: int
+
+    @property
+    def compared(self) -> int:
+        """Pairs not tied in either ranking (the basis of correctness)."""
+        return self.concordant + self.discordant
+
+
+class Ranking:
+    """An ordered sequence of buckets of tied items."""
+
+    def __init__(self, buckets: Iterable[Iterable[str]]) -> None:
+        cleaned: list[tuple[str, ...]] = []
+        seen: set[str] = set()
+        for bucket in buckets:
+            items = tuple(item for item in bucket if item not in seen)
+            for item in items:
+                seen.add(item)
+            if items:
+                cleaned.append(items)
+        self._buckets: tuple[tuple[str, ...], ...] = tuple(cleaned)
+        self._position: dict[str, int] = {}
+        for index, bucket in enumerate(self._buckets):
+            for item in bucket:
+                self._position[item] = index
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_scores(
+        cls,
+        scores: Mapping[str, float],
+        *,
+        descending: bool = True,
+        tie_precision: int | None = 9,
+    ) -> "Ranking":
+        """Build a ranking from similarity scores (higher = better by default).
+
+        Scores equal after rounding to ``tie_precision`` decimals share a
+        bucket; pass ``None`` to use exact float equality.
+        """
+        def key(item: str) -> float:
+            value = scores[item]
+            return round(value, tie_precision) if tie_precision is not None else value
+
+        ordered = sorted(scores, key=lambda item: (-key(item) if descending else key(item), item))
+        buckets: list[list[str]] = []
+        previous: float | None = None
+        for item in ordered:
+            value = key(item)
+            if previous is None or value != previous:
+                buckets.append([item])
+                previous = value
+            else:
+                buckets[-1].append(item)
+        return cls(buckets)
+
+    @classmethod
+    def from_ratings(cls, ratings: Mapping[str, LikertRating]) -> "Ranking":
+        """Build a ranking from Likert ratings (one bucket per rating level).
+
+        Unsure ratings are dropped: the rated item simply does not appear
+        in the ranking (incomplete ranking).
+        """
+        levels: dict[int, list[str]] = {}
+        for item, rating in ratings.items():
+            if not rating.is_judgement:
+                continue
+            levels.setdefault(int(rating), []).append(item)
+        buckets = [sorted(levels[level]) for level in sorted(levels, reverse=True)]
+        return cls(buckets)
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def buckets(self) -> tuple[tuple[str, ...], ...]:
+        return self._buckets
+
+    def items(self) -> list[str]:
+        return [item for bucket in self._buckets for item in bucket]
+
+    def item_set(self) -> frozenset[str]:
+        return frozenset(self._position)
+
+    def position(self, item: str) -> int | None:
+        """Bucket index of an item, ``None`` if the item is not ranked."""
+        return self._position.get(item)
+
+    def contains(self, item: str) -> bool:
+        return item in self._position
+
+    def __len__(self) -> int:
+        return len(self._position)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Ranking):
+            return NotImplemented
+        return self._buckets == other._buckets
+
+    def __hash__(self) -> int:
+        return hash(self._buckets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        rendered = " > ".join("{" + ", ".join(bucket) + "}" for bucket in self._buckets)
+        return f"Ranking({rendered})"
+
+    # -- order relations ----------------------------------------------------------
+
+    def order(self, first: str, second: str) -> int | None:
+        """Relative order of two items: -1 (first before second), 0 (tied), 1, or
+        ``None`` when at least one item is not ranked."""
+        position_first = self.position(first)
+        position_second = self.position(second)
+        if position_first is None or position_second is None:
+            return None
+        if position_first < position_second:
+            return -1
+        if position_first > position_second:
+            return 1
+        return 0
+
+    def restricted_to(self, items: Iterable[str]) -> "Ranking":
+        """The ranking restricted to the given items (buckets keep their order)."""
+        allowed = set(items)
+        return Ranking(
+            tuple(item for item in bucket if item in allowed) for bucket in self._buckets
+        )
+
+
+def pair_order_counts(reference: Ranking, other: Ranking) -> PairOrder:
+    """Count concordant/discordant/tied pairs between two rankings.
+
+    Only pairs of items ranked in *both* rankings are considered, which
+    is how the paper handles incomplete rankings.
+    """
+    common = sorted(reference.item_set() & other.item_set())
+    concordant = discordant = 0
+    tied_reference = tied_other = tied_both = 0
+    for index, first in enumerate(common):
+        for second in common[index + 1:]:
+            order_reference = reference.order(first, second)
+            order_other = other.order(first, second)
+            if order_reference is None or order_other is None:  # pragma: no cover
+                continue
+            if order_reference == 0 and order_other == 0:
+                tied_both += 1
+            elif order_reference == 0:
+                tied_reference += 1
+            elif order_other == 0:
+                tied_other += 1
+            elif order_reference == order_other:
+                concordant += 1
+            else:
+                discordant += 1
+    return PairOrder(
+        concordant=concordant,
+        discordant=discordant,
+        tied_in_reference_only=tied_reference,
+        tied_in_other_only=tied_other,
+        tied_in_both=tied_both,
+    )

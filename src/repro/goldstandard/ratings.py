@@ -1,0 +1,148 @@
+"""Likert-scale similarity ratings and rating corpora (Section 4.2).
+
+The paper's gold standard consists of similarity ratings on a four-step
+Likert scale — *very similar*, *similar*, *related*, *dissimilar* — plus
+an *unsure* option, collected from 15 workflow experts for 485 workflow
+pairs (2424 ratings in total).  :class:`LikertRating` models the scale,
+:class:`SimilarityRating` a single expert judgement, and
+:class:`RatingCorpus` the collection with the aggregation used by the
+paper (median rating per pair, unsure ratings excluded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Iterable, Iterator
+
+__all__ = ["LikertRating", "SimilarityRating", "RatingCorpus", "median_rating"]
+
+
+class LikertRating(IntEnum):
+    """The paper's four-step rating scale plus the unsure option.
+
+    The numeric values order the scale so that medians and thresholds
+    can be computed directly; ``UNSURE`` is deliberately negative and is
+    excluded from every aggregate.
+    """
+
+    UNSURE = -1
+    DISSIMILAR = 0
+    RELATED = 1
+    SIMILAR = 2
+    VERY_SIMILAR = 3
+
+    @property
+    def is_judgement(self) -> bool:
+        """Whether this is an actual similarity judgement (not unsure)."""
+        return self is not LikertRating.UNSURE
+
+    @classmethod
+    def from_level(cls, level: int) -> "LikertRating":
+        """Convert a 0-3 relevance level to a rating."""
+        return cls(level)
+
+
+@dataclass(frozen=True)
+class SimilarityRating:
+    """A single expert's rating of one (query, candidate) workflow pair."""
+
+    expert_id: str
+    query_id: str
+    candidate_id: str
+    rating: LikertRating
+
+    @property
+    def pair(self) -> tuple[str, str]:
+        return (self.query_id, self.candidate_id)
+
+
+def median_rating(ratings: Iterable[LikertRating]) -> LikertRating | None:
+    """Median of a collection of ratings, ignoring unsure ratings.
+
+    For an even number of judgements the lower median is used so the
+    result stays on the Likert scale.  Returns ``None`` when no
+    judgement remains after removing unsure ratings.
+    """
+    values = sorted(rating for rating in ratings if rating.is_judgement)
+    if not values:
+        return None
+    return LikertRating(values[(len(values) - 1) // 2])
+
+
+@dataclass
+class RatingCorpus:
+    """A collection of expert ratings with per-pair aggregation."""
+
+    ratings: list[SimilarityRating] = field(default_factory=list)
+
+    # -- construction -------------------------------------------------------
+
+    def add(self, rating: SimilarityRating) -> None:
+        self.ratings.append(rating)
+
+    def extend(self, ratings: Iterable[SimilarityRating]) -> None:
+        self.ratings.extend(ratings)
+
+    def __len__(self) -> int:
+        return len(self.ratings)
+
+    def __iter__(self) -> Iterator[SimilarityRating]:
+        return iter(self.ratings)
+
+    # -- views ----------------------------------------------------------------
+
+    def experts(self) -> list[str]:
+        return sorted({rating.expert_id for rating in self.ratings})
+
+    def queries(self) -> list[str]:
+        return sorted({rating.query_id for rating in self.ratings})
+
+    def pairs(self) -> list[tuple[str, str]]:
+        return sorted({rating.pair for rating in self.ratings})
+
+    def candidates_of(self, query_id: str) -> list[str]:
+        return sorted(
+            {rating.candidate_id for rating in self.ratings if rating.query_id == query_id}
+        )
+
+    def ratings_for_pair(self, query_id: str, candidate_id: str) -> list[SimilarityRating]:
+        return [
+            rating
+            for rating in self.ratings
+            if rating.query_id == query_id and rating.candidate_id == candidate_id
+        ]
+
+    def ratings_by_expert(self, expert_id: str) -> list[SimilarityRating]:
+        return [rating for rating in self.ratings if rating.expert_id == expert_id]
+
+    def expert_ratings_for_query(
+        self, expert_id: str, query_id: str
+    ) -> dict[str, LikertRating]:
+        """Candidate -> rating of one expert for one query (unsure included)."""
+        return {
+            rating.candidate_id: rating.rating
+            for rating in self.ratings
+            if rating.expert_id == expert_id and rating.query_id == query_id
+        }
+
+    # -- aggregation ------------------------------------------------------------
+
+    def median_for_pair(self, query_id: str, candidate_id: str) -> LikertRating | None:
+        """The median expert rating of one pair (the paper's aggregation)."""
+        return median_rating(
+            rating.rating for rating in self.ratings_for_pair(query_id, candidate_id)
+        )
+
+    def median_ratings(self, query_id: str) -> dict[str, LikertRating]:
+        """Candidate -> median rating for one query (pairs without judgement dropped)."""
+        aggregated: dict[str, LikertRating] = {}
+        for candidate_id in self.candidates_of(query_id):
+            median = self.median_for_pair(query_id, candidate_id)
+            if median is not None:
+                aggregated[candidate_id] = median
+        return aggregated
+
+    def judgement_count(self) -> int:
+        """Number of actual judgements (excluding unsure ratings)."""
+        return sum(1 for rating in self.ratings if rating.rating.is_judgement)

@@ -1,0 +1,227 @@
+"""The two-phase user study that produces the gold standard (Section 4.2).
+
+The paper collected its gold standard in two experiments:
+
+* **Experiment 1 (ranking).**  24 query workflows were drawn from the
+  corpus; for each, 10 candidate workflows were selected by ranking the
+  repository with a naive annotation-based measure and drawing at random
+  from the top 10, the middle, and the bottom 30.  Every expert rated
+  every (query, candidate) pair on the Likert scale (with unsure
+  abstentions), and the per-expert rankings were aggregated into a
+  consensus ranking per query with BioConsert.
+
+* **Experiment 2 (retrieval).**  For 8 of the 24 queries, each evaluated
+  algorithm retrieved its top-10 most similar workflows from the whole
+  corpus; the merged result lists were rated by the experts, and the
+  median rating per pair defines the retrieval relevance judgements.
+
+:class:`GoldStandardStudy` reproduces both protocols over a synthetic
+corpus and a panel of simulated experts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..core.base import WorkflowSimilarityMeasure
+from ..core.framework import SimilarityFramework
+from ..corpus.generator import GeneratedCorpus
+from ..repository.search import SimilaritySearchEngine
+from .consensus import bioconsert_consensus
+from .experts import ExpertPanel
+from .rankings import Ranking
+from .ratings import LikertRating, RatingCorpus
+
+__all__ = ["RankingExperimentData", "RetrievalExperimentData", "GoldStandardStudy"]
+
+
+@dataclass
+class RankingExperimentData:
+    """Everything experiment 1 produces."""
+
+    query_ids: list[str]
+    candidates: dict[str, list[str]]
+    ratings: RatingCorpus
+    expert_rankings: dict[str, dict[str, Ranking]]
+    consensus: dict[str, Ranking]
+
+    def pair_count(self) -> int:
+        return sum(len(candidates) for candidates in self.candidates.values())
+
+
+@dataclass
+class RetrievalExperimentData:
+    """Everything experiment 2 produces: median relevance judgements."""
+
+    query_ids: list[str]
+    relevance: dict[str, dict[str, LikertRating]] = field(default_factory=dict)
+
+    def rating(self, query_id: str, candidate_id: str) -> LikertRating | None:
+        return self.relevance.get(query_id, {}).get(candidate_id)
+
+    def rated_pairs(self) -> int:
+        return sum(len(candidates) for candidates in self.relevance.values())
+
+
+class GoldStandardStudy:
+    """Simulates the paper's two-phase expert study on a synthetic corpus."""
+
+    def __init__(
+        self,
+        corpus: GeneratedCorpus,
+        *,
+        panel: ExpertPanel | None = None,
+        seed: int = 13,
+        naive_measure: str = "BW",
+    ) -> None:
+        self.corpus = corpus
+        self.panel = panel or ExpertPanel(seed=seed)
+        self.rng = random.Random(seed)
+        self.naive_measure = naive_measure
+        self.framework = SimilarityFramework()
+
+    # -- query and candidate selection ------------------------------------
+
+    def select_query_workflows(self, count: int) -> list[str]:
+        """Randomly select query workflows from the life-science subset."""
+        pool = self.corpus.life_science_workflow_ids()
+        if count >= len(pool):
+            return list(pool)
+        return sorted(self.rng.sample(pool, count))
+
+    def candidate_list(self, query_id: str, *, size: int = 10) -> list[str]:
+        """Select candidates as in the paper: random picks from the top-10,
+        the middle, and the bottom 30 of a naive annotation-based ranking."""
+        repository = self.corpus.repository
+        query = repository.get(query_id)
+        others = [workflow for workflow in repository if workflow.identifier != query_id]
+        ranked = self.framework.rank(query, others, self.naive_measure, exclude_query=True)
+        identifiers = [entry.identifier for entry in ranked]
+        if len(identifiers) <= size:
+            return identifiers
+        top = identifiers[:10]
+        bottom = identifiers[-30:]
+        middle = identifiers[10:-30] or identifiers[10:]
+        top_count = min(4, size)
+        bottom_count = min(3, size - top_count)
+        middle_count = size - top_count - bottom_count
+        selection: list[str] = []
+        selection.extend(self.rng.sample(top, min(top_count, len(top))))
+        selection.extend(self.rng.sample(middle, min(middle_count, len(middle))))
+        selection.extend(self.rng.sample(bottom, min(bottom_count, len(bottom))))
+        # Deduplicate while keeping the mix; pad from the ranking if needed.
+        unique = list(dict.fromkeys(selection))
+        for identifier in identifiers:
+            if len(unique) >= size:
+                break
+            if identifier not in unique:
+                unique.append(identifier)
+        return unique[:size]
+
+    # -- experiment 1: ranking ----------------------------------------------
+
+    def run_ranking_experiment(
+        self,
+        *,
+        query_count: int = 24,
+        candidates_per_query: int = 10,
+        participation: float = 0.8,
+    ) -> RankingExperimentData:
+        """Run the ranking experiment and build per-query consensus rankings."""
+        query_ids = self.select_query_workflows(query_count)
+        candidates = {
+            query_id: self.candidate_list(query_id, size=candidates_per_query)
+            for query_id in query_ids
+        }
+        pairs = [
+            (query_id, candidate_id)
+            for query_id, candidate_ids in candidates.items()
+            for candidate_id in candidate_ids
+        ]
+        ratings = self.panel.rate_pairs(
+            pairs,
+            self.corpus.ground_truth,
+            participation=participation,
+            rng=self.rng,
+        )
+        expert_rankings: dict[str, dict[str, Ranking]] = {}
+        consensus: dict[str, Ranking] = {}
+        for query_id in query_ids:
+            per_expert: dict[str, Ranking] = {}
+            for expert in self.panel:
+                expert_ratings = ratings.expert_ratings_for_query(expert.expert_id, query_id)
+                ranking = Ranking.from_ratings(expert_ratings)
+                if len(ranking) > 0:
+                    per_expert[expert.expert_id] = ranking
+            expert_rankings[query_id] = per_expert
+            consensus[query_id] = bioconsert_consensus(
+                list(per_expert.values()), universe=candidates[query_id]
+            )
+        return RankingExperimentData(
+            query_ids=query_ids,
+            candidates=candidates,
+            ratings=ratings,
+            expert_rankings=expert_rankings,
+            consensus=consensus,
+        )
+
+    # -- experiment 2: retrieval ---------------------------------------------
+
+    def run_retrieval_experiment(
+        self,
+        measures: Sequence[str | WorkflowSimilarityMeasure],
+        *,
+        ranking_data: RankingExperimentData | None = None,
+        query_count: int = 8,
+        k: int = 10,
+        engine: SimilaritySearchEngine | None = None,
+    ) -> RetrievalExperimentData:
+        """Run the retrieval experiment for the given measures.
+
+        The query workflows are a subset of the ranking experiment's
+        queries (as in the paper); every workflow returned in any
+        measure's top-``k`` is rated by the expert panel, and the median
+        rating per pair is recorded as its relevance.
+        """
+        if ranking_data is not None:
+            pool = ranking_data.query_ids
+        else:
+            pool = self.select_query_workflows(query_count)
+        query_ids = pool[:query_count] if len(pool) >= query_count else list(pool)
+        engine = engine or SimilaritySearchEngine(self.corpus.repository, self.framework)
+
+        data = RetrievalExperimentData(query_ids=list(query_ids))
+        for query_id in query_ids:
+            merged = engine.merged_candidates(query_id, measures, k=k)
+            data.relevance[query_id] = self.rate_candidates(query_id, merged)
+        return data
+
+    def rate_candidates(
+        self, query_id: str, candidate_ids: Iterable[str]
+    ) -> dict[str, LikertRating]:
+        """Median expert rating for each candidate of one query."""
+        pairs = [(query_id, candidate_id) for candidate_id in candidate_ids]
+        ratings = self.panel.rate_pairs(pairs, self.corpus.ground_truth, rng=self.rng)
+        medians: dict[str, LikertRating] = {}
+        for _query, candidate_id in pairs:
+            median = ratings.median_for_pair(query_id, candidate_id)
+            if median is not None:
+                medians[candidate_id] = median
+        return medians
+
+    def extend_relevance(
+        self, data: RetrievalExperimentData, query_id: str, candidate_ids: Iterable[str]
+    ) -> None:
+        """Rate additional candidates for a query (completing the judgements)."""
+        missing = [
+            candidate_id
+            for candidate_id in candidate_ids
+            if data.rating(query_id, candidate_id) is None
+        ]
+        if not missing:
+            return
+        data.relevance.setdefault(query_id, {}).update(
+            self.rate_candidates(query_id, missing)
+        )

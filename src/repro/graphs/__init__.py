@@ -1,0 +1,67 @@
+"""Graph algorithms: DAG helpers, bipartite matching, path enumeration, GED."""
+
+from .dag import (
+    GraphCycleError,
+    has_cycle,
+    predecessors_from_successors,
+    reachable_from,
+    sinks,
+    sources,
+    successors_view,
+    topological_sort,
+    transitive_closure,
+    transitive_reduction,
+)
+from .ged import (
+    EditCosts,
+    GEDResult,
+    GraphEditDistance,
+    LabeledGraph,
+    graph_edit_distance,
+    maximum_edit_cost,
+)
+from .matching import (
+    MatchedPair,
+    greedy_matching,
+    hungarian_maximum_weight,
+    matching_weight,
+    maximum_weight_matching,
+    maximum_weight_noncrossing_matching,
+)
+from .paths import (
+    PathLimitExceeded,
+    all_source_sink_paths,
+    count_source_sink_paths,
+    enumerate_paths,
+    longest_path_length,
+)
+
+__all__ = [
+    "GraphCycleError",
+    "has_cycle",
+    "predecessors_from_successors",
+    "reachable_from",
+    "sinks",
+    "sources",
+    "successors_view",
+    "topological_sort",
+    "transitive_closure",
+    "transitive_reduction",
+    "EditCosts",
+    "GEDResult",
+    "GraphEditDistance",
+    "LabeledGraph",
+    "graph_edit_distance",
+    "maximum_edit_cost",
+    "MatchedPair",
+    "greedy_matching",
+    "hungarian_maximum_weight",
+    "matching_weight",
+    "maximum_weight_matching",
+    "maximum_weight_noncrossing_matching",
+    "PathLimitExceeded",
+    "all_source_sink_paths",
+    "count_source_sink_paths",
+    "enumerate_paths",
+    "longest_path_length",
+]

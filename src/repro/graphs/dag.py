@@ -1,0 +1,155 @@
+"""Light-weight directed-graph helpers shared by the workflow substrate.
+
+The workflow model (``repro.workflow``) stores its structure as adjacency
+mappings over opaque node identifiers.  The helpers here implement the
+DAG algorithms the similarity framework needs: cycle detection,
+topological sorting, source/sink discovery, reachability, transitive
+closure and transitive reduction.  They deliberately work on plain
+``dict[node, set[node]]`` adjacency structures so they can also be used
+directly in tests and benchmarks without constructing full workflows.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable, Mapping
+
+__all__ = [
+    "GraphCycleError",
+    "successors_view",
+    "predecessors_from_successors",
+    "sources",
+    "sinks",
+    "has_cycle",
+    "topological_sort",
+    "reachable_from",
+    "transitive_closure",
+    "transitive_reduction",
+]
+
+Node = Hashable
+Adjacency = Mapping[Node, Iterable[Node]]
+
+
+class GraphCycleError(ValueError):
+    """Raised when an operation requiring a DAG encounters a cycle."""
+
+
+def successors_view(adjacency: Adjacency) -> dict[Node, set[Node]]:
+    """Return a normalised ``dict[node, set[node]]`` copy of ``adjacency``.
+
+    Nodes that appear only as targets of edges are added with an empty
+    successor set so every node is a key.
+    """
+    graph: dict[Node, set[Node]] = {node: set(targets) for node, targets in adjacency.items()}
+    for targets in list(graph.values()):
+        for target in targets:
+            graph.setdefault(target, set())
+    return graph
+
+
+def predecessors_from_successors(adjacency: Adjacency) -> dict[Node, set[Node]]:
+    """Return the reversed adjacency (predecessor sets) of a graph."""
+    graph = successors_view(adjacency)
+    predecessors: dict[Node, set[Node]] = {node: set() for node in graph}
+    for node, targets in graph.items():
+        for target in targets:
+            predecessors[target].add(node)
+    return predecessors
+
+
+def sources(adjacency: Adjacency) -> list[Node]:
+    """Return nodes without inbound edges (the DAG's sources)."""
+    predecessors = predecessors_from_successors(adjacency)
+    return [node for node, preds in predecessors.items() if not preds]
+
+
+def sinks(adjacency: Adjacency) -> list[Node]:
+    """Return nodes without outbound edges (the DAG's sinks)."""
+    graph = successors_view(adjacency)
+    return [node for node, targets in graph.items() if not targets]
+
+
+def has_cycle(adjacency: Adjacency) -> bool:
+    """Return ``True`` if the directed graph contains a cycle."""
+    try:
+        topological_sort(adjacency)
+    except GraphCycleError:
+        return True
+    return False
+
+
+def topological_sort(adjacency: Adjacency) -> list[Node]:
+    """Return a topological order of the graph's nodes (Kahn's algorithm).
+
+    Raises
+    ------
+    GraphCycleError
+        If the graph contains a cycle.
+    """
+    graph = successors_view(adjacency)
+    in_degree: dict[Node, int] = {node: 0 for node in graph}
+    for targets in graph.values():
+        for target in targets:
+            in_degree[target] += 1
+    queue = deque(sorted((node for node, deg in in_degree.items() if deg == 0), key=repr))
+    order: list[Node] = []
+    while queue:
+        node = queue.popleft()
+        order.append(node)
+        for target in sorted(graph[node], key=repr):
+            in_degree[target] -= 1
+            if in_degree[target] == 0:
+                queue.append(target)
+    if len(order) != len(graph):
+        raise GraphCycleError("graph contains at least one cycle")
+    return order
+
+
+def reachable_from(adjacency: Adjacency, start: Node) -> set[Node]:
+    """Return all nodes reachable from ``start`` (excluding ``start`` itself
+    unless it lies on a cycle through itself)."""
+    graph = successors_view(adjacency)
+    seen: set[Node] = set()
+    stack = list(graph.get(start, ()))
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        stack.extend(graph.get(node, ()))
+    return seen
+
+
+def transitive_closure(adjacency: Adjacency) -> dict[Node, set[Node]]:
+    """Return the transitive closure as a successor mapping."""
+    graph = successors_view(adjacency)
+    return {node: reachable_from(graph, node) for node in graph}
+
+
+def transitive_reduction(adjacency: Adjacency) -> dict[Node, set[Node]]:
+    """Return the transitive reduction of a DAG.
+
+    The reduction keeps an edge ``(u, v)`` only if there is no longer
+    path from ``u`` to ``v``.  Used by the importance projection
+    (Section 2.1.5) to connect important modules with a single edge when
+    they were connected through removed, unimportant modules.
+
+    Raises
+    ------
+    GraphCycleError
+        If the graph is not acyclic.
+    """
+    graph = successors_view(adjacency)
+    topological_sort(graph)  # validates acyclicity
+    closure = transitive_closure(graph)
+    reduced: dict[Node, set[Node]] = {node: set() for node in graph}
+    for node, targets in graph.items():
+        for target in targets:
+            # Edge is redundant if any *other* successor reaches ``target``.
+            redundant = any(
+                target in closure[other] for other in targets if other != target
+            )
+            if not redundant:
+                reduced[node].add(target)
+    return reduced

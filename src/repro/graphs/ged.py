@@ -1,0 +1,376 @@
+"""Graph edit distance for labelled DAGs.
+
+The paper's ``GE`` topological comparison (Section 2.1.3) computes the
+graph edit distance between two workflow DAGs using the SUBDUE package
+with uniform costs of 1 for every edit operation.  SUBDUE identifies
+nodes via labels; the framework sets node labels so that they reflect
+the module mapping derived from maximum-weight matching of the modules.
+
+This module is the substrate replacement for SUBDUE: a pure-Python graph
+edit distance over :class:`LabeledGraph` objects with
+
+* an exact A* search for small graphs,
+* a bipartite (assignment-based) approximation in the style of
+  Riesen & Bunke for larger graphs, and
+* a wall-clock timeout per pair, mirroring the paper's 5-minute cap on a
+  single SUBDUE invocation.
+
+Both strategies use the same uniform cost model, and the result records
+whether the returned cost is exact.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Mapping
+
+from .matching import maximum_weight_matching
+
+__all__ = [
+    "LabeledGraph",
+    "GEDResult",
+    "EditCosts",
+    "GraphEditDistance",
+    "graph_edit_distance",
+    "maximum_edit_cost",
+]
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class EditCosts:
+    """Costs of the six elementary edit operations.
+
+    The paper keeps SUBDUE's default of uniform costs of 1; different
+    weightings "did not produce significantly different results", but the
+    knobs are exposed for ablation experiments.
+    """
+
+    node_insertion: float = 1.0
+    node_deletion: float = 1.0
+    node_substitution: float = 1.0
+    edge_insertion: float = 1.0
+    edge_deletion: float = 1.0
+    edge_substitution: float = 0.0
+
+    def substitution_cost(self, label_a: str, label_b: str) -> float:
+        """Cost of substituting a node: free when the labels agree."""
+        return 0.0 if label_a == label_b else self.node_substitution
+
+
+@dataclass
+class LabeledGraph:
+    """A directed graph with string labels on its nodes.
+
+    This is the minimal structure the GED algorithm needs; the workflow
+    layer converts :class:`repro.workflow.Workflow` objects into it,
+    assigning labels according to the module mapping.
+    """
+
+    labels: dict[Node, str] = field(default_factory=dict)
+    edges: set[tuple[Node, Node]] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        for source, target in self.edges:
+            if source not in self.labels or target not in self.labels:
+                raise ValueError(f"edge ({source!r}, {target!r}) references unknown node")
+
+    @classmethod
+    def from_edges(
+        cls,
+        nodes: Mapping[Node, str],
+        edges: Iterable[tuple[Node, Node]],
+    ) -> "LabeledGraph":
+        return cls(labels=dict(nodes), edges=set(edges))
+
+    @property
+    def node_count(self) -> int:
+        return len(self.labels)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self.edges)
+
+    def nodes(self) -> list[Node]:
+        return sorted(self.labels, key=repr)
+
+    def out_neighbors(self, node: Node) -> set[Node]:
+        return {target for source, target in self.edges if source == node}
+
+    def in_neighbors(self, node: Node) -> set[Node]:
+        return {source for source, target in self.edges if target == node}
+
+    def degree(self, node: Node) -> int:
+        return sum(1 for edge in self.edges if node in edge)
+
+
+@dataclass(frozen=True)
+class GEDResult:
+    """Result of a graph edit distance computation."""
+
+    cost: float
+    exact: bool
+    timed_out: bool
+    node_mapping: tuple[tuple[Node, Node | None], ...] = ()
+
+    def __float__(self) -> float:  # pragma: no cover - trivial
+        return self.cost
+
+
+def maximum_edit_cost(
+    graph_a: LabeledGraph, graph_b: LabeledGraph, costs: EditCosts | None = None
+) -> float:
+    """Upper bound on the edit cost used for normalisation.
+
+    The paper normalises by ``max(|V1|, |V2|) + |E1| + |E2|`` for uniform
+    costs of 1: in the worst case every node of the bigger node set is
+    substituted or deleted and every edge of both graphs is inserted or
+    deleted.  For non-uniform costs the same structure is priced with the
+    configured cost values.
+    """
+    costs = costs or EditCosts()
+    node_term = max(graph_a.node_count, graph_b.node_count) * max(
+        costs.node_substitution, costs.node_deletion, costs.node_insertion
+    )
+    edge_term = (
+        graph_a.edge_count * costs.edge_deletion
+        + graph_b.edge_count * costs.edge_insertion
+    )
+    return node_term + edge_term
+
+
+def _edge_cost_for_mapping(
+    graph_a: LabeledGraph,
+    graph_b: LabeledGraph,
+    mapping: Mapping[Node, Node | None],
+    costs: EditCosts,
+) -> float:
+    """Edge edit cost induced by a complete node mapping.
+
+    Edges of ``graph_a`` whose image is not an edge of ``graph_b`` are
+    deleted; edges of ``graph_b`` not covered by an image are inserted.
+    """
+    cost = 0.0
+    mapped_edges: set[tuple[Node, Node]] = set()
+    for source, target in graph_a.edges:
+        image_source = mapping.get(source)
+        image_target = mapping.get(target)
+        if image_source is None or image_target is None:
+            cost += costs.edge_deletion
+            continue
+        if (image_source, image_target) in graph_b.edges:
+            mapped_edges.add((image_source, image_target))
+            cost += costs.edge_substitution
+        else:
+            cost += costs.edge_deletion + costs.edge_insertion
+    cost += costs.edge_insertion * len(graph_b.edges - mapped_edges)
+    return cost
+
+
+def _total_cost_for_mapping(
+    graph_a: LabeledGraph,
+    graph_b: LabeledGraph,
+    mapping: Mapping[Node, Node | None],
+    costs: EditCosts,
+) -> float:
+    """Full edit cost (nodes + edges) induced by a node mapping."""
+    cost = 0.0
+    used_targets = set()
+    for node in graph_a.labels:
+        image = mapping.get(node)
+        if image is None:
+            cost += costs.node_deletion
+        else:
+            used_targets.add(image)
+            cost += costs.substitution_cost(graph_a.labels[node], graph_b.labels[image])
+    cost += costs.node_insertion * (graph_b.node_count - len(used_targets))
+    cost += _edge_cost_for_mapping(graph_a, graph_b, mapping, costs)
+    return cost
+
+
+class GraphEditDistance:
+    """Graph edit distance computer with exact and approximate modes.
+
+    Parameters
+    ----------
+    costs:
+        The edit cost model (uniform 1s by default, as in the paper).
+    exact_node_limit:
+        Pairs where both graphs have at most this many nodes are solved
+        exactly by exhaustive search over injective node mappings with
+        branch-and-bound pruning.
+    timeout:
+        Wall-clock budget in seconds for a single pair.  When exceeded,
+        the best bound found so far is returned with ``timed_out=True``
+        (the evaluation layer may then discard the pair, as the paper
+        discards pairs SUBDUE cannot finish in 5 minutes).
+    """
+
+    def __init__(
+        self,
+        costs: EditCosts | None = None,
+        *,
+        exact_node_limit: int = 8,
+        timeout: float | None = None,
+    ) -> None:
+        self.costs = costs or EditCosts()
+        self.exact_node_limit = exact_node_limit
+        self.timeout = timeout
+
+    # -- public API ---------------------------------------------------
+
+    def distance(self, graph_a: LabeledGraph, graph_b: LabeledGraph) -> GEDResult:
+        """Compute the edit distance between two labelled graphs."""
+        if graph_a.node_count == 0 and graph_b.node_count == 0:
+            return GEDResult(cost=0.0, exact=True, timed_out=False)
+        if graph_a.node_count == 0:
+            cost = (
+                graph_b.node_count * self.costs.node_insertion
+                + graph_b.edge_count * self.costs.edge_insertion
+            )
+            return GEDResult(cost=cost, exact=True, timed_out=False)
+        if graph_b.node_count == 0:
+            cost = (
+                graph_a.node_count * self.costs.node_deletion
+                + graph_a.edge_count * self.costs.edge_deletion
+            )
+            return GEDResult(cost=cost, exact=True, timed_out=False)
+        small = (
+            graph_a.node_count <= self.exact_node_limit
+            and graph_b.node_count <= self.exact_node_limit
+        )
+        deadline = None if self.timeout is None else time.monotonic() + self.timeout
+        if small:
+            return self._exact(graph_a, graph_b, deadline)
+        return self._approximate(graph_a, graph_b, deadline)
+
+    # -- exact search ---------------------------------------------------
+
+    def _exact(
+        self, graph_a: LabeledGraph, graph_b: LabeledGraph, deadline: float | None
+    ) -> GEDResult:
+        nodes_a = graph_a.nodes()
+        nodes_b = graph_b.nodes()
+        # Start from the approximation to obtain a good upper bound for pruning.
+        approx = self._approximate(graph_a, graph_b, deadline)
+        best_cost = approx.cost
+        best_mapping = dict(approx.node_mapping)
+        timed_out = False
+
+        targets = nodes_b + [None] * len(nodes_a)
+
+        def search(index: int, mapping: dict[Node, Node | None], used: set[Node]) -> None:
+            nonlocal best_cost, best_mapping, timed_out
+            if deadline is not None and time.monotonic() > deadline:
+                timed_out = True
+                return
+            if index == len(nodes_a):
+                cost = _total_cost_for_mapping(graph_a, graph_b, mapping, self.costs)
+                if cost < best_cost:
+                    best_cost = cost
+                    best_mapping = dict(mapping)
+                return
+            # Lower bound: node operations committed so far.
+            committed = 0.0
+            for node, image in mapping.items():
+                if image is None:
+                    committed += self.costs.node_deletion
+                else:
+                    committed += self.costs.substitution_cost(
+                        graph_a.labels[node], graph_b.labels[image]
+                    )
+            if committed >= best_cost:
+                return
+            node = nodes_a[index]
+            seen_none = False
+            for target in targets:
+                if timed_out:
+                    return
+                if target is None:
+                    if seen_none:
+                        continue
+                    seen_none = True
+                elif target in used:
+                    continue
+                mapping[node] = target
+                if target is not None:
+                    used.add(target)
+                search(index + 1, mapping, used)
+                if target is not None:
+                    used.discard(target)
+                del mapping[node]
+
+        search(0, {}, set())
+        exact = not timed_out
+        return GEDResult(
+            cost=best_cost,
+            exact=exact,
+            timed_out=timed_out,
+            node_mapping=tuple(sorted(best_mapping.items(), key=lambda kv: repr(kv[0]))),
+        )
+
+    # -- assignment-based approximation ---------------------------------
+
+    def _approximate(
+        self, graph_a: LabeledGraph, graph_b: LabeledGraph, deadline: float | None
+    ) -> GEDResult:
+        nodes_a = graph_a.nodes()
+        nodes_b = graph_b.nodes()
+        timed_out = False
+        # Similarity (negated local cost) matrix for maximum-weight matching.
+        # Local cost of mapping u -> v: label substitution + degree mismatch.
+        max_local = (
+            self.costs.node_substitution
+            + self.costs.edge_deletion
+            + self.costs.edge_insertion
+        ) * 2 + 1.0
+        weights: list[list[float]] = []
+        for u in nodes_a:
+            row = []
+            degree_u_out = len(graph_a.out_neighbors(u))
+            degree_u_in = len(graph_a.in_neighbors(u))
+            for v in nodes_b:
+                if deadline is not None and time.monotonic() > deadline:
+                    timed_out = True
+                label_cost = self.costs.substitution_cost(
+                    graph_a.labels[u], graph_b.labels[v]
+                )
+                degree_v_out = len(graph_b.out_neighbors(v))
+                degree_v_in = len(graph_b.in_neighbors(v))
+                edge_cost = (
+                    abs(degree_u_out - degree_v_out) + abs(degree_u_in - degree_v_in)
+                ) * 0.5 * min(self.costs.edge_deletion, self.costs.edge_insertion)
+                # Deleting u + inserting v is the alternative; only map when cheaper.
+                alternative = self.costs.node_deletion + self.costs.node_insertion
+                local_cost = label_cost + edge_cost
+                row.append(max_local - local_cost if local_cost < alternative + edge_cost else 0.0)
+            weights.append(row)
+        pairs = maximum_weight_matching(weights) if nodes_a and nodes_b else []
+        mapping: dict[Node, Node | None] = {node: None for node in nodes_a}
+        for pair in pairs:
+            mapping[nodes_a[pair.row]] = nodes_b[pair.col]
+        cost = _total_cost_for_mapping(graph_a, graph_b, mapping, self.costs)
+        return GEDResult(
+            cost=cost,
+            exact=False,
+            timed_out=timed_out,
+            node_mapping=tuple(sorted(mapping.items(), key=lambda kv: repr(kv[0]))),
+        )
+
+
+def graph_edit_distance(
+    graph_a: LabeledGraph,
+    graph_b: LabeledGraph,
+    *,
+    costs: EditCosts | None = None,
+    exact_node_limit: int = 8,
+    timeout: float | None = None,
+) -> GEDResult:
+    """Convenience wrapper around :class:`GraphEditDistance`."""
+    computer = GraphEditDistance(
+        costs, exact_node_limit=exact_node_limit, timeout=timeout
+    )
+    return computer.distance(graph_a, graph_b)

@@ -1,0 +1,123 @@
+"""Path enumeration for the Path-Sets topological comparison.
+
+Section 2.1.3 of the paper decomposes each workflow DAG into its set of
+source-to-sink paths: starting from each node without inbound datalinks
+all possible paths ending in a node without outbound datalinks are
+computed.  This module implements that decomposition plus helpers to
+bound the (potentially exponential) number of enumerated paths.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Mapping
+
+from .dag import GraphCycleError, sinks, sources, successors_view, topological_sort
+
+__all__ = [
+    "PathLimitExceeded",
+    "enumerate_paths",
+    "all_source_sink_paths",
+    "count_source_sink_paths",
+    "longest_path_length",
+]
+
+Node = Hashable
+Adjacency = Mapping[Node, Iterable[Node]]
+
+
+class PathLimitExceeded(RuntimeError):
+    """Raised when a DAG has more source-to-sink paths than the caller allows."""
+
+
+def enumerate_paths(
+    adjacency: Adjacency, start: Node, *, max_paths: int | None = None
+) -> Iterator[tuple[Node, ...]]:
+    """Yield all paths from ``start`` to any sink node as node tuples.
+
+    Paths are produced by depth-first traversal; successor order is made
+    deterministic by sorting on ``repr``.
+    """
+    graph = successors_view(adjacency)
+    produced = 0
+    stack: list[tuple[Node, tuple[Node, ...]]] = [(start, (start,))]
+    while stack:
+        node, path = stack.pop()
+        targets = sorted(graph.get(node, ()), key=repr, reverse=True)
+        if not targets:
+            produced += 1
+            if max_paths is not None and produced > max_paths:
+                raise PathLimitExceeded(
+                    f"more than {max_paths} source-to-sink paths"
+                )
+            yield path
+            continue
+        for target in targets:
+            stack.append((target, path + (target,)))
+
+
+def all_source_sink_paths(
+    adjacency: Adjacency, *, max_paths: int | None = 10_000
+) -> list[tuple[Node, ...]]:
+    """Return every source-to-sink path of a DAG.
+
+    A single isolated node constitutes a path of length one (it is both
+    a source and a sink), matching the behaviour required for workflows
+    consisting of a single module.
+
+    Parameters
+    ----------
+    max_paths:
+        Safety bound on the total number of paths; ``None`` disables the
+        check.  Dense synthetic DAGs can otherwise blow up exponentially.
+
+    Raises
+    ------
+    GraphCycleError
+        If the graph is cyclic (there would be no sinks reachable).
+    PathLimitExceeded
+        If the number of paths exceeds ``max_paths``.
+    """
+    graph = successors_view(adjacency)
+    topological_sort(graph)  # validates acyclicity
+    paths: list[tuple[Node, ...]] = []
+    for source in sorted(sources(graph), key=repr):
+        for path in enumerate_paths(graph, source, max_paths=max_paths):
+            paths.append(path)
+            if max_paths is not None and len(paths) > max_paths:
+                raise PathLimitExceeded(f"more than {max_paths} source-to-sink paths")
+    return paths
+
+
+def count_source_sink_paths(adjacency: Adjacency) -> int:
+    """Count source-to-sink paths without materialising them.
+
+    Uses dynamic programming over a topological order, so it runs in
+    linear time in the size of the DAG even when the number of paths is
+    exponential.
+    """
+    graph = successors_view(adjacency)
+    order = topological_sort(graph)
+    if not order:
+        return 0
+    sink_set = set(sinks(graph))
+    counts: dict[Node, int] = {}
+    for node in reversed(order):
+        if node in sink_set:
+            counts[node] = 1
+        else:
+            counts[node] = sum(counts[target] for target in graph[node])
+    source_nodes = sources(graph)
+    return sum(counts[node] for node in source_nodes)
+
+
+def longest_path_length(adjacency: Adjacency) -> int:
+    """Return the number of nodes on the longest source-to-sink path."""
+    graph = successors_view(adjacency)
+    order = topological_sort(graph)
+    if not order:
+        return 0
+    length: dict[Node, int] = {}
+    for node in reversed(order):
+        targets = graph[node]
+        length[node] = 1 + max((length[t] for t in targets), default=0)
+    return max(length.values())

@@ -1,0 +1,25 @@
+"""Text utilities: tokenisation, stopwords, and edit-distance similarity."""
+
+from .levenshtein import (
+    damerau_levenshtein_distance,
+    levenshtein_distance,
+    levenshtein_similarity,
+    normalized_levenshtein,
+)
+from .stopwords import STOPWORDS, is_stopword, remove_stopwords
+from .tokenize import clean_token, split_tokens, token_set, tokenize, tokenize_label
+
+__all__ = [
+    "damerau_levenshtein_distance",
+    "levenshtein_distance",
+    "levenshtein_similarity",
+    "normalized_levenshtein",
+    "STOPWORDS",
+    "is_stopword",
+    "remove_stopwords",
+    "clean_token",
+    "split_tokens",
+    "token_set",
+    "tokenize",
+    "tokenize_label",
+]

@@ -1,0 +1,41 @@
+"""English stopword list used when preprocessing workflow annotations.
+
+Section 2.2 of the paper filters the tokens of workflow titles and
+descriptions for stopwords before computing the Bag-of-Words similarity.
+The list below covers standard English function words plus a handful of
+terms that are ubiquitous in workflow descriptions (``workflow``,
+``using``, ``use``) and therefore carry no discriminating signal.
+
+Tag-based comparison (Bag of Tags) deliberately performs *no* stopword
+filtering, following the paper.
+"""
+
+from __future__ import annotations
+
+__all__ = ["STOPWORDS", "is_stopword", "remove_stopwords"]
+
+STOPWORDS: frozenset[str] = frozenset(
+    """
+    a about above after again against all am an and any are as at be because
+    been before being below between both but by can did do does doing down
+    during each few for from further had has have having he her here hers
+    herself him himself his how i if in into is it its itself just me more
+    most my myself no nor not now of off on once only or other our ours
+    ourselves out over own same she should so some such than that the their
+    theirs them themselves then there these they this those through to too
+    under until up very was we were what when where which while who whom why
+    will with you your yours yourself yourselves
+    given gets get take takes taken return returns returned provide provides
+    provided using use used uses via
+    """.split()
+)
+
+
+def is_stopword(token: str) -> bool:
+    """Return ``True`` if ``token`` (case-insensitive) is a stopword."""
+    return token.lower() in STOPWORDS
+
+
+def remove_stopwords(tokens: list[str]) -> list[str]:
+    """Return ``tokens`` with stopwords removed, preserving order."""
+    return [token for token in tokens if token.lower() not in STOPWORDS]

@@ -1,0 +1,100 @@
+"""Tokenisation of workflow annotations.
+
+The Bag-of-Words measure (Section 2.2) tokenises workflow titles and
+descriptions using whitespace and underscores as separators, lowercases
+the tokens, strips non-alphanumeric characters and removes stopwords.
+The functions in this module implement exactly that pipeline, with each
+step also exposed individually so alternative configurations can be
+composed.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .stopwords import remove_stopwords
+
+__all__ = [
+    "split_tokens",
+    "clean_token",
+    "tokenize",
+    "tokenize_label",
+    "token_set",
+]
+
+_SEPARATOR_PATTERN = re.compile(r"[\s_]+")
+_NON_ALNUM_PATTERN = re.compile(r"[^0-9a-zA-Z]+")
+_CAMEL_CASE_PATTERN = re.compile(r"(?<=[a-z0-9])(?=[A-Z])")
+
+
+def split_tokens(text: str) -> list[str]:
+    """Split ``text`` on whitespace and underscores."""
+    if not text:
+        return []
+    return [part for part in _SEPARATOR_PATTERN.split(text) if part]
+
+
+def clean_token(token: str) -> str:
+    """Lowercase a token and strip all non-alphanumeric characters."""
+    return _NON_ALNUM_PATTERN.sub("", token).lower()
+
+
+def tokenize(
+    text: str,
+    *,
+    lowercase: bool = True,
+    strip_non_alnum: bool = True,
+    filter_stopwords: bool = True,
+    min_length: int = 1,
+) -> list[str]:
+    """Tokenise free-form annotation text.
+
+    The defaults correspond to the preprocessing used by the paper's
+    Bag-of-Words measure: split on whitespace/underscores, lowercase,
+    remove non-alphanumeric characters, filter stopwords.
+
+    Parameters
+    ----------
+    text:
+        The raw annotation string (may be empty or ``None``-like).
+    lowercase, strip_non_alnum, filter_stopwords:
+        Toggles for the individual preprocessing steps.
+    min_length:
+        Tokens shorter than this (after cleaning) are dropped.
+    """
+    tokens: list[str] = []
+    for raw in split_tokens(text or ""):
+        token = raw
+        if strip_non_alnum:
+            token = _NON_ALNUM_PATTERN.sub("", token)
+        if lowercase:
+            token = token.lower()
+        if len(token) >= min_length and token:
+            tokens.append(token)
+    if filter_stopwords:
+        tokens = remove_stopwords(tokens)
+    return tokens
+
+
+def tokenize_label(label: str) -> list[str]:
+    """Tokenise a module label.
+
+    Module labels frequently use CamelCase or snake_case
+    (``Get_Pathway_Genes``, ``splitStringIntoList``); this helper splits
+    on both conventions, lowercases, and keeps stopwords (labels are
+    short and every word tends to matter).
+    """
+    if not label:
+        return []
+    expanded = _CAMEL_CASE_PATTERN.sub(" ", label)
+    return tokenize(expanded, filter_stopwords=False)
+
+
+def token_set(text: str, **kwargs) -> frozenset[str]:
+    """Return the set of distinct tokens of ``text``.
+
+    The paper's Bag-of-Words similarity does not account for multiple
+    occurrences of the same token, so set semantics is what the measure
+    consumes.
+    """
+    return frozenset(tokenize(text, **kwargs))

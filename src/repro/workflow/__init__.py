@@ -1,0 +1,76 @@
+"""Scientific workflow model, builders, parsers and dataset preparation."""
+
+from .builder import WorkflowBuilder
+from .galaxy import GalaxyParseError, parse_galaxy, parse_galaxy_file, write_galaxy
+from .model import DataLink, Module, Workflow, WorkflowAnnotations, WorkflowError
+from .preprocess import inline_subworkflows, prepare_workflow, remove_ports
+from .scufl import (
+    INPUT_PORT_TYPE,
+    OUTPUT_PORT_TYPE,
+    ScuflParseError,
+    parse_scufl,
+    parse_scufl_file,
+    write_scufl,
+)
+from .serialization import (
+    dump_workflow,
+    dump_workflows,
+    load_workflow,
+    load_workflows,
+    workflow_from_dict,
+    workflow_to_dict,
+)
+from .types import (
+    CATEGORY_DATA,
+    CATEGORY_LOCAL,
+    CATEGORY_OTHER,
+    CATEGORY_SCRIPT,
+    CATEGORY_SUBWORKFLOW,
+    CATEGORY_TOOL,
+    CATEGORY_WEB_SERVICE,
+    TRIVIAL_TYPES,
+    TYPE_CATEGORIES,
+    category_of,
+    is_trivial_type,
+    known_types,
+)
+
+__all__ = [
+    "WorkflowBuilder",
+    "GalaxyParseError",
+    "parse_galaxy",
+    "parse_galaxy_file",
+    "write_galaxy",
+    "DataLink",
+    "Module",
+    "Workflow",
+    "WorkflowAnnotations",
+    "WorkflowError",
+    "inline_subworkflows",
+    "prepare_workflow",
+    "remove_ports",
+    "INPUT_PORT_TYPE",
+    "OUTPUT_PORT_TYPE",
+    "ScuflParseError",
+    "parse_scufl",
+    "parse_scufl_file",
+    "write_scufl",
+    "dump_workflow",
+    "dump_workflows",
+    "load_workflow",
+    "load_workflows",
+    "workflow_from_dict",
+    "workflow_to_dict",
+    "CATEGORY_DATA",
+    "CATEGORY_LOCAL",
+    "CATEGORY_OTHER",
+    "CATEGORY_SCRIPT",
+    "CATEGORY_SUBWORKFLOW",
+    "CATEGORY_TOOL",
+    "CATEGORY_WEB_SERVICE",
+    "TRIVIAL_TYPES",
+    "TYPE_CATEGORIES",
+    "category_of",
+    "is_trivial_type",
+    "known_types",
+]

@@ -1,0 +1,154 @@
+"""Fluent builder for constructing workflows programmatically.
+
+The immutable :class:`~repro.workflow.model.Workflow` objects are
+convenient for the similarity framework but clumsy to assemble by hand.
+``WorkflowBuilder`` offers a small fluent API used throughout the
+examples, tests and corpus generators::
+
+    workflow = (
+        WorkflowBuilder("wf-1", title="KEGG pathway analysis")
+        .add_module("fetch", label="getKeggPathway", module_type="wsdl",
+                    service_name="KEGG", service_uri="http://soap.genome.jp/KEGG.wsdl")
+        .add_module("parse", label="parsePathway", module_type="beanshell",
+                    script="split(input)")
+        .connect("fetch", "parse")
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from .model import DataLink, Module, Workflow, WorkflowAnnotations, WorkflowError
+
+__all__ = ["WorkflowBuilder"]
+
+
+class WorkflowBuilder:
+    """Incrementally assemble a :class:`Workflow`."""
+
+    def __init__(
+        self,
+        identifier: str,
+        *,
+        title: str = "",
+        description: str = "",
+        tags: Iterable[str] = (),
+        author: str = "",
+        source_format: str = "internal",
+    ) -> None:
+        self.identifier = identifier
+        self._modules: dict[str, Module] = {}
+        self._module_order: list[str] = []
+        self._datalinks: list[DataLink] = []
+        self._annotations = WorkflowAnnotations(
+            title=title, description=description, tags=tuple(tags), author=author
+        )
+        self._source_format = source_format
+
+    # -- modules ---------------------------------------------------------
+
+    def add_module(
+        self,
+        identifier: str,
+        *,
+        label: str = "",
+        module_type: str = "",
+        description: str = "",
+        script: str = "",
+        service_authority: str = "",
+        service_name: str = "",
+        service_uri: str = "",
+        parameters: Mapping[str, str] | None = None,
+        inputs: Iterable[str] = (),
+        outputs: Iterable[str] = (),
+    ) -> "WorkflowBuilder":
+        """Add a module; the label defaults to the identifier."""
+        if identifier in self._modules:
+            raise WorkflowError(f"module {identifier!r} already added")
+        module = Module(
+            identifier=identifier,
+            label=label or identifier,
+            module_type=module_type,
+            description=description,
+            script=script,
+            service_authority=service_authority,
+            service_name=service_name,
+            service_uri=service_uri,
+            parameters=tuple(sorted((parameters or {}).items())),
+            inputs=tuple(inputs),
+            outputs=tuple(outputs),
+        )
+        self._modules[identifier] = module
+        self._module_order.append(identifier)
+        return self
+
+    def add_existing_module(self, module: Module) -> "WorkflowBuilder":
+        """Add an already-constructed :class:`Module` instance."""
+        if module.identifier in self._modules:
+            raise WorkflowError(f"module {module.identifier!r} already added")
+        self._modules[module.identifier] = module
+        self._module_order.append(module.identifier)
+        return self
+
+    def has_module(self, identifier: str) -> bool:
+        return identifier in self._modules
+
+    # -- datalinks ---------------------------------------------------------
+
+    def connect(
+        self,
+        source: str,
+        target: str,
+        *,
+        source_port: str = "",
+        target_port: str = "",
+    ) -> "WorkflowBuilder":
+        """Add a datalink from ``source`` to ``target``."""
+        if source not in self._modules:
+            raise WorkflowError(f"unknown source module {source!r}")
+        if target not in self._modules:
+            raise WorkflowError(f"unknown target module {target!r}")
+        self._datalinks.append(
+            DataLink(source=source, target=target, source_port=source_port, target_port=target_port)
+        )
+        return self
+
+    def chain(self, *identifiers: str) -> "WorkflowBuilder":
+        """Connect the listed modules in a linear pipeline."""
+        for source, target in zip(identifiers, identifiers[1:]):
+            self.connect(source, target)
+        return self
+
+    # -- annotations --------------------------------------------------------
+
+    def annotate(
+        self,
+        *,
+        title: str | None = None,
+        description: str | None = None,
+        tags: Iterable[str] | None = None,
+        author: str | None = None,
+    ) -> "WorkflowBuilder":
+        """Update the workflow's repository annotations."""
+        current = self._annotations
+        self._annotations = WorkflowAnnotations(
+            title=current.title if title is None else title,
+            description=current.description if description is None else description,
+            tags=current.tags if tags is None else tuple(tags),
+            author=current.author if author is None else author,
+        )
+        return self
+
+    # -- finalisation --------------------------------------------------------
+
+    def build(self) -> Workflow:
+        """Validate and return the immutable workflow."""
+        return Workflow(
+            identifier=self.identifier,
+            modules=tuple(self._modules[name] for name in self._module_order),
+            datalinks=tuple(self._datalinks),
+            annotations=self._annotations,
+            source_format=self._source_format,
+        )

@@ -1,0 +1,180 @@
+"""Parser and writer for Galaxy workflow files (``.ga`` JSON).
+
+The paper's secondary evaluation data set (Section 4.1, Section 5.3)
+consists of 139 workflows from the public Galaxy repository.  Galaxy
+stores workflows as JSON documents whose ``steps`` map contains tool
+invocations and data inputs with ``input_connections`` describing the
+dataflow.  This module converts such documents into the internal
+:class:`Workflow` model (and back), so the Galaxy corpus can be processed
+with "the exact same methods" as the Taverna corpus, as the paper does.
+
+Only the fields the similarity measures consume are interpreted; all
+other Galaxy fields are ignored on parse and omitted on write.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .model import DataLink, Module, Workflow, WorkflowAnnotations
+
+__all__ = ["GalaxyParseError", "parse_galaxy", "parse_galaxy_file", "write_galaxy"]
+
+
+class GalaxyParseError(ValueError):
+    """Raised when a Galaxy workflow document cannot be interpreted."""
+
+
+def _step_type(step: dict[str, Any]) -> str:
+    step_type = step.get("type", "tool")
+    if step_type in ("data_input", "data_collection_input"):
+        return "galaxy_data_input"
+    return "galaxy_tool"
+
+
+def parse_galaxy(document: str | dict[str, Any], *, identifier: str | None = None) -> Workflow:
+    """Parse a Galaxy ``.ga`` JSON document into a :class:`Workflow`.
+
+    Parameters
+    ----------
+    document:
+        Either the JSON text or the already-decoded dictionary.
+    identifier:
+        Workflow identifier to use; defaults to the document's ``uuid``
+        or ``name``.
+    """
+    if isinstance(document, str):
+        try:
+            data = json.loads(document)
+        except json.JSONDecodeError as error:
+            raise GalaxyParseError(f"invalid Galaxy JSON: {error}") from error
+    else:
+        data = document
+    if not isinstance(data, dict) or "steps" not in data:
+        raise GalaxyParseError("Galaxy workflow documents must contain a 'steps' mapping")
+
+    workflow_id = identifier or str(data.get("uuid") or data.get("name") or "galaxy-workflow")
+    steps = data["steps"]
+
+    modules: list[Module] = []
+    datalinks: list[DataLink] = []
+    step_ids: dict[str, str] = {}
+    for step_key in sorted(steps, key=lambda key: int(key) if str(key).isdigit() else 0):
+        step = steps[step_key]
+        module_id = f"step_{step_key}"
+        step_ids[str(step_key)] = module_id
+        tool_id = step.get("tool_id") or ""
+        parameters: dict[str, str] = {}
+        tool_state = step.get("tool_state")
+        if isinstance(tool_state, str):
+            try:
+                tool_state = json.loads(tool_state)
+            except json.JSONDecodeError:
+                tool_state = {}
+        if isinstance(tool_state, dict):
+            parameters = {
+                str(key): json.dumps(value) if not isinstance(value, str) else value
+                for key, value in sorted(tool_state.items())
+                if key not in ("__page__", "__rerun_remap_job_id__")
+            }
+        modules.append(
+            Module(
+                identifier=module_id,
+                label=step.get("label") or step.get("name") or tool_id or module_id,
+                module_type=_step_type(step),
+                description=step.get("annotation", "") or "",
+                service_name=tool_id,
+                service_uri=step.get("content_id", "") or tool_id,
+                service_authority=str(step.get("tool_shed_repository", {}).get("owner", ""))
+                if isinstance(step.get("tool_shed_repository"), dict)
+                else "",
+                parameters=tuple(sorted(parameters.items())),
+            )
+        )
+
+    for step_key, step in steps.items():
+        target_id = step_ids[str(step_key)]
+        connections = step.get("input_connections", {}) or {}
+        for input_name, connection in connections.items():
+            entries = connection if isinstance(connection, list) else [connection]
+            for entry in entries:
+                if not isinstance(entry, dict) or "id" not in entry:
+                    continue
+                source_key = str(entry["id"])
+                if source_key not in step_ids:
+                    continue
+                datalinks.append(
+                    DataLink(
+                        source=step_ids[source_key],
+                        target=target_id,
+                        source_port=str(entry.get("output_name", "")),
+                        target_port=str(input_name),
+                    )
+                )
+
+    annotations = WorkflowAnnotations(
+        title=data.get("name", ""),
+        description=data.get("annotation", "") or "",
+        tags=tuple(data.get("tags", ()) or ()),
+        author=str(data.get("creator", "") or ""),
+    )
+    return Workflow(
+        identifier=workflow_id,
+        modules=tuple(modules),
+        datalinks=tuple(datalinks),
+        annotations=annotations,
+        source_format="galaxy",
+    )
+
+
+def parse_galaxy_file(path: str | Path, *, identifier: str | None = None) -> Workflow:
+    """Parse a Galaxy ``.ga`` file."""
+    path = Path(path)
+    return parse_galaxy(path.read_text(), identifier=identifier or path.stem)
+
+
+def write_galaxy(workflow: Workflow) -> str:
+    """Serialise a workflow into Galaxy ``.ga`` JSON.
+
+    The inverse of :func:`parse_galaxy` for the fields the internal model
+    keeps; useful for exporting synthetic Galaxy corpora to disk in the
+    native format.
+    """
+    id_to_index = {module.identifier: index for index, module in enumerate(workflow.modules)}
+    steps: dict[str, Any] = {}
+    incoming: dict[str, list[DataLink]] = {module.identifier: [] for module in workflow.modules}
+    for link in workflow.datalinks:
+        incoming[link.target].append(link)
+    for module in workflow.modules:
+        index = id_to_index[module.identifier]
+        connections = {
+            (link.target_port or f"input{i}"): {
+                "id": id_to_index[link.source],
+                "output_name": link.source_port or "output",
+            }
+            for i, link in enumerate(incoming[module.identifier])
+        }
+        steps[str(index)] = {
+            "id": index,
+            "type": "data_input" if module.module_type == "galaxy_data_input" else "tool",
+            "label": module.label,
+            "name": module.label,
+            "annotation": module.description,
+            "tool_id": module.service_name,
+            "content_id": module.service_uri,
+            "tool_state": json.dumps(dict(module.parameters)),
+            "input_connections": connections,
+        }
+    document = {
+        "a_galaxy_workflow": "true",
+        "format-version": "0.1",
+        "name": workflow.annotations.title,
+        "annotation": workflow.annotations.description,
+        "tags": list(workflow.annotations.tags),
+        "creator": workflow.annotations.author,
+        "uuid": workflow.identifier,
+        "steps": steps,
+    }
+    return json.dumps(document, indent=2)

@@ -1,0 +1,282 @@
+"""The scientific workflow data model.
+
+A scientific workflow (Section 1 of the paper) models a dataflow with a
+structure resembling a directed acyclic graph: data-processing *modules*
+operate on data, *datalinks* connect modules and define the flow of data
+from one module to the next.  Each module carries attributes such as a
+label, the type of operation, and, where applicable, web-service related
+properties or a script.  Upon upload to a repository, workflows are
+annotated with a title, a description, keyword tags and the uploading
+author.
+
+The classes in this module capture exactly this information; everything
+the similarity framework consumes is reachable from a
+:class:`Workflow` instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator
+
+from ..graphs.dag import (
+    has_cycle,
+    predecessors_from_successors,
+    sinks,
+    sources,
+    topological_sort,
+)
+from .types import category_of, is_trivial_type
+
+__all__ = ["Module", "DataLink", "WorkflowAnnotations", "Workflow", "WorkflowError"]
+
+
+class WorkflowError(ValueError):
+    """Raised when a workflow is structurally invalid."""
+
+
+@dataclass(frozen=True)
+class Module:
+    """A data-processing module (Taverna "processor", Galaxy "step").
+
+    Attributes mirror the ones the paper's module comparison
+    configurations use (Section 2.1.1): the label given by the workflow
+    author, the type of operation, a free-text description, a script body
+    for scripted modules, and the web-service related properties
+    authority name, service name and service uri.  ``parameters`` holds
+    static, data-independent parameters such as tool arguments.
+    """
+
+    identifier: str
+    label: str = ""
+    module_type: str = ""
+    description: str = ""
+    script: str = ""
+    service_authority: str = ""
+    service_name: str = ""
+    service_uri: str = ""
+    parameters: tuple[tuple[str, str], ...] = ()
+    inputs: tuple[str, ...] = ()
+    outputs: tuple[str, ...] = ()
+
+    @property
+    def category(self) -> str:
+        """Technical equivalence class of this module's type."""
+        return category_of(self.module_type)
+
+    @property
+    def is_trivial(self) -> bool:
+        """Whether this module performs a predefined, trivial local operation."""
+        return is_trivial_type(self.module_type)
+
+    def attribute(self, name: str) -> str:
+        """Return a named comparable attribute as a string.
+
+        Recognised names: ``label``, ``type``, ``description``,
+        ``script``, ``service_authority``, ``service_name``,
+        ``service_uri``, ``parameters``.
+        """
+        if name == "label":
+            return self.label
+        if name == "type":
+            return self.module_type
+        if name == "description":
+            return self.description
+        if name == "script":
+            return self.script
+        if name == "service_authority":
+            return self.service_authority
+        if name == "service_name":
+            return self.service_name
+        if name == "service_uri":
+            return self.service_uri
+        if name == "parameters":
+            return " ".join(f"{key}={value}" for key, value in self.parameters)
+        raise KeyError(f"unknown module attribute {name!r}")
+
+    def with_values(self, **changes) -> "Module":
+        """Return a copy with the given attributes replaced."""
+        return replace(self, **changes)
+
+    def parameter_dict(self) -> dict[str, str]:
+        """Return the static parameters as a dictionary."""
+        return dict(self.parameters)
+
+
+@dataclass(frozen=True)
+class DataLink:
+    """A directed datalink between two modules.
+
+    ``source_port``/``target_port`` name the output/input ports involved;
+    they are informational (the similarity measures operate on the
+    module-level DAG).
+    """
+
+    source: str
+    target: str
+    source_port: str = ""
+    target_port: str = ""
+
+    def as_edge(self) -> tuple[str, str]:
+        return (self.source, self.target)
+
+
+@dataclass(frozen=True)
+class WorkflowAnnotations:
+    """Repository-level annotations of a workflow."""
+
+    title: str = ""
+    description: str = ""
+    tags: tuple[str, ...] = ()
+    author: str = ""
+
+    @property
+    def has_tags(self) -> bool:
+        return bool(self.tags)
+
+    def with_values(self, **changes) -> "WorkflowAnnotations":
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class Workflow:
+    """A scientific workflow: modules, datalinks and annotations.
+
+    Workflows are immutable; use :class:`repro.workflow.WorkflowBuilder`
+    or the ``with_*`` helpers to derive modified copies (the importance
+    projection, for instance, produces a projected copy).
+    """
+
+    identifier: str
+    modules: tuple[Module, ...] = ()
+    datalinks: tuple[DataLink, ...] = ()
+    annotations: WorkflowAnnotations = field(default_factory=WorkflowAnnotations)
+    source_format: str = "internal"
+
+    def __post_init__(self) -> None:
+        module_ids = [module.identifier for module in self.modules]
+        if len(module_ids) != len(set(module_ids)):
+            raise WorkflowError(f"workflow {self.identifier!r} has duplicate module identifiers")
+        known = set(module_ids)
+        for link in self.datalinks:
+            if link.source not in known or link.target not in known:
+                raise WorkflowError(
+                    f"workflow {self.identifier!r}: datalink {link.source!r}->{link.target!r} "
+                    "references an unknown module"
+                )
+            if link.source == link.target:
+                raise WorkflowError(
+                    f"workflow {self.identifier!r}: self-loop on module {link.source!r}"
+                )
+        if has_cycle(self.adjacency()):
+            raise WorkflowError(f"workflow {self.identifier!r} contains a cycle")
+
+    # -- basic accessors -------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of modules, ``|V|`` in the paper's notation."""
+        return len(self.modules)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of datalinks, ``|E|`` in the paper's notation."""
+        return len(self.datalinks)
+
+    def module_ids(self) -> list[str]:
+        return [module.identifier for module in self.modules]
+
+    def module(self, identifier: str) -> Module:
+        for module in self.modules:
+            if module.identifier == identifier:
+                return module
+        raise KeyError(f"workflow {self.identifier!r} has no module {identifier!r}")
+
+    def module_map(self) -> dict[str, Module]:
+        return {module.identifier: module for module in self.modules}
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self.modules)
+
+    def __len__(self) -> int:
+        return len(self.modules)
+
+    # -- graph views -------------------------------------------------------
+
+    def adjacency(self) -> dict[str, set[str]]:
+        """Successor mapping over module identifiers (includes isolated modules)."""
+        graph: dict[str, set[str]] = {module.identifier: set() for module in self.modules}
+        for link in self.datalinks:
+            graph[link.source].add(link.target)
+        return graph
+
+    def predecessors(self) -> dict[str, set[str]]:
+        return predecessors_from_successors(self.adjacency())
+
+    def source_modules(self) -> list[str]:
+        """Module identifiers without inbound datalinks."""
+        return sorted(sources(self.adjacency()))
+
+    def sink_modules(self) -> list[str]:
+        """Module identifiers without outbound datalinks."""
+        return sorted(sinks(self.adjacency()))
+
+    def topological_order(self) -> list[str]:
+        return topological_sort(self.adjacency())
+
+    def edges(self) -> list[tuple[str, str]]:
+        """Distinct (source, target) module pairs connected by datalinks."""
+        return sorted({link.as_edge() for link in self.datalinks})
+
+    # -- derived copies ------------------------------------------------------
+
+    def with_modules(
+        self,
+        modules: Iterable[Module],
+        datalinks: Iterable[DataLink] | None = None,
+        *,
+        suffix: str = "",
+    ) -> "Workflow":
+        """Return a copy with a different module/datalink structure."""
+        return Workflow(
+            identifier=self.identifier + suffix,
+            modules=tuple(modules),
+            datalinks=tuple(datalinks if datalinks is not None else self.datalinks),
+            annotations=self.annotations,
+            source_format=self.source_format,
+        )
+
+    def with_annotations(self, annotations: WorkflowAnnotations) -> "Workflow":
+        return Workflow(
+            identifier=self.identifier,
+            modules=self.modules,
+            datalinks=self.datalinks,
+            annotations=annotations,
+            source_format=self.source_format,
+        )
+
+    # -- statistics ---------------------------------------------------------
+
+    def type_histogram(self) -> dict[str, int]:
+        """Count modules per type identifier."""
+        histogram: dict[str, int] = {}
+        for module in self.modules:
+            key = module.module_type.lower()
+            histogram[key] = histogram.get(key, 0) + 1
+        return histogram
+
+    def category_histogram(self) -> dict[str, int]:
+        """Count modules per technical equivalence class."""
+        histogram: dict[str, int] = {}
+        for module in self.modules:
+            histogram[module.category] = histogram.get(module.category, 0) + 1
+        return histogram
+
+    def describe(self) -> str:
+        """One-line human-readable summary used by examples and logs."""
+        title = self.annotations.title or "(untitled)"
+        return (
+            f"Workflow {self.identifier}: {title!r}, "
+            f"{self.size} modules, {self.edge_count} datalinks, "
+            f"{len(self.annotations.tags)} tags"
+        )

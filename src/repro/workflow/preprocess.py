@@ -1,0 +1,158 @@
+"""Dataset preparation: sub-workflow inlining and port removal.
+
+Section 4.1 of the paper describes the transformation applied to the raw
+myExperiment dump before any comparison takes place:
+
+    "During this transformation, subworkflows were inlined and input and
+     output ports were removed."
+
+This module implements both operations on the internal workflow model:
+
+* :func:`remove_ports` drops the pseudo-modules representing workflow
+  input/output ports (created by the SCUFL parser) and their datalinks.
+* :func:`inline_subworkflows` replaces modules of type
+  ``workflow``/``dataflow`` by the body of the referenced sub-workflow,
+  reconnecting incoming and outgoing datalinks to the sub-workflow's
+  source and sink modules.
+* :func:`prepare_workflow` chains both, which is what the corpus loaders
+  apply to every parsed workflow.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .model import DataLink, Module, Workflow
+from .scufl import INPUT_PORT_TYPE, OUTPUT_PORT_TYPE
+
+__all__ = ["remove_ports", "inline_subworkflows", "prepare_workflow"]
+
+_SUBWORKFLOW_TYPES = frozenset({"workflow", "dataflow"})
+_PORT_TYPES = frozenset({INPUT_PORT_TYPE, OUTPUT_PORT_TYPE})
+
+
+def remove_ports(workflow: Workflow) -> Workflow:
+    """Return a copy of ``workflow`` without input/output port pseudo-modules."""
+    port_ids = {
+        module.identifier for module in workflow.modules if module.module_type in _PORT_TYPES
+    }
+    if not port_ids:
+        return workflow
+    modules = tuple(m for m in workflow.modules if m.identifier not in port_ids)
+    datalinks = tuple(
+        link
+        for link in workflow.datalinks
+        if link.source not in port_ids and link.target not in port_ids
+    )
+    return Workflow(
+        identifier=workflow.identifier,
+        modules=modules,
+        datalinks=datalinks,
+        annotations=workflow.annotations,
+        source_format=workflow.source_format,
+    )
+
+
+def _prefixed_module(module: Module, prefix: str) -> Module:
+    return module.with_values(identifier=f"{prefix}{module.identifier}")
+
+
+def inline_subworkflows(
+    workflow: Workflow,
+    definitions: Mapping[str, Workflow],
+    *,
+    max_depth: int = 5,
+) -> Workflow:
+    """Inline nested sub-workflows into their parent.
+
+    A module is treated as a sub-workflow invocation when its type is
+    ``workflow``/``dataflow`` and either its ``service_uri`` or its
+    ``subworkflow`` parameter names a key of ``definitions``.  The
+    sub-workflow's modules (prefixed with the invoking module's
+    identifier) replace the invoking module; datalinks into the invoking
+    module are rerouted to the sub-workflow's source modules, datalinks
+    out of it to its sink modules — the same dataflow-preserving
+    expansion Taverna itself performs when executing nested workflows.
+
+    Unknown sub-workflow references are left in place as ordinary
+    modules (the raw repository data contains dangling references).
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum nesting depth to expand; prevents runaway recursion for
+        (invalid) mutually-nested definitions.
+    """
+    current = workflow
+    for _ in range(max_depth):
+        expanded = _inline_once(current, definitions)
+        if expanded is current:
+            return current
+        current = expanded
+    return current
+
+
+def _inline_once(workflow: Workflow, definitions: Mapping[str, Workflow]) -> Workflow:
+    targets = {}
+    for module in workflow.modules:
+        if module.module_type.lower() not in _SUBWORKFLOW_TYPES:
+            continue
+        reference = module.parameter_dict().get("subworkflow") or module.service_uri
+        if reference in definitions:
+            targets[module.identifier] = definitions[reference]
+    if not targets:
+        return workflow
+
+    modules: list[Module] = []
+    datalinks: list[DataLink] = []
+    sources_of: dict[str, list[str]] = {}
+    sinks_of: dict[str, list[str]] = {}
+    for module in workflow.modules:
+        if module.identifier not in targets:
+            modules.append(module)
+            continue
+        sub = targets[module.identifier]
+        prefix = f"{module.identifier}/"
+        modules.extend(_prefixed_module(sub_module, prefix) for sub_module in sub.modules)
+        datalinks.extend(
+            DataLink(
+                source=f"{prefix}{link.source}",
+                target=f"{prefix}{link.target}",
+                source_port=link.source_port,
+                target_port=link.target_port,
+            )
+            for link in sub.datalinks
+        )
+        sources_of[module.identifier] = [f"{prefix}{name}" for name in sub.source_modules()]
+        sinks_of[module.identifier] = [f"{prefix}{name}" for name in sub.sink_modules()]
+
+    for link in workflow.datalinks:
+        source_expansion = sinks_of.get(link.source, [link.source])
+        target_expansion = sources_of.get(link.target, [link.target])
+        for source in source_expansion:
+            for target in target_expansion:
+                if source != target:
+                    datalinks.append(
+                        DataLink(
+                            source=source,
+                            target=target,
+                            source_port=link.source_port,
+                            target_port=link.target_port,
+                        )
+                    )
+
+    return Workflow(
+        identifier=workflow.identifier,
+        modules=tuple(modules),
+        datalinks=tuple(datalinks),
+        annotations=workflow.annotations,
+        source_format=workflow.source_format,
+    )
+
+
+def prepare_workflow(
+    workflow: Workflow, definitions: Mapping[str, Workflow] | None = None
+) -> Workflow:
+    """Apply the paper's dataset preparation: inline sub-workflows, drop ports."""
+    prepared = inline_subworkflows(workflow, definitions or {})
+    return remove_ports(prepared)

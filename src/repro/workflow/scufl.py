@@ -1,0 +1,256 @@
+"""Parser and writer for a simplified Taverna SCUFL-like XML format.
+
+myExperiment distributes Taverna workflows as SCUFL/t2flow XML (wrapped
+in RDF); the paper transforms those into its own graph format.  Since
+the real dump is not redistributable, the corpus generator can emit — and
+this module can parse — a structurally equivalent XML dialect that keeps
+the pieces the similarity measures consume: processors with their
+attributes, datalinks, workflow input/output ports, nested workflows,
+and repository annotations.
+
+Example document::
+
+    <workflow id="1189" author="alice">
+      <title>KEGG pathway analysis</title>
+      <description>Fetches a KEGG pathway ...</description>
+      <tags><tag>kegg</tag><tag>pathway</tag></tags>
+      <processors>
+        <processor id="fetch" type="wsdl" label="getPathway">
+          <service authority="KEGG" name="KEGGService"
+                   uri="http://soap.genome.jp/KEGG.wsdl"/>
+        </processor>
+        <processor id="parse" type="beanshell" label="parsePathway">
+          <script>String[] parts = input.split("\\n");</script>
+        </processor>
+      </processors>
+      <datalinks>
+        <datalink source="fetch" sink="parse"/>
+      </datalinks>
+      <inputs><input name="gene_id"/></inputs>
+      <outputs><output name="pathway_image"/></outputs>
+    </workflow>
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ElementTree
+from pathlib import Path
+
+from .model import DataLink, Module, Workflow, WorkflowAnnotations
+
+__all__ = [
+    "ScuflParseError",
+    "parse_scufl",
+    "parse_scufl_file",
+    "write_scufl",
+    "INPUT_PORT_TYPE",
+    "OUTPUT_PORT_TYPE",
+]
+
+#: Pseudo module types used to represent workflow-level ports in the raw
+#: (not yet preprocessed) form of a parsed workflow.  The dataset
+#: preparation step of the paper removes these (see ``repro.workflow.inline``).
+INPUT_PORT_TYPE = "workflow_input_port"
+OUTPUT_PORT_TYPE = "workflow_output_port"
+
+
+class ScuflParseError(ValueError):
+    """Raised when a SCUFL-like document cannot be parsed."""
+
+
+def _text(element: ElementTree.Element | None) -> str:
+    if element is None or element.text is None:
+        return ""
+    return element.text.strip()
+
+
+def parse_scufl(document: str, *, keep_ports: bool = True) -> Workflow:
+    """Parse a SCUFL-like XML document into a :class:`Workflow`.
+
+    Parameters
+    ----------
+    document:
+        The XML text.
+    keep_ports:
+        When ``True`` (default), workflow input/output ports become
+        pseudo-modules with types :data:`INPUT_PORT_TYPE` /
+        :data:`OUTPUT_PORT_TYPE` connected to the processors reading
+        from / writing to them, mirroring the raw myExperiment data.
+        The preprocessing described in Section 4.1 removes them again.
+    """
+    try:
+        root = ElementTree.fromstring(document)
+    except ElementTree.ParseError as error:
+        raise ScuflParseError(f"invalid SCUFL XML: {error}") from error
+    if root.tag != "workflow":
+        raise ScuflParseError(f"expected <workflow> root element, found <{root.tag}>")
+    identifier = root.get("id")
+    if not identifier:
+        raise ScuflParseError("<workflow> element is missing the 'id' attribute")
+
+    modules: list[Module] = []
+    known_ids: set[str] = set()
+    for processor in root.findall("./processors/processor"):
+        proc_id = processor.get("id")
+        if not proc_id:
+            raise ScuflParseError("<processor> element is missing the 'id' attribute")
+        if proc_id in known_ids:
+            raise ScuflParseError(f"duplicate processor id {proc_id!r}")
+        known_ids.add(proc_id)
+        service = processor.find("service")
+        parameters = {
+            param.get("name", ""): param.get("value", "")
+            for param in processor.findall("parameter")
+        }
+        modules.append(
+            Module(
+                identifier=proc_id,
+                label=processor.get("label", proc_id),
+                module_type=processor.get("type", ""),
+                description=_text(processor.find("description")),
+                script=_text(processor.find("script")),
+                service_authority=service.get("authority", "") if service is not None else "",
+                service_name=service.get("name", "") if service is not None else "",
+                service_uri=service.get("uri", "") if service is not None else "",
+                parameters=tuple(sorted(parameters.items())),
+            )
+        )
+
+    datalinks: list[DataLink] = []
+    for link in root.findall("./datalinks/datalink"):
+        source = link.get("source")
+        sink = link.get("sink")
+        if not source or not sink:
+            raise ScuflParseError("<datalink> needs 'source' and 'sink' attributes")
+        datalinks.append(
+            DataLink(
+                source=source,
+                target=sink,
+                source_port=link.get("source_port", ""),
+                target_port=link.get("sink_port", ""),
+            )
+        )
+
+    if keep_ports:
+        for port in root.findall("./inputs/input"):
+            name = port.get("name", "")
+            port_id = f"input:{name}"
+            modules.append(
+                Module(identifier=port_id, label=name, module_type=INPUT_PORT_TYPE)
+            )
+            known_ids.add(port_id)
+            for target in port.get("feeds", "").split():
+                datalinks.append(DataLink(source=port_id, target=target))
+        for port in root.findall("./outputs/output"):
+            name = port.get("name", "")
+            port_id = f"output:{name}"
+            modules.append(
+                Module(identifier=port_id, label=name, module_type=OUTPUT_PORT_TYPE)
+            )
+            known_ids.add(port_id)
+            for source in port.get("fed_by", "").split():
+                datalinks.append(DataLink(source=source, target=port_id))
+
+    # Drop datalinks that reference missing processors instead of failing:
+    # real repository dumps contain dangling links for deleted processors.
+    valid_links = tuple(
+        link for link in datalinks if link.source in known_ids and link.target in known_ids
+    )
+
+    annotations = WorkflowAnnotations(
+        title=_text(root.find("title")),
+        description=_text(root.find("description")),
+        tags=tuple(_text(tag) for tag in root.findall("./tags/tag") if _text(tag)),
+        author=root.get("author", ""),
+    )
+    return Workflow(
+        identifier=identifier,
+        modules=tuple(modules),
+        datalinks=valid_links,
+        annotations=annotations,
+        source_format="scufl",
+    )
+
+
+def parse_scufl_file(path: str | Path, *, keep_ports: bool = True) -> Workflow:
+    """Parse a SCUFL-like XML file."""
+    return parse_scufl(Path(path).read_text(), keep_ports=keep_ports)
+
+
+def write_scufl(workflow: Workflow) -> str:
+    """Serialise a workflow back into the SCUFL-like XML dialect.
+
+    Port pseudo-modules (if present) are emitted as ``<input>``/
+    ``<output>`` elements rather than processors, so a parse/write
+    round-trip is stable.
+    """
+    root = ElementTree.Element(
+        "workflow", {"id": workflow.identifier, "author": workflow.annotations.author}
+    )
+    ElementTree.SubElement(root, "title").text = workflow.annotations.title
+    ElementTree.SubElement(root, "description").text = workflow.annotations.description
+    tags = ElementTree.SubElement(root, "tags")
+    for tag in workflow.annotations.tags:
+        ElementTree.SubElement(tags, "tag").text = tag
+
+    processors = ElementTree.SubElement(root, "processors")
+    port_modules = {INPUT_PORT_TYPE: [], OUTPUT_PORT_TYPE: []}
+    adjacency = workflow.adjacency()
+    predecessors = workflow.predecessors()
+    for module in workflow.modules:
+        if module.module_type in port_modules:
+            port_modules[module.module_type].append(module)
+            continue
+        element = ElementTree.SubElement(
+            processors,
+            "processor",
+            {"id": module.identifier, "type": module.module_type, "label": module.label},
+        )
+        if module.description:
+            ElementTree.SubElement(element, "description").text = module.description
+        if module.script:
+            ElementTree.SubElement(element, "script").text = module.script
+        if module.service_name or module.service_uri or module.service_authority:
+            ElementTree.SubElement(
+                element,
+                "service",
+                {
+                    "authority": module.service_authority,
+                    "name": module.service_name,
+                    "uri": module.service_uri,
+                },
+            )
+        for key, value in module.parameters:
+            ElementTree.SubElement(element, "parameter", {"name": key, "value": value})
+
+    port_ids = {
+        module.identifier
+        for module in workflow.modules
+        if module.module_type in (INPUT_PORT_TYPE, OUTPUT_PORT_TYPE)
+    }
+    datalinks = ElementTree.SubElement(root, "datalinks")
+    for link in workflow.datalinks:
+        if link.source in port_ids or link.target in port_ids:
+            continue
+        ElementTree.SubElement(
+            datalinks,
+            "datalink",
+            {
+                "source": link.source,
+                "sink": link.target,
+                "source_port": link.source_port,
+                "sink_port": link.target_port,
+            },
+        )
+
+    inputs = ElementTree.SubElement(root, "inputs")
+    for module in port_modules[INPUT_PORT_TYPE]:
+        feeds = " ".join(sorted(adjacency.get(module.identifier, ())))
+        ElementTree.SubElement(inputs, "input", {"name": module.label, "feeds": feeds})
+    outputs = ElementTree.SubElement(root, "outputs")
+    for module in port_modules[OUTPUT_PORT_TYPE]:
+        fed_by = " ".join(sorted(predecessors.get(module.identifier, ())))
+        ElementTree.SubElement(outputs, "output", {"name": module.label, "fed_by": fed_by})
+
+    ElementTree.indent(root)
+    return ElementTree.tostring(root, encoding="unicode")

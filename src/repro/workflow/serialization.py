@@ -1,0 +1,132 @@
+"""JSON (de)serialisation of the internal workflow format.
+
+Section 4.1 of the paper transforms all downloaded workflows "into a
+custom graph format for easier handling".  This module defines that
+custom format for the reproduction: a plain JSON document that captures
+modules with all comparable attributes, datalinks, and repository
+annotations.  The corpus generators write this format; all parsers
+(`scufl`, `galaxy`) normalise into it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+from .model import DataLink, Module, Workflow, WorkflowAnnotations
+
+__all__ = [
+    "workflow_to_dict",
+    "workflow_from_dict",
+    "dump_workflow",
+    "load_workflow",
+    "dump_workflows",
+    "load_workflows",
+]
+
+FORMAT_VERSION = 1
+
+
+def workflow_to_dict(workflow: Workflow) -> dict[str, Any]:
+    """Convert a workflow to a JSON-serialisable dictionary."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "id": workflow.identifier,
+        "source_format": workflow.source_format,
+        "annotations": {
+            "title": workflow.annotations.title,
+            "description": workflow.annotations.description,
+            "tags": list(workflow.annotations.tags),
+            "author": workflow.annotations.author,
+        },
+        "modules": [
+            {
+                "id": module.identifier,
+                "label": module.label,
+                "type": module.module_type,
+                "description": module.description,
+                "script": module.script,
+                "service_authority": module.service_authority,
+                "service_name": module.service_name,
+                "service_uri": module.service_uri,
+                "parameters": dict(module.parameters),
+                "inputs": list(module.inputs),
+                "outputs": list(module.outputs),
+            }
+            for module in workflow.modules
+        ],
+        "datalinks": [
+            {
+                "source": link.source,
+                "target": link.target,
+                "source_port": link.source_port,
+                "target_port": link.target_port,
+            }
+            for link in workflow.datalinks
+        ],
+    }
+
+
+def workflow_from_dict(data: dict[str, Any]) -> Workflow:
+    """Reconstruct a workflow from its dictionary form."""
+    annotations = data.get("annotations", {})
+    modules = tuple(
+        Module(
+            identifier=entry["id"],
+            label=entry.get("label", ""),
+            module_type=entry.get("type", ""),
+            description=entry.get("description", ""),
+            script=entry.get("script", ""),
+            service_authority=entry.get("service_authority", ""),
+            service_name=entry.get("service_name", ""),
+            service_uri=entry.get("service_uri", ""),
+            parameters=tuple(sorted((entry.get("parameters") or {}).items())),
+            inputs=tuple(entry.get("inputs", ())),
+            outputs=tuple(entry.get("outputs", ())),
+        )
+        for entry in data.get("modules", [])
+    )
+    datalinks = tuple(
+        DataLink(
+            source=entry["source"],
+            target=entry["target"],
+            source_port=entry.get("source_port", ""),
+            target_port=entry.get("target_port", ""),
+        )
+        for entry in data.get("datalinks", [])
+    )
+    return Workflow(
+        identifier=str(data["id"]),
+        modules=modules,
+        datalinks=datalinks,
+        annotations=WorkflowAnnotations(
+            title=annotations.get("title", ""),
+            description=annotations.get("description", ""),
+            tags=tuple(annotations.get("tags", ())),
+            author=annotations.get("author", ""),
+        ),
+        source_format=data.get("source_format", "internal"),
+    )
+
+
+def dump_workflow(workflow: Workflow, path: str | Path) -> None:
+    """Write a single workflow to a JSON file."""
+    Path(path).write_text(json.dumps(workflow_to_dict(workflow), indent=2))
+
+
+def load_workflow(path: str | Path) -> Workflow:
+    """Load a single workflow from a JSON file."""
+    return workflow_from_dict(json.loads(Path(path).read_text()))
+
+
+def dump_workflows(workflows: Iterable[Workflow], path: str | Path) -> None:
+    """Write a corpus of workflows to a single JSON file (a JSON array)."""
+    payload = [workflow_to_dict(workflow) for workflow in workflows]
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_workflows(path: str | Path) -> list[Workflow]:
+    """Load a corpus of workflows from a JSON array file."""
+    payload = json.loads(Path(path).read_text())
+    return [workflow_from_dict(entry) for entry in payload]

@@ -1,0 +1,117 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, load_workflow_file, main
+from repro.workflow import WorkflowBuilder, dump_workflow, write_galaxy, write_scufl
+
+
+@pytest.fixture()
+def workflow_files(tmp_path, kegg_workflow, kegg_variant_workflow):
+    json_path = tmp_path / "kegg.json"
+    dump_workflow(kegg_workflow, json_path)
+    xml_path = tmp_path / "variant.xml"
+    xml_path.write_text(write_scufl(kegg_variant_workflow))
+    galaxy_path = tmp_path / "pipeline.ga"
+    galaxy_path.write_text(write_galaxy(kegg_variant_workflow))
+    return json_path, xml_path, galaxy_path
+
+
+@pytest.fixture()
+def corpus_file(tmp_path, small_corpus):
+    path = tmp_path / "corpus.json"
+    small_corpus.repository.save(path)
+    return path
+
+
+class TestLoadWorkflowFile:
+    def test_load_internal_json(self, workflow_files):
+        workflow = load_workflow_file(workflow_files[0])
+        assert workflow.identifier == "wf-kegg"
+
+    def test_load_scufl_xml(self, workflow_files):
+        workflow = load_workflow_file(workflow_files[1])
+        assert workflow.identifier == "wf-kegg-variant"
+
+    def test_load_galaxy_ga(self, workflow_files):
+        workflow = load_workflow_file(workflow_files[2])
+        assert workflow.source_format == "galaxy"
+
+    def test_galaxy_detected_from_json_content(self, tmp_path, kegg_workflow):
+        path = tmp_path / "exported.json"
+        path.write_text(write_galaxy(kegg_workflow))
+        assert load_workflow_file(path).source_format == "galaxy"
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare", "a.json", "b.json"])
+        assert args.command == "compare"
+        assert args.measure is None
+
+
+class TestCommands:
+    def test_compare_prints_scores(self, workflow_files, capsys):
+        exit_code = main(
+            ["compare", str(workflow_files[0]), str(workflow_files[1]), "--measure", "BW",
+             "--measure", "MS_np_ta_pll"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "BW\t" in output
+        assert "MS_np_ta_pll\t" in output
+
+    def test_compare_default_measures(self, workflow_files, capsys):
+        assert main(["compare", str(workflow_files[0]), str(workflow_files[1])]) == 0
+        output = capsys.readouterr().out
+        assert "BW+MS_ip_te_pll" in output
+
+    def test_search_outputs_ranked_hits(self, corpus_file, small_corpus, capsys):
+        query_id = small_corpus.repository.identifiers()[0]
+        exit_code = main(
+            ["search", str(corpus_file), query_id, "--measure", "BW", "-k", "5"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "top-5 results" in output
+        assert query_id in output.splitlines()[0]
+
+    def test_search_unknown_query_fails(self, corpus_file, capsys):
+        exit_code = main(["search", str(corpus_file), "ghost", "--measure", "BW"])
+        assert exit_code == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_generate_corpus_and_stats(self, tmp_path, capsys):
+        output = tmp_path / "generated.json"
+        assert main(["generate-corpus", str(output), "--workflows", "12", "--seed", "3"]) == 0
+        assert output.exists()
+        payload = json.loads(output.read_text())
+        assert len(payload["workflows"]) == 12
+
+        assert main(["stats", str(output)]) == 0
+        stats_output = capsys.readouterr().out
+        assert "workflows:                 12" in stats_output
+        assert "module categories:" in stats_output
+
+    def test_generate_galaxy_corpus(self, tmp_path):
+        output = tmp_path / "galaxy.json"
+        assert main(
+            ["generate-corpus", str(output), "--workflows", "8", "--format", "galaxy"]
+        ) == 0
+        payload = json.loads(output.read_text())
+        assert len(payload["workflows"]) == 8
+
+    def test_measures_listing(self, capsys):
+        assert main(["measures"]) == 0
+        output = capsys.readouterr().out.splitlines()
+        assert "BW" in output
+        assert "MS_ip_te_pll" in output
+        assert len(output) == 74

@@ -1,0 +1,116 @@
+"""Tests for the annotation-based measures (Bag of Words, Bag of Tags)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BagOfTagsSimilarity, BagOfWordsSimilarity, bag_overlap_similarity
+from repro.workflow import WorkflowBuilder
+
+
+def annotated(identifier, title, description="", tags=()):
+    return (
+        WorkflowBuilder(identifier, title=title, description=description, tags=tags)
+        .add_module("m", label="module")
+        .build()
+    )
+
+
+class TestBagOverlap:
+    def test_identical_sets(self):
+        assert bag_overlap_similarity(frozenset({"a", "b"}), frozenset({"a", "b"})) == 1.0
+
+    def test_disjoint_sets(self):
+        assert bag_overlap_similarity(frozenset({"a"}), frozenset({"b"})) == 0.0
+
+    def test_partial_overlap(self):
+        value = bag_overlap_similarity(frozenset({"a", "b", "c"}), frozenset({"b", "c", "d"}))
+        assert value == pytest.approx(2 / 4)
+
+    def test_empty_sets(self):
+        assert bag_overlap_similarity(frozenset(), frozenset()) == 0.0
+
+
+class TestBagOfWords:
+    def test_identical_annotations(self):
+        first = annotated("a", "KEGG pathway analysis", "Fetches a pathway")
+        second = annotated("b", "KEGG pathway analysis", "Fetches a pathway")
+        assert BagOfWordsSimilarity().similarity(first, second) == 1.0
+
+    def test_unrelated_annotations(self):
+        first = annotated("a", "KEGG pathway analysis")
+        second = annotated("b", "Cone search of stellar catalogues")
+        assert BagOfWordsSimilarity().similarity(first, second) == 0.0
+
+    def test_partial_overlap_between_zero_and_one(self):
+        first = annotated("a", "KEGG pathway analysis", "gene list")
+        second = annotated("b", "Pathway annotation workflow", "gene report")
+        value = BagOfWordsSimilarity().similarity(first, second)
+        assert 0.0 < value < 1.0
+
+    def test_stopwords_do_not_contribute(self):
+        first = annotated("a", "analysis of the pathway")
+        second = annotated("b", "the of a an and")
+        assert BagOfWordsSimilarity().similarity(first, second) == 0.0
+
+    def test_multiset_semantics_ignored(self):
+        first = annotated("a", "pathway pathway pathway")
+        second = annotated("b", "pathway")
+        assert BagOfWordsSimilarity().similarity(first, second) == 1.0
+
+    def test_title_only_configuration(self):
+        first = annotated("a", "pathway analysis", "shared description words")
+        second = annotated("b", "catalogue crossmatch", "shared description words")
+        title_only = BagOfWordsSimilarity(use_description=False)
+        assert title_only.similarity(first, second) == 0.0
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            BagOfWordsSimilarity(use_title=False, use_description=False)
+
+    def test_not_applicable_without_text(self):
+        empty = annotated("a", "", "")
+        assert not BagOfWordsSimilarity().is_applicable_to(empty)
+        assert BagOfWordsSimilarity().is_applicable_to(annotated("b", "has a title"))
+
+    def test_tokens_cached_per_workflow(self):
+        measure = BagOfWordsSimilarity()
+        workflow = annotated("a", "KEGG pathway analysis")
+        assert measure.tokens(workflow) is measure.tokens(workflow)
+
+    def test_empty_annotations_score_zero(self):
+        empty_a = annotated("a", "", "")
+        empty_b = annotated("b", "", "")
+        assert BagOfWordsSimilarity().similarity(empty_a, empty_b) == 0.0
+
+
+class TestBagOfTags:
+    def test_identical_tags(self):
+        first = annotated("a", "t", tags=("kegg", "pathway"))
+        second = annotated("b", "t", tags=("pathway", "kegg"))
+        assert BagOfTagsSimilarity().similarity(first, second) == 1.0
+
+    def test_partial_tag_overlap(self):
+        first = annotated("a", "t", tags=("kegg", "pathway"))
+        second = annotated("b", "t", tags=("kegg", "blast"))
+        assert BagOfTagsSimilarity().similarity(first, second) == pytest.approx(1 / 3)
+
+    def test_tags_not_preprocessed_by_default(self):
+        first = annotated("a", "t", tags=("KEGG",))
+        second = annotated("b", "t", tags=("kegg",))
+        assert BagOfTagsSimilarity().similarity(first, second) == 0.0
+
+    def test_optional_lowercasing(self):
+        first = annotated("a", "t", tags=("KEGG",))
+        second = annotated("b", "t", tags=("kegg",))
+        assert BagOfTagsSimilarity(lowercase=True).similarity(first, second) == 1.0
+
+    def test_not_applicable_without_tags(self):
+        untagged = annotated("a", "title but no tags")
+        assert not BagOfTagsSimilarity().is_applicable_to(untagged)
+        assert BagOfTagsSimilarity().is_applicable_to(annotated("b", "t", tags=("x",)))
+
+    def test_untagged_pair_scores_zero(self):
+        first = annotated("a", "t")
+        second = annotated("b", "t")
+        assert BagOfTagsSimilarity().similarity(first, second) == 0.0

@@ -1,0 +1,94 @@
+"""Tests for the attribute comparators and their registry."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import COMPARATORS, get_comparator
+from repro.core.comparators import (
+    exact_match,
+    exact_match_ignore_case,
+    label_token_jaccard,
+    levenshtein,
+    levenshtein_ignore_case,
+    prefix_match,
+    token_jaccard,
+)
+
+text = st.text(max_size=20)
+
+
+class TestExactMatch:
+    def test_equal(self):
+        assert exact_match("wsdl", "wsdl") == 1.0
+
+    def test_unequal(self):
+        assert exact_match("wsdl", "beanshell") == 0.0
+
+    def test_case_sensitive(self):
+        assert exact_match("KEGG", "kegg") == 0.0
+
+    def test_ignore_case_variant(self):
+        assert exact_match_ignore_case("KEGG", "kegg") == 1.0
+        assert exact_match_ignore_case("KEGG", "blast") == 0.0
+
+
+class TestLevenshteinComparators:
+    def test_levenshtein_identical(self):
+        assert levenshtein("get_pathway", "get_pathway") == 1.0
+
+    def test_levenshtein_ci_normalises_case(self):
+        assert levenshtein_ignore_case("GetPathway", "getpathway") == 1.0
+
+    def test_ci_at_least_as_high_as_cs(self):
+        assert levenshtein_ignore_case("BLAST_search", "blast_search") >= levenshtein(
+            "BLAST_search", "blast_search"
+        )
+
+
+class TestTokenComparators:
+    def test_token_jaccard_overlap(self):
+        assert token_jaccard("run blast search", "blast search results") == pytest.approx(2 / 4)
+
+    def test_token_jaccard_empty(self):
+        assert token_jaccard("", "") == 0.0
+
+    def test_label_token_jaccard_camel_case(self):
+        assert label_token_jaccard("getPathwayByGene", "get_pathway_by_gene") == 1.0
+
+    def test_label_token_jaccard_partial(self):
+        value = label_token_jaccard("get_pathway_by_gene", "get_genes_by_pathway")
+        assert 0.0 < value < 1.0
+
+
+class TestPrefixMatch:
+    def test_shared_prefix(self):
+        value = prefix_match("http://www.ebi.ac.uk/Tools/a", "http://www.ebi.ac.uk/Tools/b")
+        assert value > 0.9
+
+    def test_no_shared_prefix(self):
+        assert prefix_match("abc", "xyz") == 0.0
+
+    def test_empty_operand(self):
+        assert prefix_match("", "abc") == 0.0
+
+
+class TestRegistry:
+    def test_all_registered_names_resolve(self):
+        for name in COMPARATORS:
+            assert callable(get_comparator(name))
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_comparator("does_not_exist")
+
+    @pytest.mark.parametrize("name", sorted(COMPARATORS))
+    @given(a=text, b=text)
+    @settings(max_examples=25, deadline=None)
+    def test_all_comparators_bounded_and_symmetric(self, name, a, b):
+        comparator = get_comparator(name)
+        value = comparator(a, b)
+        assert 0.0 <= value <= 1.0
+        assert comparator(b, a) == pytest.approx(value)

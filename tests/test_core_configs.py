@@ -1,0 +1,98 @@
+"""Tests for the paper's module comparison configurations (pX / gX)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ModuleComparator,
+    available_module_configs,
+    get_module_config,
+    pll,
+    plm,
+    pw0,
+    pw3,
+)
+from repro.workflow import Module
+
+
+def kegg_module(identifier="a", label="get_pathway_by_gene"):
+    return Module(
+        identifier=identifier,
+        label=label,
+        module_type="wsdl",
+        description="Retrieves the KEGG pathways for a gene identifier",
+        service_authority="KEGG",
+        service_name="KEGGService",
+        service_uri="http://soap.genome.jp/KEGG.wsdl",
+    )
+
+
+class TestRegistry:
+    def test_all_paper_configs_available(self):
+        names = available_module_configs()
+        for expected in ("pw0", "pw3", "pll", "plm", "gw1", "gll"):
+            assert expected in names
+
+    def test_get_by_name(self):
+        assert get_module_config("pll").name == "pll"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_module_config("pxx")
+
+    def test_factories_return_fresh_configs(self):
+        assert pw0() is not pw0()
+
+
+class TestConfigurationBehaviour:
+    def test_pw0_uses_uniform_weights(self):
+        weights = {rule.weight for rule in pw0().rules}
+        assert weights == {1.0}
+
+    def test_pw3_weights_labels_higher_than_description(self):
+        rules = {rule.attribute: rule.weight for rule in pw3().rules}
+        assert rules["label"] > rules["description"]
+        assert rules["service_uri"] > rules["service_authority"]
+
+    def test_pll_only_looks_at_labels(self):
+        assert [rule.attribute for rule in pll().rules] == ["label"]
+        assert pll().rules[0].comparator == "levenshtein"
+
+    def test_plm_uses_exact_matching(self):
+        assert plm().rules[0].comparator == "exact"
+
+    def test_identical_modules_score_one_in_all_configs(self):
+        for name in available_module_configs():
+            comparator = ModuleComparator(get_module_config(name))
+            assert comparator.compare(kegg_module(), kegg_module(identifier="z")) == 1.0
+
+    def test_plm_is_binary(self):
+        comparator = ModuleComparator(plm())
+        close = comparator.compare(kegg_module(), kegg_module(identifier="z", label="get_pathway_by_Gene"))
+        assert close == 0.0  # strict matching fails on a single character change
+
+    def test_pll_is_graded(self):
+        comparator = ModuleComparator(pll())
+        close = comparator.compare(kegg_module(), kegg_module(identifier="z", label="get_pathway_by_Gene"))
+        assert 0.9 < close < 1.0
+
+    def test_label_perturbation_hurts_plm_more_than_pll(self):
+        original = kegg_module()
+        variant = kegg_module(identifier="z", label="getPathwayByGene_v2")
+        assert ModuleComparator(pll()).compare(original, variant) > ModuleComparator(
+            plm()
+        ).compare(original, variant)
+
+    def test_pw0_rewards_shared_service_attributes(self):
+        comparator = ModuleComparator(pw0())
+        same_service = kegg_module(identifier="z", label="different_label_entirely")
+        other_service = Module(
+            identifier="y",
+            label="different_label_entirely",
+            module_type="beanshell",
+            script="x",
+        )
+        assert comparator.compare(kegg_module(), same_service) > comparator.compare(
+            kegg_module(), other_service
+        )

@@ -1,0 +1,118 @@
+"""Tests for ensembles of similarity measures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    BagOfTagsSimilarity,
+    BagOfWordsSimilarity,
+    MeanEnsemble,
+    ModuleSetsSimilarity,
+    RankAggregationEnsemble,
+    WeightedEnsemble,
+    create_measure,
+)
+from repro.workflow import WorkflowBuilder
+
+
+class TestMeanEnsemble:
+    def test_average_of_members(self, kegg_workflow, kegg_variant_workflow):
+        bw = BagOfWordsSimilarity()
+        ms = ModuleSetsSimilarity("pll")
+        ensemble = MeanEnsemble([bw, ms])
+        expected = (
+            bw.similarity(kegg_workflow, kegg_variant_workflow)
+            + ms.similarity(kegg_workflow, kegg_variant_workflow)
+        ) / 2
+        assert ensemble.similarity(kegg_workflow, kegg_variant_workflow) == pytest.approx(expected)
+
+    def test_name_joins_members(self):
+        ensemble = MeanEnsemble([BagOfWordsSimilarity(), ModuleSetsSimilarity("pll")])
+        assert ensemble.name == "BW+MS_np_ta_pll"
+
+    def test_empty_member_list_rejected(self):
+        with pytest.raises(ValueError):
+            MeanEnsemble([])
+
+    def test_inapplicable_member_skipped(self, kegg_workflow, untagged_workflow):
+        ensemble = MeanEnsemble([BagOfTagsSimilarity(), ModuleSetsSimilarity("pll")])
+        detail = ensemble.compare(kegg_workflow, untagged_workflow)
+        assert "BT" not in detail.extras["members"]
+        assert "MS_np_ta_pll" in detail.extras["members"]
+
+    def test_no_applicable_member_scores_zero(self, untagged_workflow):
+        other = WorkflowBuilder("other").add_module("m").build()
+        ensemble = MeanEnsemble([BagOfTagsSimilarity()])
+        assert ensemble.similarity(untagged_workflow, other) == 0.0
+
+    def test_applicability_is_any_member(self, untagged_workflow):
+        ensemble = MeanEnsemble([BagOfTagsSimilarity(), ModuleSetsSimilarity("pll")])
+        assert ensemble.is_applicable_to(untagged_workflow)
+        tags_only = MeanEnsemble([BagOfTagsSimilarity()])
+        assert not tags_only.is_applicable_to(untagged_workflow)
+
+    def test_registry_builds_ensembles(self, kegg_workflow, kegg_variant_workflow):
+        ensemble = create_measure("BW+MS_ip_te_pll")
+        assert isinstance(ensemble, MeanEnsemble)
+        value = ensemble.similarity(kegg_workflow, kegg_variant_workflow)
+        assert 0.0 <= value <= 1.0
+
+    def test_reset_stats_propagates(self, kegg_workflow, kegg_variant_workflow):
+        ms = ModuleSetsSimilarity("pll")
+        ensemble = MeanEnsemble([ms])
+        ensemble.similarity(kegg_workflow, kegg_variant_workflow)
+        ensemble.reset_stats()
+        assert ms.stats.module_pair_comparisons == 0
+
+
+class TestWeightedEnsemble:
+    def test_weighted_average(self, kegg_workflow, kegg_variant_workflow):
+        bw = BagOfWordsSimilarity()
+        ms = ModuleSetsSimilarity("pll")
+        ensemble = WeightedEnsemble([bw, ms], [3.0, 1.0])
+        score_bw = bw.similarity(kegg_workflow, kegg_variant_workflow)
+        score_ms = ms.similarity(kegg_workflow, kegg_variant_workflow)
+        expected = (3 * score_bw + score_ms) / 4
+        assert ensemble.similarity(kegg_workflow, kegg_variant_workflow) == pytest.approx(expected)
+
+    def test_weight_count_must_match(self):
+        with pytest.raises(ValueError):
+            WeightedEnsemble([BagOfWordsSimilarity()], [1.0, 2.0])
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedEnsemble([BagOfWordsSimilarity()], [0.0])
+
+
+class TestRankAggregationEnsemble:
+    def test_score_candidates_prefers_consistent_winner(
+        self, kegg_workflow, kegg_variant_workflow, blast_workflow
+    ):
+        ensemble = RankAggregationEnsemble(
+            [BagOfWordsSimilarity(), ModuleSetsSimilarity("pll")]
+        )
+        scores = ensemble.score_candidates(
+            kegg_workflow, [kegg_variant_workflow, blast_workflow]
+        )
+        assert scores[0] > scores[1]
+
+    def test_scores_in_unit_interval(self, kegg_workflow, kegg_variant_workflow, blast_workflow):
+        ensemble = RankAggregationEnsemble([ModuleSetsSimilarity("pll")])
+        scores = ensemble.score_candidates(
+            kegg_workflow, [kegg_variant_workflow, blast_workflow]
+        )
+        assert all(0.0 <= score <= 1.0 for score in scores)
+
+    def test_empty_candidates(self, kegg_workflow):
+        ensemble = RankAggregationEnsemble([ModuleSetsSimilarity("pll")])
+        assert ensemble.score_candidates(kegg_workflow, []) == []
+
+    def test_single_candidate_falls_back_to_pairwise(self, kegg_workflow, kegg_variant_workflow):
+        ensemble = RankAggregationEnsemble([ModuleSetsSimilarity("pll")])
+        scores = ensemble.score_candidates(kegg_workflow, [kegg_variant_workflow])
+        assert len(scores) == 1
+
+    def test_requires_members(self):
+        with pytest.raises(ValueError):
+            RankAggregationEnsemble([])

@@ -1,0 +1,98 @@
+"""Tests for module mapping strategies and pair preselection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    AllPairs,
+    GreedyMapping,
+    MaximumWeightMapping,
+    NonCrossingMapping,
+    StrictTypeMatch,
+    TypeEquivalence,
+    get_mapping,
+    get_preselection,
+)
+from repro.workflow import Module
+
+
+class TestMappingStrategies:
+    WEIGHTS = [[0.9, 0.8], [0.7, 0.1]]
+
+    def test_registry_codes(self):
+        assert get_mapping("greedy").code == "greedy"
+        assert get_mapping("mw").code == "mw"
+        assert get_mapping("mwnc").code == "mwnc"
+
+    def test_unknown_code_raises(self):
+        with pytest.raises(KeyError):
+            get_mapping("xx")
+
+    def test_greedy_versus_maximum_weight(self):
+        assert GreedyMapping().score(self.WEIGHTS) == pytest.approx(1.0)
+        assert MaximumWeightMapping().score(self.WEIGHTS) == pytest.approx(1.5)
+
+    def test_noncrossing_respects_order(self):
+        weights = [[0.1, 0.9], [0.9, 0.1]]
+        assert NonCrossingMapping().score(weights) == pytest.approx(0.9)
+        assert MaximumWeightMapping().score(weights) == pytest.approx(1.8)
+
+    def test_score_is_sum_of_match(self):
+        mapping = MaximumWeightMapping()
+        pairs = mapping.match(self.WEIGHTS)
+        assert mapping.score(self.WEIGHTS) == pytest.approx(sum(p.weight for p in pairs))
+
+
+def modules_of_types(*types: str) -> list[Module]:
+    return [Module(identifier=f"m{i}", module_type=t, label=t) for i, t in enumerate(types)]
+
+
+class TestPreselection:
+    def test_registry(self):
+        assert isinstance(get_preselection("ta"), AllPairs)
+        assert isinstance(get_preselection("tm"), StrictTypeMatch)
+        assert isinstance(get_preselection("te"), TypeEquivalence)
+        with pytest.raises(KeyError):
+            get_preselection("zz")
+
+    def test_all_pairs_returns_none(self):
+        first = modules_of_types("wsdl", "beanshell")
+        second = modules_of_types("wsdl")
+        strategy = AllPairs()
+        assert strategy.candidate_pairs(first, second) is None
+        assert strategy.candidate_count(first, second) == 2
+
+    def test_strict_type_match(self):
+        first = modules_of_types("wsdl", "beanshell")
+        second = modules_of_types("soaplabwsdl", "beanshell")
+        pairs = StrictTypeMatch().candidate_pairs(first, second)
+        assert pairs == {(1, 1)}
+
+    def test_type_equivalence_groups_web_services(self):
+        first = modules_of_types("wsdl", "beanshell")
+        second = modules_of_types("soaplabwsdl", "rshell")
+        pairs = TypeEquivalence().candidate_pairs(first, second)
+        assert (0, 0) in pairs  # both web services
+        assert (1, 1) in pairs  # both scripts
+        assert (0, 1) not in pairs
+
+    def test_type_equivalence_reduces_candidate_count(self):
+        first = modules_of_types("wsdl", "beanshell", "localworker", "stringconstant")
+        second = modules_of_types("arbitrarywsdl", "rshell", "filter", "constant")
+        te_count = TypeEquivalence().candidate_count(first, second)
+        ta_count = AllPairs().candidate_count(first, second)
+        assert te_count < ta_count
+        assert te_count == 4  # one match per category here
+
+    def test_custom_category_mapping(self):
+        strategy = TypeEquivalence({"foo": "group1", "bar": "group1", "baz": "group2"})
+        first = modules_of_types("foo")
+        second = modules_of_types("bar", "baz")
+        assert strategy.candidate_pairs(first, second) == {(0, 0)}
+
+    def test_unknown_types_fall_into_other_class(self):
+        pairs = TypeEquivalence().candidate_pairs(
+            modules_of_types("weird_type"), modules_of_types("another_weird")
+        )
+        assert pairs == {(0, 0)}

@@ -1,0 +1,138 @@
+"""Tests for configurable pairwise module comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AttributeRule, ModuleComparator, ModuleComparisonConfig
+from repro.workflow import Module
+
+
+def service_module(identifier="a", label="get_pathway", uri="http://kegg/ws.wsdl"):
+    return Module(
+        identifier=identifier,
+        label=label,
+        module_type="wsdl",
+        description="Retrieves the KEGG pathways",
+        service_authority="KEGG",
+        service_name="KEGGService",
+        service_uri=uri,
+    )
+
+
+def script_module(identifier="b", label="parse_response"):
+    return Module(
+        identifier=identifier,
+        label=label,
+        module_type="beanshell",
+        script="x.split()",
+    )
+
+
+class TestAttributeRule:
+    def test_weighted_score(self):
+        rule = AttributeRule("label", "exact", weight=2.0)
+        score, weight = rule.compare(service_module(), service_module(identifier="z"))
+        assert score == 2.0
+        assert weight == 2.0
+
+    def test_skip_if_both_empty(self):
+        rule = AttributeRule("script", "levenshtein")
+        score, weight = rule.compare(service_module(), service_module(identifier="z"))
+        assert weight == 0.0
+
+    def test_no_skip_when_requested(self):
+        rule = AttributeRule("script", "levenshtein", skip_if_both_empty=False)
+        _score, weight = rule.compare(service_module(), service_module(identifier="z"))
+        assert weight == 1.0
+
+    def test_one_sided_attribute_counts_as_mismatch(self):
+        rule = AttributeRule("script", "levenshtein")
+        score, weight = rule.compare(service_module(), script_module())
+        assert weight == 1.0
+        assert score == 0.0
+
+
+class TestConfigValidation:
+    def test_empty_rules_rejected(self):
+        with pytest.raises(ValueError):
+            ModuleComparisonConfig(name="x", rules=())
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            ModuleComparisonConfig(
+                name="x", rules=(AttributeRule("label", "exact", weight=0.0),)
+            )
+
+    def test_from_weights_builder(self):
+        config = ModuleComparisonConfig.from_weights(
+            "custom", [("label", "levenshtein", 2.0), ("type", "exact", 1.0)]
+        )
+        assert config.attributes() == ["label", "type"]
+
+
+class TestModuleComparator:
+    def test_identical_modules_score_one(self):
+        config = ModuleComparisonConfig.from_weights(
+            "c", [("label", "levenshtein", 1.0), ("type", "exact", 1.0)]
+        )
+        comparator = ModuleComparator(config)
+        assert comparator.compare(service_module(), service_module(identifier="z")) == 1.0
+
+    def test_different_modules_score_below_one(self):
+        config = ModuleComparisonConfig.from_weights("c", [("label", "levenshtein", 1.0)])
+        comparator = ModuleComparator(config)
+        value = comparator.compare(service_module(), script_module())
+        assert 0.0 <= value < 1.0
+
+    def test_weights_shift_result(self):
+        label_heavy = ModuleComparator(
+            ModuleComparisonConfig.from_weights(
+                "heavy", [("label", "exact", 10.0), ("type", "exact", 1.0)]
+            )
+        )
+        type_heavy = ModuleComparator(
+            ModuleComparisonConfig.from_weights(
+                "light", [("label", "exact", 1.0), ("type", "exact", 10.0)]
+            )
+        )
+        first = service_module(label="fetch_data")
+        second = service_module(identifier="z", label="completely_other")
+        # Same type, different labels: the type-heavy config scores higher.
+        assert type_heavy.compare(first, second) > label_heavy.compare(first, second)
+
+    def test_all_attributes_empty_scores_zero(self):
+        config = ModuleComparisonConfig.from_weights("c", [("script", "levenshtein", 1.0)])
+        comparator = ModuleComparator(config)
+        assert comparator.compare(Module("a"), Module("b")) == 0.0
+
+    def test_comparison_counter(self):
+        config = ModuleComparisonConfig.from_weights("c", [("label", "exact", 1.0)])
+        comparator = ModuleComparator(config)
+        comparator.compare(service_module(), script_module())
+        comparator.compare(service_module(), script_module())
+        assert comparator.comparisons_performed == 2
+        comparator.reset_stats()
+        assert comparator.comparisons_performed == 0
+
+    def test_similarity_matrix_shape(self):
+        config = ModuleComparisonConfig.from_weights("c", [("label", "levenshtein", 1.0)])
+        comparator = ModuleComparator(config)
+        matrix = comparator.similarity_matrix(
+            [service_module(), script_module()], [service_module(identifier="z")]
+        )
+        assert len(matrix) == 2
+        assert len(matrix[0]) == 1
+
+    def test_candidate_pairs_restrict_comparisons(self):
+        config = ModuleComparisonConfig.from_weights("c", [("label", "levenshtein", 1.0)])
+        comparator = ModuleComparator(config)
+        modules_a = [service_module(identifier=f"a{i}") for i in range(3)]
+        modules_b = [service_module(identifier=f"b{i}") for i in range(3)]
+        matrix = comparator.similarity_matrix(
+            modules_a, modules_b, candidate_pairs={(0, 0), (1, 1)}
+        )
+        assert comparator.comparisons_performed == 2
+        assert matrix[0][0] == 1.0
+        assert matrix[0][1] == 0.0
+        assert matrix[2][2] == 0.0

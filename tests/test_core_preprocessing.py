@@ -1,0 +1,144 @@
+"""Tests for the importance projection and importance scorers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    FrequencyImportanceScorer,
+    ImportanceProjection,
+    NoPreprocessing,
+    TypeImportanceScorer,
+    get_preprocessor,
+)
+from repro.workflow import Module, WorkflowBuilder
+
+
+def noisy_workflow():
+    """fetch -> split(shim) -> parse -> constant(shim) -> render."""
+    return (
+        WorkflowBuilder("noisy")
+        .add_module("fetch", label="get_pathway", module_type="wsdl")
+        .add_module("split", label="Split_string", module_type="localworker")
+        .add_module("parse", label="parse_response", module_type="beanshell", script="x")
+        .add_module("const", label="format", module_type="stringconstant")
+        .add_module("render", label="color_pathway", module_type="wsdl")
+        .chain("fetch", "split", "parse", "const", "render")
+        .build()
+    )
+
+
+class TestScorers:
+    def test_type_scorer_scores_trivial_zero(self):
+        scorer = TypeImportanceScorer()
+        workflow = noisy_workflow()
+        assert scorer.score(workflow.module("split"), workflow) == 0.0
+        assert scorer.score(workflow.module("fetch"), workflow) == 1.0
+
+    def test_frequency_scorer_uses_signature(self):
+        module = Module("m", label="Split_string", module_type="localworker")
+        assert FrequencyImportanceScorer.signature(module) == "label:split_string"
+        service = Module("s", label="x", service_name="KEGGService")
+        assert FrequencyImportanceScorer.signature(service) == "service:keggservice"
+
+    def test_frequency_scorer_thresholds(self):
+        scorer = FrequencyImportanceScorer({"label:split_string": 0.8, "label:rare": 0.01})
+        workflow = noisy_workflow()
+        frequent = Module("a", label="Split_string")
+        rare = Module("b", label="rare")
+        unseen = Module("c", label="never_seen")
+        assert scorer.score(frequent, workflow) == 0.0
+        assert scorer.score(rare, workflow) == pytest.approx(0.99)
+        assert scorer.score(unseen, workflow) == 1.0
+
+
+class TestImportanceProjection:
+    def test_trivial_modules_removed(self):
+        projected = ImportanceProjection().transform(noisy_workflow())
+        assert sorted(projected.module_ids()) == ["fetch", "parse", "render"]
+
+    def test_connectivity_preserved_through_removed_modules(self):
+        projected = ImportanceProjection().transform(noisy_workflow())
+        assert ("fetch", "parse") in projected.edges()
+        assert ("parse", "render") in projected.edges()
+
+    def test_transitive_reduction_applied(self):
+        # fetch -> shim -> render and fetch -> parse -> render: the projection
+        # must not add a redundant fetch -> render edge.
+        workflow = (
+            WorkflowBuilder("w")
+            .add_module("fetch", module_type="wsdl")
+            .add_module("shim", module_type="localworker")
+            .add_module("parse", module_type="beanshell", script="x")
+            .add_module("render", module_type="wsdl")
+            .connect("fetch", "shim")
+            .connect("shim", "parse")
+            .connect("parse", "render")
+            .connect("fetch", "parse")
+            .build()
+        )
+        projected = ImportanceProjection().transform(workflow)
+        assert ("fetch", "render") not in projected.edges()
+        assert ("fetch", "parse") in projected.edges()
+        assert ("parse", "render") in projected.edges()
+
+    def test_workflow_without_trivial_modules_unchanged(self):
+        workflow = (
+            WorkflowBuilder("w")
+            .add_module("a", module_type="wsdl")
+            .add_module("b", module_type="beanshell", script="x")
+            .chain("a", "b")
+            .build()
+        )
+        assert ImportanceProjection().transform(workflow) is workflow
+
+    def test_all_trivial_keeps_original_by_default(self):
+        workflow = (
+            WorkflowBuilder("w")
+            .add_module("a", module_type="localworker")
+            .add_module("b", module_type="stringconstant")
+            .chain("a", "b")
+            .build()
+        )
+        assert ImportanceProjection().transform(workflow) is workflow
+
+    def test_all_trivial_can_be_emptied(self):
+        workflow = WorkflowBuilder("w").add_module("a", module_type="localworker").build()
+        projection = ImportanceProjection(keep_all_if_empty=False)
+        assert projection.transform(workflow).size == 0
+
+    def test_important_modules_listing(self):
+        projection = ImportanceProjection()
+        names = [m.identifier for m in projection.important_modules(noisy_workflow())]
+        assert names == ["fetch", "parse", "render"]
+
+    def test_annotations_preserved(self):
+        workflow = noisy_workflow().with_annotations(
+            noisy_workflow().annotations.with_values(title="keep")
+        )
+        assert ImportanceProjection().transform(workflow).annotations.title == "keep"
+
+    def test_frequency_based_projection(self):
+        scorer = FrequencyImportanceScorer({"label:get_pathway": 0.9})
+        projected = ImportanceProjection(scorer).transform(noisy_workflow())
+        assert "fetch" not in projected.module_ids()  # too frequent -> unspecific
+        # Trivial shims are *kept* by the pure frequency scorer unless frequent.
+        assert "split" in projected.module_ids()
+
+
+class TestPreprocessorRegistry:
+    def test_np_is_identity(self):
+        preprocessor = get_preprocessor("np")
+        assert isinstance(preprocessor, NoPreprocessing)
+        workflow = noisy_workflow()
+        assert preprocessor.transform(workflow) is workflow
+
+    def test_ip_uses_given_scorer(self):
+        scorer = FrequencyImportanceScorer({})
+        preprocessor = get_preprocessor("ip", scorer)
+        assert isinstance(preprocessor, ImportanceProjection)
+        assert preprocessor.scorer is scorer
+
+    def test_unknown_code_raises(self):
+        with pytest.raises(KeyError):
+            get_preprocessor("xx")

@@ -1,0 +1,173 @@
+"""Tests for the measure registry, naming scheme and the framework facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    BagOfTagsSimilarity,
+    BagOfWordsSimilarity,
+    GraphEditSimilarity,
+    MeanEnsemble,
+    SimilarityFramework,
+    all_configuration_names,
+    baseline_names,
+    best_configuration_names,
+    clamp_unit_interval,
+    create_measure,
+    iter_structural_names,
+    normalize_edit_cost,
+    paper_approach_matrix,
+    similarity_jaccard,
+)
+
+
+class TestNormalizationHelpers:
+    def test_clamp(self):
+        assert clamp_unit_interval(-0.2) == 0.0
+        assert clamp_unit_interval(1.7) == 1.0
+        assert clamp_unit_interval(0.4) == 0.4
+
+    def test_similarity_jaccard_identical(self):
+        assert similarity_jaccard(5.0, 5, 5) == 1.0
+
+    def test_similarity_jaccard_partial(self):
+        assert similarity_jaccard(2.0, 4, 4) == pytest.approx(2 / 6)
+
+    def test_similarity_jaccard_empty_sets(self):
+        assert similarity_jaccard(0.0, 0, 0) == 1.0
+        assert similarity_jaccard(0.0, 3, 0) == 0.0
+
+    def test_normalize_edit_cost(self):
+        assert normalize_edit_cost(0.0, 3, 3, 2, 2) == 1.0
+        assert normalize_edit_cost(7.0, 3, 3, 2, 2) == 0.0
+        assert normalize_edit_cost(3.5, 3, 3, 2, 2) == pytest.approx(0.5)
+
+    def test_normalize_edit_cost_empty_graphs(self):
+        assert normalize_edit_cost(0.0, 0, 0, 0, 0) == 1.0
+
+
+class TestRegistryNames:
+    def test_structural_space_has_72_configurations(self):
+        assert len(list(iter_structural_names())) == 72
+
+    def test_all_configuration_names_adds_annotation_measures(self):
+        names = all_configuration_names()
+        assert len(names) == 74
+        assert "BW" in names and "BT" in names
+
+    def test_every_configuration_name_is_constructible(self):
+        for name in all_configuration_names():
+            measure = create_measure(name)
+            assert measure.name == name
+
+    def test_baseline_names_match_figure5(self):
+        assert baseline_names() == ["MS_np_ta_pw0", "PS_np_ta_pw0", "GE_np_ta_pw0", "BW", "BT"]
+
+    def test_best_configurations_use_ip_te_pll(self):
+        best = best_configuration_names()
+        assert best["MS"] == "MS_ip_te_pll"
+        assert best["PS"] == "PS_ip_te_pll"
+
+    def test_paper_approach_matrix_rows_constructible(self):
+        for row in paper_approach_matrix():
+            measure = create_measure(row["configuration"])
+            assert measure is not None
+
+    def test_annotation_names(self):
+        assert isinstance(create_measure("BW"), BagOfWordsSimilarity)
+        assert isinstance(create_measure("BT"), BagOfTagsSimilarity)
+
+    def test_mapping_and_norm_suffixes(self):
+        greedy = create_measure("MS_np_ta_pw3_greedy")
+        assert greedy.mapping.code == "greedy"
+        nonorm = create_measure("GE_np_ta_pw0_nonorm")
+        assert isinstance(nonorm, GraphEditSimilarity)
+        assert not nonorm.normalize
+
+    def test_ensemble_names(self):
+        ensemble = create_measure("BW+MS_ip_te_pll")
+        assert isinstance(ensemble, MeanEnsemble)
+        assert len(ensemble.members) == 2
+
+    @pytest.mark.parametrize(
+        "bad_name",
+        ["XX_np_ta_pll", "MS_zz_ta_pll", "MS_np_zz_pll", "MS_np_ta_zzz", "MS_np_ta_pll_bogus", "MS_np"],
+    )
+    def test_invalid_names_raise(self, bad_name):
+        with pytest.raises(ValueError):
+            create_measure(bad_name)
+
+    def test_ged_timeout_forwarded(self):
+        measure = create_measure("GE_np_ta_pll", ged_timeout=1.5)
+        assert measure.ged.timeout == 1.5
+
+
+class TestFrameworkFacade:
+    def test_similarity_by_name(self, framework, kegg_workflow, kegg_variant_workflow):
+        value = framework.similarity(kegg_workflow, kegg_variant_workflow, "MS_np_ta_pll")
+        assert 0.0 < value <= 1.0
+
+    def test_measure_instances_cached(self, framework):
+        assert framework.measure("BW") is framework.measure("BW")
+
+    def test_measure_accepts_instances(self, framework):
+        instance = BagOfWordsSimilarity()
+        assert framework.measure(instance) is instance
+
+    def test_register_custom_measure(self, framework, kegg_workflow, kegg_variant_workflow):
+        custom = MeanEnsemble([BagOfWordsSimilarity()], name="custom")
+        framework.register(custom)
+        assert framework.measure("custom") is custom
+
+    def test_compare_all(self, framework, kegg_workflow, kegg_variant_workflow):
+        results = framework.compare_all(
+            kegg_workflow, kegg_variant_workflow, ["BW", "MS_np_ta_pll"]
+        )
+        assert set(results) == {"BW", "MS_np_ta_pll"}
+
+    def test_rank_orders_by_similarity(
+        self, framework, kegg_workflow, kegg_variant_workflow, blast_workflow
+    ):
+        ranked = framework.rank(
+            kegg_workflow, [blast_workflow, kegg_variant_workflow], "MS_np_ta_pll"
+        )
+        assert ranked[0].identifier == "wf-kegg-variant"
+        assert ranked[0].rank == 1
+        assert ranked[0].similarity >= ranked[1].similarity
+
+    def test_rank_excludes_query_by_default(
+        self, framework, kegg_workflow, kegg_variant_workflow
+    ):
+        ranked = framework.rank(
+            kegg_workflow, [kegg_workflow, kegg_variant_workflow], "MS_np_ta_pll"
+        )
+        assert all(entry.identifier != kegg_workflow.identifier for entry in ranked)
+
+    def test_rank_can_include_query(self, framework, kegg_workflow, kegg_variant_workflow):
+        ranked = framework.rank(
+            kegg_workflow,
+            [kegg_workflow, kegg_variant_workflow],
+            "MS_np_ta_pll",
+            exclude_query=False,
+        )
+        assert ranked[0].identifier == kegg_workflow.identifier
+
+    def test_top_k_limits_results(
+        self, framework, kegg_workflow, kegg_variant_workflow, blast_workflow, untagged_workflow
+    ):
+        results = framework.top_k(
+            kegg_workflow,
+            [kegg_variant_workflow, blast_workflow, untagged_workflow],
+            "MS_np_ta_pll",
+            k=2,
+        )
+        assert len(results) == 2
+
+    def test_importance_scorer_passed_to_measures(self, kegg_workflow):
+        from repro.core import FrequencyImportanceScorer
+
+        scorer = FrequencyImportanceScorer({})
+        framework = SimilarityFramework(importance_scorer=scorer)
+        measure = framework.measure("MS_ip_ta_pll")
+        assert measure.preprocessor.scorer is scorer

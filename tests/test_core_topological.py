@@ -1,0 +1,231 @@
+"""Tests for the MS / PS / GE topological workflow similarity measures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    GraphEditSimilarity,
+    ImportanceProjection,
+    ModuleSetsSimilarity,
+    PathSetsSimilarity,
+    TypeEquivalence,
+    create_measure,
+)
+from repro.workflow import WorkflowBuilder
+
+MEASURE_CLASSES = (ModuleSetsSimilarity, PathSetsSimilarity, GraphEditSimilarity)
+
+
+@pytest.fixture(params=MEASURE_CLASSES, ids=lambda cls: cls.kind)
+def measure(request):
+    return request.param("pll")
+
+
+class TestCommonProperties:
+    def test_self_similarity_is_one(self, measure, kegg_workflow):
+        assert measure.similarity(kegg_workflow, kegg_workflow) == pytest.approx(1.0)
+
+    def test_symmetry(self, measure, kegg_workflow, kegg_variant_workflow):
+        forward = measure.similarity(kegg_workflow, kegg_variant_workflow)
+        backward = measure.similarity(kegg_variant_workflow, kegg_workflow)
+        assert forward == pytest.approx(backward, abs=1e-6)
+
+    def test_range(self, measure, kegg_workflow, blast_workflow):
+        value = measure.similarity(kegg_workflow, blast_workflow)
+        assert 0.0 <= value <= 1.0
+
+    def test_related_pair_scores_higher_than_unrelated(
+        self, measure, kegg_workflow, kegg_variant_workflow, blast_workflow
+    ):
+        related = measure.similarity(kegg_workflow, kegg_variant_workflow)
+        unrelated = measure.similarity(kegg_workflow, blast_workflow)
+        assert related > unrelated
+
+    def test_empty_workflow_against_nonempty(self, measure, kegg_workflow):
+        empty = WorkflowBuilder("empty").build()
+        assert measure.similarity(empty, kegg_workflow) == 0.0
+
+    def test_two_empty_workflows(self, measure):
+        empty_a = WorkflowBuilder("ea").build()
+        empty_b = WorkflowBuilder("eb").build()
+        assert measure.similarity(empty_a, empty_b) == 1.0
+
+    def test_name_encodes_configuration(self, measure):
+        assert measure.name.startswith(measure.kind)
+        assert "pll" in measure.name
+
+    def test_stats_track_module_comparisons(self, measure, kegg_workflow, kegg_variant_workflow):
+        measure.reset_stats()
+        measure.similarity(kegg_workflow, kegg_variant_workflow)
+        assert measure.stats.module_pair_comparisons > 0
+        assert measure.stats.workflow_comparisons == 1
+        measure.reset_stats()
+        assert measure.stats.module_pair_comparisons == 0
+
+
+class TestModuleSets:
+    def test_unnormalized_value_is_matching_weight(self, kegg_workflow, kegg_variant_workflow):
+        measure = ModuleSetsSimilarity("pll")
+        detail = measure.compare(kegg_workflow, kegg_variant_workflow)
+        assert detail.unnormalized == pytest.approx(
+            sum(weight for _a, _b, weight in detail.extras["mapping"])
+        )
+
+    def test_jaccard_normalization_formula(self, kegg_workflow, kegg_variant_workflow):
+        measure = ModuleSetsSimilarity("pll")
+        detail = measure.compare(kegg_workflow, kegg_variant_workflow)
+        nnsim = detail.unnormalized
+        expected = nnsim / (kegg_workflow.size + kegg_variant_workflow.size - nnsim)
+        assert detail.similarity == pytest.approx(expected)
+
+    def test_unnormalized_configuration(self, kegg_workflow, kegg_variant_workflow):
+        measure = ModuleSetsSimilarity("pll", normalize=False)
+        detail = measure.compare(kegg_workflow, kegg_variant_workflow)
+        assert detail.similarity == pytest.approx(detail.unnormalized)
+        assert "nonorm" in measure.name
+
+    def test_greedy_mapping_option(self, kegg_workflow, kegg_variant_workflow):
+        greedy = ModuleSetsSimilarity("pll", mapping="greedy")
+        assert "greedy" in greedy.name
+        value = greedy.similarity(kegg_workflow, kegg_variant_workflow)
+        assert 0.0 <= value <= 1.0
+
+    def test_preselection_reduces_comparisons(self, kegg_workflow, blast_workflow):
+        unrestricted = ModuleSetsSimilarity("pll")
+        restricted = ModuleSetsSimilarity("pll", preselection=TypeEquivalence())
+        unrestricted.similarity(kegg_workflow, blast_workflow)
+        restricted.similarity(kegg_workflow, blast_workflow)
+        assert (
+            restricted.stats.module_pair_comparisons
+            < unrestricted.stats.module_pair_comparisons
+        )
+
+    def test_importance_projection_ignores_shims(self, kegg_workflow, kegg_variant_workflow):
+        # The two fixtures differ in their shim modules; with ip the measures
+        # only see the analysis modules.
+        plain = ModuleSetsSimilarity("plm")
+        projected = ModuleSetsSimilarity("plm", preprocessor=ImportanceProjection())
+        assert projected.similarity(
+            kegg_workflow, kegg_variant_workflow
+        ) >= plain.similarity(kegg_workflow, kegg_variant_workflow)
+
+    def test_duplicate_modules_capped_at_one(self, kegg_workflow):
+        assert ModuleSetsSimilarity("pw0").similarity(kegg_workflow, kegg_workflow) <= 1.0
+
+
+class TestPathSets:
+    def test_single_module_workflows(self):
+        first = WorkflowBuilder("a").add_module("only", label="step").build()
+        second = WorkflowBuilder("b").add_module("single", label="step").build()
+        assert PathSetsSimilarity("pll").similarity(first, second) == pytest.approx(1.0)
+
+    def test_path_count_reported(self, kegg_workflow, kegg_variant_workflow):
+        measure = PathSetsSimilarity("pll")
+        detail = measure.compare(kegg_workflow, kegg_variant_workflow)
+        assert detail.extras["paths"] == (1, 1)
+
+    def test_branching_workflow_has_multiple_paths(self):
+        branched = (
+            WorkflowBuilder("branched")
+            .add_module("start", label="start")
+            .add_module("left", label="left")
+            .add_module("right", label="right")
+            .connect("start", "left")
+            .connect("start", "right")
+            .build()
+        )
+        measure = PathSetsSimilarity("pll")
+        detail = measure.compare(branched, branched)
+        assert detail.extras["paths"] == (2, 2)
+        assert detail.similarity == pytest.approx(1.0)
+
+    def test_order_sensitivity(self):
+        """PS distinguishes chains whose module order is reversed; MS does not."""
+        forward = (
+            WorkflowBuilder("f")
+            .add_module("a", label="alpha_step")
+            .add_module("b", label="beta_step")
+            .add_module("c", label="gamma_step")
+            .chain("a", "b", "c")
+            .build()
+        )
+        reverse = (
+            WorkflowBuilder("r")
+            .add_module("c", label="gamma_step")
+            .add_module("b", label="beta_step")
+            .add_module("a", label="alpha_step")
+            .chain("c", "b", "a")
+            .build()
+        )
+        ms = ModuleSetsSimilarity("plm").similarity(forward, reverse)
+        ps = PathSetsSimilarity("plm").similarity(forward, reverse)
+        assert ms == pytest.approx(1.0)
+        assert ps < ms
+
+    def test_max_paths_cap(self):
+        measure = PathSetsSimilarity("pll", max_paths=2)
+        wide = WorkflowBuilder("wide").add_module("s", label="start")
+        for index in range(4):
+            wide.add_module(f"t{index}", label=f"target{index}")
+            wide.connect("s", f"t{index}")
+        workflow = wide.build()
+        detail = measure.compare(workflow, workflow)
+        assert detail.extras["paths"] == (2, 2)
+
+
+class TestGraphEdit:
+    def test_identical_structures_score_one(self, kegg_workflow):
+        assert GraphEditSimilarity("pll").similarity(kegg_workflow, kegg_workflow) == 1.0
+
+    def test_unnormalized_is_negative_cost(self, kegg_workflow, blast_workflow):
+        measure = GraphEditSimilarity("pll", normalize=False)
+        detail = measure.compare(kegg_workflow, blast_workflow)
+        assert detail.similarity <= 0.0
+        assert detail.similarity == pytest.approx(-detail.extras["edit_cost"])
+
+    def test_label_threshold_affects_mapping(self, kegg_workflow, kegg_variant_workflow):
+        lenient = GraphEditSimilarity("pll", label_threshold=0.3)
+        strict = GraphEditSimilarity("pll", label_threshold=0.99)
+        assert lenient.similarity(kegg_workflow, kegg_variant_workflow) >= strict.similarity(
+            kegg_workflow, kegg_variant_workflow
+        )
+
+    def test_timeout_recorded_in_stats(self, kegg_workflow, kegg_variant_workflow):
+        measure = GraphEditSimilarity("pll", timeout=0.0, exact_node_limit=20)
+        measure.similarity(kegg_workflow, kegg_variant_workflow)
+        assert measure.stats.timed_out_pairs >= 1
+
+    def test_structure_difference_lowers_score(self):
+        chain = (
+            WorkflowBuilder("chain")
+            .add_module("a", label="x1")
+            .add_module("b", label="x2")
+            .add_module("c", label="x3")
+            .chain("a", "b", "c")
+            .build()
+        )
+        star = (
+            WorkflowBuilder("star")
+            .add_module("a", label="x1")
+            .add_module("b", label="x2")
+            .add_module("c", label="x3")
+            .connect("a", "b")
+            .connect("a", "c")
+            .build()
+        )
+        measure = GraphEditSimilarity("plm")
+        assert measure.similarity(chain, star) < 1.0
+
+
+class TestRegistryNamesMatchClasses:
+    @pytest.mark.parametrize(
+        "name, expected",
+        [
+            ("MS_np_ta_pw0", ModuleSetsSimilarity),
+            ("PS_ip_te_pll", PathSetsSimilarity),
+            ("GE_np_tm_plm", GraphEditSimilarity),
+        ],
+    )
+    def test_create_measure_types(self, name, expected):
+        assert isinstance(create_measure(name), expected)

@@ -1,0 +1,233 @@
+"""Tests for the synthetic myExperiment-style and Galaxy-style corpora."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.corpus import (
+    DOMAINS,
+    CorpusSpec,
+    FamilyGenerator,
+    GalaxyCorpusSpec,
+    domain_names,
+    generate_galaxy_corpus,
+    generate_myexperiment_corpus,
+    get_domain,
+    perturb_label,
+)
+from repro.workflow import category_of
+
+
+class TestVocabulary:
+    def test_domains_available(self):
+        assert len(domain_names()) >= 6
+        assert "pathway_analysis" in domain_names()
+
+    def test_life_science_subset(self):
+        life_science = domain_names(life_science_only=True)
+        assert "pathway_analysis" in life_science
+        assert "astronomy" not in life_science
+
+    def test_unknown_domain_raises(self):
+        with pytest.raises(KeyError):
+            get_domain("underwater_basket_weaving")
+
+    def test_services_have_web_service_types(self):
+        for name in domain_names():
+            for service in get_domain(name).services:
+                assert category_of(service.service_type) == "web_service"
+                assert service.operations
+
+    def test_templates_have_subject_slot(self):
+        for name in domain_names():
+            domain = get_domain(name)
+            assert all("{subject}" in template for template in domain.description_templates)
+
+
+class TestLabelPerturbation:
+    def test_zero_strength_keeps_label(self):
+        rng = random.Random(1)
+        assert perturb_label("get_pathway_by_gene", rng, strength=0.0) == "get_pathway_by_gene"
+
+    def test_high_strength_changes_labels_often(self):
+        rng = random.Random(2)
+        changed = sum(
+            perturb_label("get_pathway_by_gene", rng, strength=1.0) != "get_pathway_by_gene"
+            for _ in range(50)
+        )
+        assert changed > 25
+
+    def test_perturbation_returns_nonempty(self):
+        rng = random.Random(3)
+        for _ in range(100):
+            assert perturb_label("run_blast_search", rng, strength=1.0)
+
+
+class TestFamilyGenerator:
+    def test_seed_core_size(self):
+        generator = FamilyGenerator(random.Random(5))
+        seed = generator.make_seed("fam", "pathway_analysis")
+        assert 3 <= len(seed.core) <= 7
+        assert seed.domain == "pathway_analysis"
+        assert seed.tags
+
+    def test_variant_is_valid_workflow(self):
+        generator = FamilyGenerator(random.Random(6))
+        seed = generator.make_seed("fam", "sequence_alignment")
+        workflow, info = generator.make_variant(seed, "wf-1", mutation_strength=0.5)
+        assert workflow.size >= len(seed.core) - 2
+        assert info.family_id == "fam"
+        assert 0.0 <= info.mutation_distance <= 1.0
+        assert workflow.topological_order()  # acyclic by construction
+
+    def test_zero_mutation_keeps_core_labels(self):
+        generator = FamilyGenerator(random.Random(7))
+        seed = generator.make_seed("fam", "proteomics")
+        workflow, info = generator.make_variant(seed, "wf-1", mutation_strength=0.0)
+        labels = {module.label for module in workflow.modules}
+        core_labels = {spec.label for spec in seed.core}
+        assert core_labels <= labels
+        # Annotation rewording may still contribute a tiny distance; the
+        # functional core itself is untouched.
+        assert info.mutation_distance <= 0.05
+
+    def test_drop_tags_flag(self):
+        generator = FamilyGenerator(random.Random(8))
+        seed = generator.make_seed("fam", "gene_expression")
+        workflow, _ = generator.make_variant(seed, "wf-1", mutation_strength=0.2, drop_tags=True)
+        assert workflow.annotations.tags == ()
+
+
+class TestMyExperimentCorpus:
+    def test_requested_size(self, small_corpus):
+        assert len(small_corpus) == 120
+        assert len(small_corpus.repository) == 120
+
+    def test_deterministic_for_same_seed(self):
+        spec = CorpusSpec(workflow_count=30, seed=99)
+        first = generate_myexperiment_corpus(spec)
+        second = generate_myexperiment_corpus(spec)
+        assert first.repository.identifiers() == second.repository.identifiers()
+        first_wf = first.repository.workflows()[7]
+        assert first_wf == second.repository.get(first_wf.identifier)
+
+    def test_different_seeds_differ(self):
+        first = generate_myexperiment_corpus(CorpusSpec(workflow_count=30, seed=1))
+        second = generate_myexperiment_corpus(CorpusSpec(workflow_count=30, seed=2))
+        assert first.repository.workflows()[5] != second.repository.workflows()[5]
+
+    def test_every_workflow_has_ground_truth(self, small_corpus):
+        for workflow in small_corpus.repository:
+            info = small_corpus.variant_info(workflow.identifier)
+            assert info.workflow_id == workflow.identifier
+
+    def test_untagged_fraction_close_to_spec(self, small_corpus):
+        stats = small_corpus.repository.statistics()
+        assert 0.03 <= stats.untagged_fraction <= 0.35
+
+    def test_mean_module_count_realistic(self, small_corpus):
+        stats = small_corpus.repository.statistics()
+        assert 5.0 <= stats.mean_modules_per_workflow <= 16.0
+
+    def test_families_have_multiple_members(self, small_corpus):
+        families: dict[str, int] = {}
+        for info in small_corpus.ground_truth.variants.values():
+            families[info.family_id] = families.get(info.family_id, 0) + 1
+        assert max(families.values()) >= 3
+
+    def test_life_science_subset_nonempty(self, small_corpus):
+        life_science = small_corpus.life_science_workflow_ids()
+        assert 0 < len(life_science) <= len(small_corpus)
+
+    def test_module_categories_cover_services_scripts_and_shims(self, small_corpus):
+        categories = small_corpus.repository.statistics().category_histogram
+        assert categories.get("web_service", 0) > 0
+        assert categories.get("script", 0) > 0
+        assert categories.get("local_operation", 0) > 0
+
+
+class TestGroundTruth:
+    def test_self_similarity(self, small_corpus):
+        workflow_id = small_corpus.repository.identifiers()[0]
+        assert small_corpus.true_similarity(workflow_id, workflow_id) == 1.0
+
+    def test_symmetry(self, small_corpus):
+        ids = small_corpus.repository.identifiers()
+        assert small_corpus.true_similarity(ids[0], ids[5]) == pytest.approx(
+            small_corpus.true_similarity(ids[5], ids[0])
+        )
+
+    def test_family_members_more_similar_than_cross_domain(self, small_corpus):
+        truth = small_corpus.ground_truth
+        families: dict[str, list[str]] = {}
+        for workflow_id, info in truth.variants.items():
+            families.setdefault(info.family_id, []).append(workflow_id)
+        family = next(members for members in families.values() if len(members) >= 2)
+        within = truth.true_similarity(family[0], family[1])
+        cross_domain = [
+            workflow_id
+            for workflow_id, info in truth.variants.items()
+            if info.domain != truth.domain_of(family[0])
+        ]
+        assert within > truth.true_similarity(family[0], cross_domain[0])
+
+    def test_relevance_levels_ordered(self, small_corpus):
+        truth = small_corpus.ground_truth
+        ids = small_corpus.repository.identifiers()
+        for first in ids[:5]:
+            for second in ids[:5]:
+                level = truth.relevance_level(first, second)
+                assert 0 <= level <= 3
+
+    def test_unknown_workflow_raises(self, small_corpus):
+        with pytest.raises(KeyError):
+            small_corpus.true_similarity("ghost", "ghost2")
+
+    def test_family_members_helper(self, small_corpus):
+        truth = small_corpus.ground_truth
+        some_id = small_corpus.repository.identifiers()[0]
+        family = truth.family_of(some_id)
+        assert some_id in truth.family_members(family)
+
+
+class TestGalaxyCorpus:
+    def test_requested_size(self, small_galaxy_corpus):
+        assert len(small_galaxy_corpus) == 40
+
+    def test_workflows_are_galaxy_shaped(self, small_galaxy_corpus):
+        workflow = small_galaxy_corpus.repository.workflows()[0]
+        types = {module.module_type for module in workflow.modules}
+        assert types <= {"galaxy_tool", "galaxy_data_input"}
+        assert workflow.source_format == "galaxy"
+
+    def test_annotations_are_sparse(self, small_galaxy_corpus):
+        stats = small_galaxy_corpus.repository.statistics()
+        taverna_stats = None
+        assert stats.untagged_fraction > 0.4
+
+    def test_sparser_than_taverna_corpus(self, small_corpus, small_galaxy_corpus):
+        taverna = small_corpus.repository.statistics()
+        galaxy = small_galaxy_corpus.repository.statistics()
+        assert galaxy.untagged_fraction > taverna.untagged_fraction
+
+    def test_ground_truth_present(self, small_galaxy_corpus):
+        ids = small_galaxy_corpus.repository.identifiers()
+        value = small_galaxy_corpus.true_similarity(ids[0], ids[1])
+        assert 0.0 <= value <= 1.0
+
+    def test_deterministic(self):
+        spec = GalaxyCorpusSpec(workflow_count=15, seed=3)
+        assert (
+            generate_galaxy_corpus(spec).repository.identifiers()
+            == generate_galaxy_corpus(spec).repository.identifiers()
+        )
+
+    def test_tool_labels_recur_across_workflows(self, small_galaxy_corpus):
+        labels: dict[str, int] = {}
+        for workflow in small_galaxy_corpus.repository:
+            for module in workflow.modules:
+                if module.module_type == "galaxy_tool":
+                    labels[module.label] = labels.get(module.label, 0) + 1
+        assert max(labels.values()) >= 3

@@ -1,0 +1,156 @@
+"""Tests for the ranking/retrieval experiment harnesses and reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import (
+    RankingEvaluation,
+    RetrievalEvaluation,
+    format_agreement_table,
+    format_precision_table,
+    format_ranking_table,
+    format_simple_table,
+    inter_annotator_agreement,
+)
+from repro.goldstandard import LikertRating
+from repro.repository import SimilaritySearchEngine
+
+
+@pytest.fixture(scope="module")
+def ranking_evaluation(small_corpus, ranking_data):
+    return RankingEvaluation(small_corpus.repository, ranking_data)
+
+
+class TestRankingEvaluation:
+    def test_evaluate_single_measure(self, ranking_evaluation, ranking_data):
+        quality = ranking_evaluation.evaluate_measure("MS_ip_te_pll")
+        assert quality.measure == "MS_ip_te_pll"
+        assert quality.evaluated_queries == len(ranking_data.query_ids)
+        assert -1.0 <= quality.mean_correctness <= 1.0
+        assert 0.0 <= quality.mean_completeness <= 1.0
+
+    def test_annotation_measure_beats_random_order(self, ranking_evaluation):
+        quality = ranking_evaluation.evaluate_measure("BW")
+        assert quality.mean_correctness > 0.3
+
+    def test_untagged_queries_skipped_for_bt(self, ranking_evaluation, small_corpus, ranking_data):
+        quality = ranking_evaluation.evaluate_measure("BT")
+        untagged_queries = [
+            query_id
+            for query_id in ranking_data.query_ids
+            if not small_corpus.repository.get(query_id).annotations.has_tags
+        ]
+        assert set(quality.skipped_queries) == set(untagged_queries)
+
+    def test_evaluate_measures_keyed_by_name(self, ranking_evaluation):
+        results = ranking_evaluation.evaluate_measures(["BW", "MS_np_ta_pll"])
+        assert set(results) == {"BW", "MS_np_ta_pll"}
+
+    def test_best_configuration_selection(self, ranking_evaluation):
+        name, quality = ranking_evaluation.best_configuration(["MS_np_ta_plm", "MS_ip_te_pll"])
+        assert name in {"MS_np_ta_plm", "MS_ip_te_pll"}
+        assert quality.mean_correctness >= -1.0
+
+    def test_compare_returns_t_test(self, ranking_evaluation):
+        result = ranking_evaluation.compare("BW", "GE_np_ta_pw0")
+        assert 0.0 <= result.p_value <= 1.0
+
+    def test_algorithm_ranking_contains_candidates(self, ranking_evaluation, ranking_data):
+        query_id = ranking_data.query_ids[0]
+        measure = ranking_evaluation.framework.measure("MS_np_ta_pll")
+        ranking = ranking_evaluation.algorithm_ranking(measure, query_id)
+        assert ranking.item_set() == set(ranking_data.candidates[query_id])
+
+    def test_paired_values_align_queries(self, ranking_evaluation):
+        first = ranking_evaluation.evaluate_measure("BW")
+        second = ranking_evaluation.evaluate_measure("MS_np_ta_pll")
+        values_first, values_second = first.paired_values(second)
+        assert len(values_first) == len(values_second) > 0
+
+
+class TestInterAnnotatorAgreement:
+    def test_per_expert_entries(self, ranking_data):
+        agreements = inter_annotator_agreement(ranking_data)
+        assert len(agreements) >= 3
+        for agreement in agreements.values():
+            assert -1.0 <= agreement.mean_correctness <= 1.0
+            assert 0.0 <= agreement.mean_completeness <= 1.0
+
+    def test_experts_mostly_agree_with_consensus(self, ranking_data):
+        agreements = inter_annotator_agreement(ranking_data)
+        mean_over_experts = sum(a.mean_correctness for a in agreements.values()) / len(agreements)
+        assert mean_over_experts > 0.4
+
+
+class TestRetrievalEvaluation:
+    @pytest.fixture(scope="class")
+    def retrieval_setup(self, small_corpus, small_study, ranking_data):
+        engine = SimilaritySearchEngine(small_corpus.repository, small_study.framework)
+        data = small_study.run_retrieval_experiment(
+            ["BW", "MS_ip_te_pll"], ranking_data=ranking_data, query_count=2, k=5, engine=engine
+        )
+        return engine, data
+
+    def test_precision_curves_structure(self, retrieval_setup, small_study):
+        engine, data = retrieval_setup
+        evaluation = RetrievalEvaluation(engine, data, study=small_study, max_k=5)
+        curves = evaluation.evaluate_measures(["BW", "MS_ip_te_pll"])
+        assert set(curves) == {"BW", "MS_ip_te_pll"}
+        for summary in curves.values():
+            for threshold in ("related", "similar", "very_similar"):
+                assert len(summary.curves[threshold]) == 5
+                assert all(0.0 <= value <= 1.0 for value in summary.curves[threshold])
+
+    def test_lower_threshold_never_lower_precision(self, retrieval_setup, small_study):
+        engine, data = retrieval_setup
+        evaluation = RetrievalEvaluation(engine, data, study=small_study, max_k=5)
+        summary = evaluation.evaluate_measure("MS_ip_te_pll").mean_curves()
+        for k in range(1, 6):
+            assert summary.at("related", k) >= summary.at("similar", k) >= summary.at("very_similar", k)
+
+    def test_unjudged_measure_can_be_evaluated_with_study(self, retrieval_setup, small_study):
+        engine, data = retrieval_setup
+        evaluation = RetrievalEvaluation(engine, data, study=small_study, max_k=5)
+        curves = evaluation.evaluate_measure("PS_ip_te_pll").mean_curves()
+        assert len(curves.curves["similar"]) == 5
+
+    def test_relevance_distribution(self, retrieval_setup, small_study):
+        engine, data = retrieval_setup
+        evaluation = RetrievalEvaluation(engine, data, study=small_study, max_k=5)
+        histogram = evaluation.relevance_distribution()
+        assert sum(histogram.values()) == data.rated_pairs()
+        assert all(isinstance(key, LikertRating) for key in histogram)
+
+
+class TestReportFormatting:
+    def test_simple_table_alignment(self):
+        table = format_simple_table(("a", "b"), [("x", 1), ("longer", 22)], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "longer" in table
+
+    def test_ranking_table_sorted_by_correctness(self, ranking_evaluation):
+        results = ranking_evaluation.evaluate_measures(["GE_np_ta_pw0", "BW"])
+        table = format_ranking_table(results)
+        lines = table.splitlines()
+        assert lines[2].startswith("BW") or lines[3].startswith("BW")
+        assert "correctness" in lines[1]
+
+    def test_precision_table(self, retrieval_setup_module=None):
+        from repro.evaluation import PrecisionCurves
+
+        curves = PrecisionCurves(measure="BW", max_k=10)
+        curves.curves = {
+            "related": [1.0] * 10,
+            "similar": [0.5] * 10,
+            "very_similar": [0.2] * 10,
+        }
+        table = format_precision_table({"BW": curves}, threshold="similar")
+        assert "P@10" in table
+        assert "0.500" in table
+
+    def test_agreement_table(self, ranking_data):
+        agreements = inter_annotator_agreement(ranking_data)
+        table = format_agreement_table(agreements)
+        assert "expert" in table.splitlines()[1]

@@ -1,0 +1,159 @@
+"""Tests for ranking correctness/completeness, precision@k and t-tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import (
+    average_precision,
+    correctness_and_completeness,
+    mean_and_std,
+    paired_t_test,
+    precision_at_k,
+    precision_curve,
+    ranking_completeness,
+    ranking_correctness,
+)
+from repro.goldstandard import LikertRating, Ranking
+
+
+class TestRankingCorrectness:
+    def test_identical_rankings(self):
+        reference = Ranking([["a"], ["b"], ["c"]])
+        assert ranking_correctness(reference, reference) == 1.0
+
+    def test_reversed_rankings(self):
+        reference = Ranking([["a"], ["b"], ["c"]])
+        predicted = Ranking([["c"], ["b"], ["a"]])
+        assert ranking_correctness(reference, predicted) == -1.0
+
+    def test_partially_correct(self):
+        reference = Ranking([["a"], ["b"], ["c"]])
+        predicted = Ranking([["a"], ["c"], ["b"]])
+        # pairs: (a,b) concordant, (a,c) concordant, (b,c) discordant -> 1/3
+        assert ranking_correctness(reference, predicted) == pytest.approx(1 / 3)
+
+    def test_ties_do_not_count(self):
+        reference = Ranking([["a"], ["b"], ["c"]])
+        predicted = Ranking([["a", "b"], ["c"]])
+        # tied pair (a,b) excluded; remaining two pairs concordant
+        assert ranking_correctness(reference, predicted) == 1.0
+
+    def test_no_comparable_pairs_scores_zero(self):
+        reference = Ranking([["a", "b"]])
+        predicted = Ranking([["a"], ["b"]])
+        assert ranking_correctness(reference, predicted) == 0.0
+
+
+class TestRankingCompleteness:
+    def test_full_completeness(self):
+        reference = Ranking([["a"], ["b"], ["c"]])
+        predicted = Ranking([["c"], ["b"], ["a"]])
+        assert ranking_completeness(reference, predicted) == 1.0
+
+    def test_ties_reduce_completeness(self):
+        reference = Ranking([["a"], ["b"], ["c"]])
+        predicted = Ranking([["a", "b", "c"]])
+        assert ranking_completeness(reference, predicted) == 0.0
+
+    def test_partial_ties(self):
+        reference = Ranking([["a"], ["b"], ["c"]])
+        predicted = Ranking([["a", "b"], ["c"]])
+        assert ranking_completeness(reference, predicted) == pytest.approx(2 / 3)
+
+    def test_reference_ties_not_penalised(self):
+        reference = Ranking([["a", "b"], ["c"]])
+        predicted = Ranking([["a"], ["b"], ["c"]])
+        assert ranking_completeness(reference, predicted) == 1.0
+
+    def test_combined_helper_matches_individual_metrics(self):
+        reference = Ranking([["a"], ["b"], ["c"], ["d"]])
+        predicted = Ranking([["b", "a"], ["d"], ["c"]])
+        correctness, completeness = correctness_and_completeness(reference, predicted)
+        assert correctness == pytest.approx(ranking_correctness(reference, predicted))
+        assert completeness == pytest.approx(ranking_completeness(reference, predicted))
+
+
+RATINGS = {
+    "r1": LikertRating.VERY_SIMILAR,
+    "r2": LikertRating.SIMILAR,
+    "r3": LikertRating.RELATED,
+    "r4": LikertRating.DISSIMILAR,
+    "r5": LikertRating.SIMILAR,
+}
+
+
+class TestPrecision:
+    def test_precision_at_one(self):
+        assert precision_at_k(["r1"], RATINGS, 1, threshold=LikertRating.SIMILAR) == 1.0
+
+    def test_precision_counts_threshold(self):
+        results = ["r1", "r2", "r3", "r4", "r5"]
+        assert precision_at_k(results, RATINGS, 5, threshold=LikertRating.SIMILAR) == pytest.approx(3 / 5)
+        assert precision_at_k(results, RATINGS, 5, threshold=LikertRating.RELATED) == pytest.approx(4 / 5)
+        assert precision_at_k(results, RATINGS, 5, threshold=LikertRating.VERY_SIMILAR) == pytest.approx(1 / 5)
+
+    def test_unrated_results_count_as_irrelevant(self):
+        assert precision_at_k(["unknown", "r1"], RATINGS, 2) == pytest.approx(0.5)
+
+    def test_k_beyond_result_list_penalises(self):
+        assert precision_at_k(["r1"], RATINGS, 10) == pytest.approx(0.1)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            precision_at_k(["r1"], RATINGS, 0)
+
+    def test_precision_curve_length_and_monotonic_start(self):
+        curve = precision_curve(["r1", "r2", "r4"], RATINGS, max_k=5)
+        assert len(curve) == 5
+        assert curve[0] == 1.0
+
+    def test_average_precision(self):
+        results = ["r4", "r1", "r2"]
+        # relevant at positions 2 and 3 -> AP = (1/2 + 2/3)/2
+        assert average_precision(results, RATINGS) == pytest.approx((0.5 + 2 / 3) / 2)
+
+    def test_average_precision_no_relevant(self):
+        assert average_precision(["r4"], RATINGS) == 0.0
+
+
+class TestStatistics:
+    def test_mean_and_std(self):
+        mean, std = mean_and_std([1.0, 2.0, 3.0])
+        assert mean == pytest.approx(2.0)
+        assert std == pytest.approx(0.8164965809)
+
+    def test_mean_and_std_degenerate(self):
+        assert mean_and_std([]) == (0.0, 0.0)
+        assert mean_and_std([5.0]) == (5.0, 0.0)
+
+    def test_paired_t_test_significant_difference(self):
+        first = [0.9, 0.8, 0.85, 0.95, 0.9, 0.87]
+        second = [0.5, 0.4, 0.45, 0.55, 0.5, 0.52]
+        result = paired_t_test(first, second)
+        assert result.significant
+        assert result.p_value < 0.01
+        assert result.mean_difference > 0
+
+    def test_paired_t_test_no_difference(self):
+        first = [0.5, 0.6, 0.7, 0.65, 0.55]
+        second = [0.52, 0.58, 0.69, 0.66, 0.54]
+        result = paired_t_test(first, second)
+        assert not result.significant
+
+    def test_identical_samples(self):
+        result = paired_t_test([0.5, 0.5, 0.5], [0.5, 0.5, 0.5])
+        assert result.p_value == 1.0
+        assert result.statistic == 0.0
+
+    def test_constant_difference(self):
+        result = paired_t_test([1.0, 1.0, 1.0], [0.5, 0.5, 0.5])
+        assert result.significant
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            paired_t_test([1.0], [1.0, 2.0])
+
+    def test_too_few_pairs_rejected(self):
+        with pytest.raises(ValueError):
+            paired_t_test([1.0], [0.5])

@@ -1,0 +1,103 @@
+"""Tests for the BioConsert-style consensus ranking."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.goldstandard import Ranking, bioconsert_consensus, kendall_tau_with_ties, total_distance
+
+
+class TestKendallTauWithTies:
+    def test_identical_rankings_distance_zero(self):
+        ranking = Ranking([["a"], ["b"], ["c"]])
+        assert kendall_tau_with_ties(ranking, ranking) == 0.0
+
+    def test_reversed_rankings(self):
+        first = Ranking([["a"], ["b"], ["c"]])
+        second = Ranking([["c"], ["b"], ["a"]])
+        assert kendall_tau_with_ties(first, second) == 3.0
+
+    def test_tie_costs_half(self):
+        first = Ranking([["a"], ["b"]])
+        second = Ranking([["a", "b"]])
+        assert kendall_tau_with_ties(first, second) == 0.5
+
+    def test_incomplete_rankings_only_common_pairs(self):
+        first = Ranking([["a"], ["b"], ["c"]])
+        second = Ranking([["b"], ["a"]])  # c unranked
+        assert kendall_tau_with_ties(first, second) == 1.0
+
+    def test_symmetric(self):
+        first = Ranking([["a"], ["b", "c"], ["d"]])
+        second = Ranking([["d"], ["a"], ["b"], ["c"]])
+        assert kendall_tau_with_ties(first, second) == kendall_tau_with_ties(second, first)
+
+    def test_total_distance_sums(self):
+        candidate = Ranking([["a"], ["b"]])
+        inputs = [Ranking([["a"], ["b"]]), Ranking([["b"], ["a"]])]
+        assert total_distance(candidate, inputs) == 1.0
+
+
+class TestBioConsert:
+    def test_unanimous_input_is_returned(self):
+        ranking = Ranking([["a"], ["b"], ["c"]])
+        consensus = bioconsert_consensus([ranking, ranking, ranking])
+        assert consensus == ranking
+
+    def test_majority_wins(self):
+        majority = Ranking([["a"], ["b"], ["c"]])
+        minority = Ranking([["c"], ["b"], ["a"]])
+        consensus = bioconsert_consensus([majority, majority, minority])
+        assert consensus.items()[0] == "a"
+        assert kendall_tau_with_ties(consensus, majority) <= kendall_tau_with_ties(
+            consensus, minority
+        )
+
+    def test_empty_input(self):
+        assert bioconsert_consensus([]) == Ranking([])
+
+    def test_universe_items_all_ranked(self):
+        partial = Ranking([["a"], ["b"]])
+        consensus = bioconsert_consensus([partial], universe=["a", "b", "c"])
+        assert consensus.item_set() == {"a", "b", "c"}
+
+    def test_incomplete_rankings_supported(self):
+        first = Ranking([["a"], ["b"]])          # expert unsure about c
+        second = Ranking([["a"], ["c"]])          # expert unsure about b
+        third = Ranking([["a"], ["b"], ["c"]])
+        consensus = bioconsert_consensus([first, second, third], universe=["a", "b", "c"])
+        assert consensus.items()[0] == "a"
+        assert consensus.item_set() == {"a", "b", "c"}
+
+    def test_consensus_cost_not_worse_than_best_input(self):
+        rankings = [
+            Ranking([["a"], ["b"], ["c"], ["d"]]),
+            Ranking([["b"], ["a"], ["c"], ["d"]]),
+            Ranking([["a"], ["c"], ["b"], ["d"]]),
+        ]
+        consensus = bioconsert_consensus(rankings)
+        best_input_cost = min(total_distance(ranking, rankings) for ranking in rankings)
+        assert total_distance(consensus, rankings) <= best_input_cost
+
+    def test_ties_allowed_in_consensus(self):
+        first = Ranking([["a"], ["b"]])
+        second = Ranking([["b"], ["a"]])
+        consensus = bioconsert_consensus([first, second])
+        # With exactly opposing inputs, tying both items is an optimal median.
+        assert total_distance(consensus, [first, second]) <= 1.0
+
+    @given(
+        st.lists(
+            st.permutations(["a", "b", "c", "d"]),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_consensus_never_worse_than_any_input(self, permutations):
+        rankings = [Ranking([[item] for item in permutation]) for permutation in permutations]
+        consensus = bioconsert_consensus(rankings)
+        consensus_cost = total_distance(consensus, rankings)
+        for ranking in rankings:
+            assert consensus_cost <= total_distance(ranking, rankings) + 1e-9

@@ -1,0 +1,129 @@
+"""Tests for simulated experts and the two-phase gold-standard study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.goldstandard import (
+    ExpertPanel,
+    GoldStandardStudy,
+    LikertRating,
+    SimulatedExpert,
+)
+from repro.repository import SimilaritySearchEngine
+
+
+class TestSimulatedExpert:
+    def test_noise_free_expert_reproduces_thresholds(self, small_corpus):
+        truth = small_corpus.ground_truth
+        expert = SimulatedExpert("e", bias=0.0, noise=0.0, unsure_rate=0.0)
+        assert expert.rate_similarity(0.95, truth) is LikertRating.VERY_SIMILAR
+        assert expert.rate_similarity(0.6, truth) is LikertRating.SIMILAR
+        assert expert.rate_similarity(0.35, truth) is LikertRating.RELATED
+        assert expert.rate_similarity(0.05, truth) is LikertRating.DISSIMILAR
+
+    def test_always_unsure_expert(self, small_corpus):
+        expert = SimulatedExpert("e", unsure_rate=1.0)
+        assert expert.rate_similarity(0.9, small_corpus.ground_truth) is LikertRating.UNSURE
+
+    def test_rate_pair_uses_ground_truth(self, small_corpus):
+        truth = small_corpus.ground_truth
+        families: dict[str, list[str]] = {}
+        for workflow_id, info in truth.variants.items():
+            families.setdefault(info.family_id, []).append(workflow_id)
+        family = next(members for members in families.values() if len(members) >= 2)
+        expert = SimulatedExpert("e", bias=0.0, noise=0.0, unsure_rate=0.0)
+        rating = expert.rate_pair(family[0], family[1], truth)
+        assert rating.rating >= LikertRating.SIMILAR
+
+    def test_bias_shifts_ratings_up(self, small_corpus):
+        truth = small_corpus.ground_truth
+        generous = SimulatedExpert("g", bias=0.3, noise=0.0, unsure_rate=0.0)
+        strict = SimulatedExpert("s", bias=-0.3, noise=0.0, unsure_rate=0.0)
+        assert generous.rate_similarity(0.5, truth) >= strict.rate_similarity(0.5, truth)
+
+
+class TestExpertPanel:
+    def test_panel_size(self):
+        assert len(ExpertPanel(expert_count=15, seed=1)) == 15
+
+    def test_experts_differ(self):
+        panel = ExpertPanel(expert_count=5, seed=1)
+        biases = {expert.bias for expert in panel}
+        assert len(biases) > 1
+
+    def test_rate_pairs_full_participation(self, small_corpus):
+        panel = ExpertPanel(expert_count=3, seed=2)
+        ids = small_corpus.repository.identifiers()
+        pairs = [(ids[0], ids[1]), (ids[0], ids[2])]
+        corpus = panel.rate_pairs(pairs, small_corpus.ground_truth)
+        assert len(corpus) == 6
+
+    def test_rate_pairs_partial_participation(self, small_corpus):
+        import random
+
+        panel = ExpertPanel(expert_count=5, seed=2)
+        ids = small_corpus.repository.identifiers()
+        pairs = [(ids[0], ids[i]) for i in range(1, 11)]
+        corpus = panel.rate_pairs(
+            pairs, small_corpus.ground_truth, participation=0.5, rng=random.Random(1)
+        )
+        assert 0 < len(corpus) < 50
+
+
+class TestRankingExperiment:
+    def test_query_count_and_candidates(self, ranking_data):
+        assert len(ranking_data.query_ids) == 4
+        for query_id in ranking_data.query_ids:
+            assert len(ranking_data.candidates[query_id]) == 8
+            assert query_id not in ranking_data.candidates[query_id]
+
+    def test_consensus_built_for_every_query(self, ranking_data):
+        for query_id in ranking_data.query_ids:
+            consensus = ranking_data.consensus[query_id]
+            assert consensus.item_set() <= set(ranking_data.candidates[query_id])
+            assert len(consensus) > 0
+
+    def test_expert_rankings_present(self, ranking_data):
+        some_query = ranking_data.query_ids[0]
+        assert len(ranking_data.expert_rankings[some_query]) >= 3
+
+    def test_ratings_cover_pairs(self, ranking_data):
+        assert len(ranking_data.ratings) > 0
+        assert ranking_data.pair_count() == 32
+
+    def test_queries_are_from_life_science_domains(self, ranking_data, small_corpus):
+        life_science = set(small_corpus.life_science_workflow_ids())
+        assert set(ranking_data.query_ids) <= life_science
+
+
+class TestRetrievalExperiment:
+    def test_relevance_judgements_collected(self, small_study, small_corpus, ranking_data):
+        engine = SimilaritySearchEngine(small_corpus.repository, small_study.framework)
+        data = small_study.run_retrieval_experiment(
+            ["BW", "MS_ip_te_pll"], ranking_data=ranking_data, query_count=2, k=5, engine=engine
+        )
+        assert len(data.query_ids) == 2
+        assert data.rated_pairs() > 0
+        for query_id in data.query_ids:
+            for candidate_id, rating in data.relevance[query_id].items():
+                assert isinstance(rating, LikertRating)
+                assert rating.is_judgement
+
+    def test_extend_relevance_adds_missing(self, small_study, small_corpus):
+        from repro.goldstandard import RetrievalExperimentData
+
+        ids = small_corpus.repository.identifiers()
+        data = RetrievalExperimentData(query_ids=[ids[0]])
+        small_study.extend_relevance(data, ids[0], [ids[1], ids[2]])
+        assert data.rating(ids[0], ids[1]) is not None
+        before = data.rated_pairs()
+        small_study.extend_relevance(data, ids[0], [ids[1]])
+        assert data.rated_pairs() == before
+
+    def test_candidate_list_mixes_ranking_regions(self, small_study, small_corpus):
+        query_id = small_study.select_query_workflows(1)[0]
+        candidates = small_study.candidate_list(query_id, size=10)
+        assert len(candidates) == 10
+        assert len(set(candidates)) == 10
+        assert query_id not in candidates

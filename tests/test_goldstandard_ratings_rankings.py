@@ -1,0 +1,174 @@
+"""Tests for Likert ratings, rating corpora and rankings with ties."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.goldstandard import (
+    LikertRating,
+    Ranking,
+    RatingCorpus,
+    SimilarityRating,
+    median_rating,
+    pair_order_counts,
+)
+
+
+class TestLikertRating:
+    def test_scale_order(self):
+        assert LikertRating.VERY_SIMILAR > LikertRating.SIMILAR > LikertRating.RELATED > LikertRating.DISSIMILAR
+
+    def test_unsure_is_not_a_judgement(self):
+        assert not LikertRating.UNSURE.is_judgement
+        assert LikertRating.RELATED.is_judgement
+
+    def test_from_level(self):
+        assert LikertRating.from_level(3) is LikertRating.VERY_SIMILAR
+        assert LikertRating.from_level(0) is LikertRating.DISSIMILAR
+
+
+class TestMedianRating:
+    def test_odd_count(self):
+        ratings = [LikertRating.SIMILAR, LikertRating.RELATED, LikertRating.VERY_SIMILAR]
+        assert median_rating(ratings) is LikertRating.SIMILAR
+
+    def test_even_count_uses_lower_median(self):
+        ratings = [LikertRating.SIMILAR, LikertRating.RELATED]
+        assert median_rating(ratings) is LikertRating.RELATED
+
+    def test_unsure_ignored(self):
+        ratings = [LikertRating.UNSURE, LikertRating.VERY_SIMILAR]
+        assert median_rating(ratings) is LikertRating.VERY_SIMILAR
+
+    def test_all_unsure_returns_none(self):
+        assert median_rating([LikertRating.UNSURE]) is None
+
+    def test_empty_returns_none(self):
+        assert median_rating([]) is None
+
+    @given(st.lists(st.sampled_from([r for r in LikertRating if r.is_judgement]), min_size=1, max_size=15))
+    @settings(max_examples=50)
+    def test_median_is_one_of_the_inputs(self, ratings):
+        assert median_rating(ratings) in ratings
+
+
+class TestRatingCorpus:
+    def build(self):
+        corpus = RatingCorpus()
+        corpus.add(SimilarityRating("e1", "q1", "c1", LikertRating.VERY_SIMILAR))
+        corpus.add(SimilarityRating("e2", "q1", "c1", LikertRating.SIMILAR))
+        corpus.add(SimilarityRating("e1", "q1", "c2", LikertRating.UNSURE))
+        corpus.add(SimilarityRating("e2", "q1", "c2", LikertRating.DISSIMILAR))
+        corpus.add(SimilarityRating("e1", "q2", "c3", LikertRating.RELATED))
+        return corpus
+
+    def test_views(self):
+        corpus = self.build()
+        assert len(corpus) == 5
+        assert corpus.experts() == ["e1", "e2"]
+        assert corpus.queries() == ["q1", "q2"]
+        assert corpus.candidates_of("q1") == ["c1", "c2"]
+        assert len(corpus.pairs()) == 3
+
+    def test_median_per_pair(self):
+        corpus = self.build()
+        assert corpus.median_for_pair("q1", "c1") is LikertRating.SIMILAR
+        assert corpus.median_for_pair("q1", "c2") is LikertRating.DISSIMILAR
+
+    def test_median_ratings_per_query(self):
+        medians = self.build().median_ratings("q1")
+        assert medians == {"c1": LikertRating.SIMILAR, "c2": LikertRating.DISSIMILAR}
+
+    def test_expert_ratings_for_query(self):
+        ratings = self.build().expert_ratings_for_query("e1", "q1")
+        assert ratings["c1"] is LikertRating.VERY_SIMILAR
+        assert ratings["c2"] is LikertRating.UNSURE
+
+    def test_judgement_count_excludes_unsure(self):
+        assert self.build().judgement_count() == 4
+
+    def test_ratings_by_expert(self):
+        assert len(self.build().ratings_by_expert("e1")) == 3
+
+
+class TestRanking:
+    def test_from_scores_orders_descending(self):
+        ranking = Ranking.from_scores({"a": 0.9, "b": 0.5, "c": 0.7})
+        assert ranking.items() == ["a", "c", "b"]
+
+    def test_from_scores_ties_share_bucket(self):
+        ranking = Ranking.from_scores({"a": 0.5, "b": 0.5, "c": 0.1})
+        assert ranking.buckets[0] == ("a", "b")
+        assert ranking.position("a") == ranking.position("b")
+
+    def test_tie_precision(self):
+        ranking = Ranking.from_scores({"a": 0.5000000001, "b": 0.5}, tie_precision=6)
+        assert ranking.position("a") == ranking.position("b")
+
+    def test_from_ratings_buckets_by_level(self):
+        ranking = Ranking.from_ratings(
+            {
+                "a": LikertRating.VERY_SIMILAR,
+                "b": LikertRating.SIMILAR,
+                "c": LikertRating.SIMILAR,
+                "d": LikertRating.UNSURE,
+            }
+        )
+        assert ranking.buckets == (("a",), ("b", "c"))
+        assert not ranking.contains("d")
+
+    def test_order_relation(self):
+        ranking = Ranking([["a"], ["b", "c"]])
+        assert ranking.order("a", "b") == -1
+        assert ranking.order("b", "a") == 1
+        assert ranking.order("b", "c") == 0
+        assert ranking.order("a", "zzz") is None
+
+    def test_duplicate_items_ignored(self):
+        ranking = Ranking([["a"], ["a", "b"]])
+        assert ranking.items() == ["a", "b"]
+
+    def test_restricted_to(self):
+        ranking = Ranking([["a"], ["b", "c"], ["d"]])
+        restricted = ranking.restricted_to({"b", "d"})
+        assert restricted.buckets == (("b",), ("d",))
+
+    def test_equality_and_hash(self):
+        assert Ranking([["a"], ["b"]]) == Ranking([["a"], ["b"]])
+        assert Ranking([["a", "b"]]) != Ranking([["a"], ["b"]])
+        assert hash(Ranking([["a"]])) == hash(Ranking([["a"]]))
+
+    def test_empty_ranking(self):
+        ranking = Ranking([])
+        assert len(ranking) == 0
+        assert ranking.items() == []
+
+
+class TestPairOrderCounts:
+    def test_identical_rankings_all_concordant(self):
+        ranking = Ranking([["a"], ["b"], ["c"]])
+        counts = pair_order_counts(ranking, ranking)
+        assert counts.concordant == 3
+        assert counts.discordant == 0
+
+    def test_reversed_rankings_all_discordant(self):
+        reference = Ranking([["a"], ["b"], ["c"]])
+        reversed_ranking = Ranking([["c"], ["b"], ["a"]])
+        counts = pair_order_counts(reference, reversed_ranking)
+        assert counts.discordant == 3
+        assert counts.concordant == 0
+
+    def test_ties_counted_separately(self):
+        reference = Ranking([["a"], ["b"], ["c"]])
+        tied = Ranking([["a", "b"], ["c"]])
+        counts = pair_order_counts(reference, tied)
+        assert counts.tied_in_other_only == 1
+        assert counts.concordant == 2
+
+    def test_only_common_items_compared(self):
+        reference = Ranking([["a"], ["b"], ["x"]])
+        other = Ranking([["a"], ["b"], ["y"]])
+        counts = pair_order_counts(reference, other)
+        assert counts.compared == 1

@@ -1,0 +1,139 @@
+"""Tests for the DAG helpers (topological sort, closure, reduction)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    GraphCycleError,
+    has_cycle,
+    predecessors_from_successors,
+    reachable_from,
+    sinks,
+    sources,
+    successors_view,
+    topological_sort,
+    transitive_closure,
+    transitive_reduction,
+)
+
+CHAIN = {"a": {"b"}, "b": {"c"}, "c": set()}
+DIAMOND = {"a": {"b", "c"}, "b": {"d"}, "c": {"d"}, "d": set()}
+CYCLE = {"a": {"b"}, "b": {"c"}, "c": {"a"}}
+
+
+def random_dag(draw_edges: list[tuple[int, int]], size: int) -> dict[int, set[int]]:
+    """Build a DAG over 0..size-1 where edges always go from lower to higher."""
+    graph: dict[int, set[int]] = {node: set() for node in range(size)}
+    for low, high in draw_edges:
+        a, b = sorted((low % size, high % size))
+        if a != b:
+            graph[a].add(b)
+    return graph
+
+
+dag_strategy = st.builds(
+    random_dag,
+    st.lists(st.tuples(st.integers(0, 30), st.integers(0, 30)), max_size=40),
+    st.integers(min_value=1, max_value=8),
+)
+
+
+class TestViews:
+    def test_successors_view_adds_missing_targets(self):
+        graph = successors_view({"a": ["b"]})
+        assert graph == {"a": {"b"}, "b": set()}
+
+    def test_predecessors(self):
+        assert predecessors_from_successors(CHAIN)["c"] == {"b"}
+        assert predecessors_from_successors(CHAIN)["a"] == set()
+
+    def test_sources_and_sinks_of_chain(self):
+        assert sources(CHAIN) == ["a"]
+        assert sinks(CHAIN) == ["c"]
+
+    def test_sources_and_sinks_of_diamond(self):
+        assert sources(DIAMOND) == ["a"]
+        assert sinks(DIAMOND) == ["d"]
+
+    def test_isolated_node_is_source_and_sink(self):
+        graph = {"x": set()}
+        assert sources(graph) == ["x"]
+        assert sinks(graph) == ["x"]
+
+
+class TestTopologicalSort:
+    def test_chain_order(self):
+        assert topological_sort(CHAIN) == ["a", "b", "c"]
+
+    def test_diamond_order_respects_edges(self):
+        order = topological_sort(DIAMOND)
+        assert order.index("a") < order.index("b") < order.index("d")
+        assert order.index("a") < order.index("c") < order.index("d")
+
+    def test_cycle_raises(self):
+        with pytest.raises(GraphCycleError):
+            topological_sort(CYCLE)
+
+    def test_has_cycle(self):
+        assert has_cycle(CYCLE)
+        assert not has_cycle(DIAMOND)
+
+    def test_empty_graph(self):
+        assert topological_sort({}) == []
+
+    @given(dag_strategy)
+    @settings(max_examples=60)
+    def test_random_dags_are_acyclic_and_sorted(self, graph):
+        order = topological_sort(graph)
+        assert sorted(order) == sorted(graph)
+        position = {node: index for index, node in enumerate(order)}
+        for node, targets in graph.items():
+            for target in targets:
+                assert position[node] < position[target]
+
+
+class TestReachabilityAndClosure:
+    def test_reachable_from_chain(self):
+        assert reachable_from(CHAIN, "a") == {"b", "c"}
+        assert reachable_from(CHAIN, "c") == set()
+
+    def test_transitive_closure_diamond(self):
+        closure = transitive_closure(DIAMOND)
+        assert closure["a"] == {"b", "c", "d"}
+        assert closure["b"] == {"d"}
+
+    def test_closure_of_isolated_node(self):
+        assert transitive_closure({"x": set()}) == {"x": set()}
+
+
+class TestTransitiveReduction:
+    def test_removes_shortcut_edge(self):
+        graph = {"a": {"b", "c"}, "b": {"c"}, "c": set()}
+        reduced = transitive_reduction(graph)
+        assert reduced == {"a": {"b"}, "b": {"c"}, "c": set()}
+
+    def test_keeps_diamond_edges(self):
+        reduced = transitive_reduction(DIAMOND)
+        assert reduced == {"a": {"b", "c"}, "b": {"d"}, "c": {"d"}, "d": set()}
+
+    def test_cycle_rejected(self):
+        with pytest.raises(GraphCycleError):
+            transitive_reduction(CYCLE)
+
+    @given(dag_strategy)
+    @settings(max_examples=60)
+    def test_reduction_preserves_reachability(self, graph):
+        reduced = transitive_reduction(graph)
+        original_closure = transitive_closure(graph)
+        reduced_closure = transitive_closure(reduced)
+        assert original_closure == reduced_closure
+
+    @given(dag_strategy)
+    @settings(max_examples=60)
+    def test_reduction_is_subset_of_original_edges(self, graph):
+        reduced = transitive_reduction(graph)
+        for node, targets in reduced.items():
+            assert targets <= successors_view(graph)[node]

@@ -1,0 +1,137 @@
+"""Tests for the graph edit distance substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    EditCosts,
+    GraphEditDistance,
+    LabeledGraph,
+    graph_edit_distance,
+    maximum_edit_cost,
+)
+
+
+def chain_graph(labels: list[str], prefix: str = "n") -> LabeledGraph:
+    nodes = {f"{prefix}{i}": label for i, label in enumerate(labels)}
+    edges = {(f"{prefix}{i}", f"{prefix}{i + 1}") for i in range(len(labels) - 1)}
+    return LabeledGraph.from_edges(nodes, edges)
+
+
+class TestLabeledGraph:
+    def test_counts(self):
+        graph = chain_graph(["a", "b", "c"])
+        assert graph.node_count == 3
+        assert graph.edge_count == 2
+
+    def test_unknown_edge_endpoint_rejected(self):
+        with pytest.raises(ValueError):
+            LabeledGraph(labels={"a": "x"}, edges={("a", "b")})
+
+    def test_neighbors(self):
+        graph = chain_graph(["a", "b", "c"])
+        assert graph.out_neighbors("n0") == {"n1"}
+        assert graph.in_neighbors("n2") == {"n1"}
+        assert graph.degree("n1") == 2
+
+
+class TestExactDistance:
+    def test_identical_graphs_cost_zero(self):
+        graph = chain_graph(["a", "b", "c"])
+        other = chain_graph(["a", "b", "c"], prefix="m")
+        result = graph_edit_distance(graph, other)
+        assert result.cost == 0.0
+        assert result.exact
+
+    def test_single_label_substitution(self):
+        first = chain_graph(["a", "b"])
+        second = chain_graph(["a", "z"], prefix="m")
+        assert graph_edit_distance(first, second).cost == 1.0
+
+    def test_node_insertion_with_edge(self):
+        first = chain_graph(["a"])
+        second = chain_graph(["a", "b"], prefix="m")
+        # One node insertion plus one edge insertion.
+        assert graph_edit_distance(first, second).cost == 2.0
+
+    def test_empty_graphs(self):
+        empty = LabeledGraph()
+        assert graph_edit_distance(empty, empty).cost == 0.0
+
+    def test_empty_versus_chain(self):
+        empty = LabeledGraph()
+        chain = chain_graph(["a", "b", "c"])
+        result = graph_edit_distance(empty, chain)
+        assert result.cost == 3 + 2  # three node and two edge insertions
+        assert result.exact
+
+    def test_symmetry_for_uniform_costs(self):
+        first = chain_graph(["a", "b", "c"])
+        second = chain_graph(["a", "x", "c", "d"], prefix="m")
+        forward = graph_edit_distance(first, second).cost
+        backward = graph_edit_distance(second, first).cost
+        assert forward == pytest.approx(backward)
+
+    def test_distance_bounded_by_maximum_cost(self):
+        first = chain_graph(["a", "b", "c", "d"])
+        second = chain_graph(["w", "x", "y"], prefix="m")
+        result = graph_edit_distance(first, second)
+        assert result.cost <= maximum_edit_cost(first, second)
+
+    def test_structural_difference_detected(self):
+        chain = chain_graph(["a", "b", "c"])
+        star_nodes = {"m0": "a", "m1": "b", "m2": "c"}
+        star = LabeledGraph.from_edges(star_nodes, {("m0", "m1"), ("m0", "m2")})
+        assert graph_edit_distance(chain, star).cost > 0.0
+
+
+class TestApproximation:
+    def test_large_graphs_use_approximation(self):
+        labels = [f"l{i}" for i in range(12)]
+        first = chain_graph(labels)
+        second = chain_graph(labels, prefix="m")
+        ged = GraphEditDistance(exact_node_limit=4)
+        result = ged.distance(first, second)
+        assert not result.exact
+        assert result.cost == pytest.approx(0.0)
+
+    def test_approximation_upper_bounds_exact(self):
+        first = chain_graph(["a", "b", "c", "x"])
+        second = chain_graph(["a", "b", "y", "c"], prefix="m")
+        exact = GraphEditDistance(exact_node_limit=10).distance(first, second)
+        approx = GraphEditDistance(exact_node_limit=0).distance(first, second)
+        assert approx.cost >= exact.cost - 1e-9
+
+    def test_timeout_flag(self):
+        labels = [f"l{i}" for i in range(9)]
+        first = chain_graph(labels)
+        second = chain_graph(list(reversed(labels)), prefix="m")
+        ged = GraphEditDistance(exact_node_limit=12, timeout=0.0)
+        result = ged.distance(first, second)
+        assert result.timed_out
+        assert result.cost >= 0.0
+
+
+class TestEditCosts:
+    def test_substitution_free_for_equal_labels(self):
+        costs = EditCosts()
+        assert costs.substitution_cost("x", "x") == 0.0
+        assert costs.substitution_cost("x", "y") == 1.0
+
+    def test_custom_costs_change_distance(self):
+        first = chain_graph(["a", "b"])
+        second = chain_graph(["a", "z"], prefix="m")
+        uniform = graph_edit_distance(first, second)
+        expensive = graph_edit_distance(
+            first, second, costs=EditCosts(node_substitution=5.0)
+        )
+        # With substitution at 5, deleting b / inserting z (plus the incident
+        # edge delete + insert) is cheaper: 4 instead of 5.
+        assert uniform.cost == pytest.approx(1.0)
+        assert expensive.cost == pytest.approx(4.0)
+
+    def test_maximum_cost_formula_uniform(self):
+        first = chain_graph(["a", "b", "c"])
+        second = chain_graph(["x", "y"], prefix="m")
+        assert maximum_edit_cost(first, second) == max(3, 2) + 2 + 1

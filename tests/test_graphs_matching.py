@@ -1,0 +1,155 @@
+"""Tests for the bipartite matching algorithms (greedy, mw, mwnc)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    greedy_matching,
+    hungarian_maximum_weight,
+    matching_weight,
+    maximum_weight_matching,
+    maximum_weight_noncrossing_matching,
+)
+
+weight_matrix = st.integers(min_value=1, max_value=6).flatmap(
+    lambda rows: st.integers(min_value=1, max_value=6).flatmap(
+        lambda cols: st.lists(
+            st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=cols, max_size=cols),
+            min_size=rows,
+            max_size=rows,
+        )
+    )
+)
+
+
+def brute_force_best_matching_weight(weights):
+    """Exhaustive maximum matching weight for small matrices."""
+    import itertools
+
+    n_rows = len(weights)
+    n_cols = len(weights[0]) if n_rows else 0
+    best = 0.0
+    columns = list(range(n_cols))
+    for size in range(0, min(n_rows, n_cols) + 1):
+        for rows in itertools.combinations(range(n_rows), size):
+            for cols in itertools.permutations(columns, size):
+                best = max(best, sum(weights[r][c] for r, c in zip(rows, cols)))
+    return best
+
+
+class TestGreedyMatching:
+    def test_simple_two_by_two(self):
+        pairs = greedy_matching([[0.9, 0.1], [0.2, 0.8]])
+        assert {(p.row, p.col) for p in pairs} == {(0, 0), (1, 1)}
+
+    def test_greedy_can_be_suboptimal(self):
+        # Greedy picks 0.9 first and is left with 0.1; optimal is 0.8 + 0.7.
+        weights = [[0.9, 0.8], [0.7, 0.1]]
+        greedy = matching_weight(greedy_matching(weights))
+        optimal = matching_weight(maximum_weight_matching(weights))
+        assert greedy == pytest.approx(1.0)
+        assert optimal == pytest.approx(1.5)
+
+    def test_zero_weights_not_matched(self):
+        assert greedy_matching([[0.0, 0.0], [0.0, 0.0]]) == []
+
+    def test_empty_matrix(self):
+        assert greedy_matching([]) == []
+
+    def test_each_row_and_column_used_once(self):
+        pairs = greedy_matching([[0.5, 0.6, 0.4], [0.5, 0.7, 0.2]])
+        rows = [p.row for p in pairs]
+        cols = [p.col for p in pairs]
+        assert len(rows) == len(set(rows))
+        assert len(cols) == len(set(cols))
+
+
+class TestMaximumWeightMatching:
+    def test_rectangular_matrix(self):
+        pairs = maximum_weight_matching([[0.2, 0.9, 0.3]])
+        assert len(pairs) == 1
+        assert pairs[0].col == 1
+
+    def test_ragged_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            maximum_weight_matching([[0.1, 0.2], [0.3]])
+
+    def test_empty(self):
+        assert maximum_weight_matching([]) == []
+        assert maximum_weight_matching([[]]) == []
+
+    def test_identity_matrix_matches_diagonal(self):
+        weights = [[1.0 if i == j else 0.0 for j in range(4)] for i in range(4)]
+        pairs = maximum_weight_matching(weights)
+        assert {(p.row, p.col) for p in pairs} == {(i, i) for i in range(4)}
+
+    def test_pure_python_backend_matches_scipy(self):
+        weights = [[0.3, 0.7, 0.2], [0.9, 0.4, 0.5], [0.1, 0.6, 0.8]]
+        with_scipy = matching_weight(maximum_weight_matching(weights, use_scipy=True))
+        without = matching_weight(maximum_weight_matching(weights, use_scipy=False))
+        assert with_scipy == pytest.approx(without)
+
+    @given(weight_matrix)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_brute_force_optimum(self, weights):
+        result = matching_weight(maximum_weight_matching(weights, use_scipy=False))
+        assert result == pytest.approx(brute_force_best_matching_weight(weights), abs=1e-9)
+
+    @given(weight_matrix)
+    @settings(max_examples=60, deadline=None)
+    def test_at_least_greedy(self, weights):
+        optimal = matching_weight(maximum_weight_matching(weights, use_scipy=False))
+        greedy = matching_weight(greedy_matching(weights))
+        assert optimal >= greedy - 1e-9
+
+    @given(weight_matrix)
+    @settings(max_examples=60, deadline=None)
+    def test_injective_assignment(self, weights):
+        pairs = maximum_weight_matching(weights, use_scipy=False)
+        assert len({p.row for p in pairs}) == len(pairs)
+        assert len({p.col for p in pairs}) == len(pairs)
+
+
+class TestHungarian:
+    def test_square_assignment_complete(self):
+        weights = [[0.5, 0.2], [0.3, 0.9]]
+        assignment = hungarian_maximum_weight(weights)
+        assert sorted(assignment) == [(0, 0), (1, 1)]
+
+    def test_empty(self):
+        assert hungarian_maximum_weight([]) == []
+
+
+class TestNonCrossingMatching:
+    def test_prefers_non_crossing_combination(self):
+        # The crossing pair (0,1)+(1,0) would weigh 1.8; non-crossing best is 0.9.
+        weights = [[0.1, 0.9], [0.9, 0.1]]
+        pairs = maximum_weight_noncrossing_matching(weights)
+        assert matching_weight(pairs) == pytest.approx(0.9)
+
+    def test_diagonal_is_non_crossing(self):
+        weights = [[0.9, 0.0], [0.0, 0.8]]
+        pairs = maximum_weight_noncrossing_matching(weights)
+        assert {(p.row, p.col) for p in pairs} == {(0, 0), (1, 1)}
+
+    def test_empty(self):
+        assert maximum_weight_noncrossing_matching([]) == []
+
+    @given(weight_matrix)
+    @settings(max_examples=60, deadline=None)
+    def test_result_is_non_crossing(self, weights):
+        pairs = maximum_weight_noncrossing_matching(weights)
+        ordered = sorted(pairs, key=lambda p: p.row)
+        for first, second in zip(ordered, ordered[1:]):
+            assert first.row < second.row
+            assert first.col < second.col
+
+    @given(weight_matrix)
+    @settings(max_examples=60, deadline=None)
+    def test_never_exceeds_unconstrained_matching(self, weights):
+        constrained = matching_weight(maximum_weight_noncrossing_matching(weights))
+        unconstrained = matching_weight(maximum_weight_matching(weights, use_scipy=False))
+        assert constrained <= unconstrained + 1e-9

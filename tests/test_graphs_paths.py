@@ -1,0 +1,106 @@
+"""Tests for source-to-sink path enumeration."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    GraphCycleError,
+    PathLimitExceeded,
+    all_source_sink_paths,
+    count_source_sink_paths,
+    enumerate_paths,
+    longest_path_length,
+)
+
+CHAIN = {"a": {"b"}, "b": {"c"}, "c": set()}
+DIAMOND = {"a": {"b", "c"}, "b": {"d"}, "c": {"d"}, "d": set()}
+
+
+def layered_dag(widths: list[int]) -> dict[str, set[str]]:
+    """Fully connected layered DAG; the number of paths is the product of widths."""
+    graph: dict[str, set[str]] = {}
+    layers = [
+        [f"n{layer}_{i}" for i in range(width)] for layer, width in enumerate(widths)
+    ]
+    for layer_nodes in layers:
+        for node in layer_nodes:
+            graph[node] = set()
+    for current, following in zip(layers, layers[1:]):
+        for node in current:
+            graph[node] = set(following)
+    return graph
+
+
+class TestEnumeration:
+    def test_chain_single_path(self):
+        assert all_source_sink_paths(CHAIN) == [("a", "b", "c")]
+
+    def test_diamond_two_paths(self):
+        paths = all_source_sink_paths(DIAMOND)
+        assert sorted(paths) == [("a", "b", "d"), ("a", "c", "d")]
+
+    def test_isolated_node_is_a_path(self):
+        assert all_source_sink_paths({"x": set()}) == [("x",)]
+
+    def test_two_components(self):
+        graph = {"a": {"b"}, "b": set(), "x": {"y"}, "y": set()}
+        paths = all_source_sink_paths(graph)
+        assert sorted(paths) == [("a", "b"), ("x", "y")]
+
+    def test_cycle_rejected(self):
+        with pytest.raises(GraphCycleError):
+            all_source_sink_paths({"a": {"b"}, "b": {"a"}})
+
+    def test_paths_start_at_sources_and_end_at_sinks(self):
+        for path in all_source_sink_paths(DIAMOND):
+            assert path[0] == "a"
+            assert path[-1] == "d"
+
+    def test_enumerate_from_specific_start(self):
+        paths = list(enumerate_paths(DIAMOND, "b"))
+        assert paths == [("b", "d")]
+
+    def test_path_limit_enforced(self):
+        graph = layered_dag([3, 3, 3])  # 27 paths
+        with pytest.raises(PathLimitExceeded):
+            all_source_sink_paths(graph, max_paths=10)
+
+    def test_path_limit_disabled(self):
+        graph = layered_dag([3, 3])
+        assert len(all_source_sink_paths(graph, max_paths=None)) == 9
+
+
+class TestCounting:
+    def test_count_matches_enumeration_for_diamond(self):
+        assert count_source_sink_paths(DIAMOND) == 2
+
+    def test_count_layered(self):
+        assert count_source_sink_paths(layered_dag([2, 3, 2])) == 2 * 3 * 2
+
+    def test_count_empty(self):
+        assert count_source_sink_paths({}) == 0
+
+    @given(st.lists(st.integers(min_value=1, max_value=3), min_size=1, max_size=4))
+    @settings(max_examples=40)
+    def test_count_equals_enumeration(self, widths):
+        graph = layered_dag(widths)
+        assert count_source_sink_paths(graph) == len(
+            all_source_sink_paths(graph, max_paths=None)
+        )
+
+
+class TestLongestPath:
+    def test_chain_length(self):
+        assert longest_path_length(CHAIN) == 3
+
+    def test_single_node(self):
+        assert longest_path_length({"x": set()}) == 1
+
+    def test_empty(self):
+        assert longest_path_length({}) == 0
+
+    def test_diamond(self):
+        assert longest_path_length(DIAMOND) == 3

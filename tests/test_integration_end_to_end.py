@@ -1,0 +1,149 @@
+"""End-to-end integration tests: corpus -> gold standard -> evaluation -> findings.
+
+These tests exercise the complete pipeline the benchmarks use and assert
+the paper's robust, qualitative findings on a small corpus:
+
+* normalisation matters (Figure 7),
+* the importance projection shrinks workflows and never breaks the
+  measures (Section 5.1.4),
+* type-equivalence preselection cuts the number of module comparisons
+  roughly in half without changing applicability (Figure 8),
+* annotation and structural measures both correlate positively with the
+  expert consensus, and graph edit distance is the weakest structural
+  measure (Figure 5).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ImportanceProjection, create_measure
+from repro.evaluation import RankingEvaluation
+from repro.repository import RepositoryKnowledge, SimilaritySearchEngine
+
+
+@pytest.fixture(scope="module")
+def evaluation(small_corpus, ranking_data):
+    return RankingEvaluation(small_corpus.repository, ranking_data)
+
+
+@pytest.fixture(scope="module")
+def baseline_results(evaluation):
+    return evaluation.evaluate_measures(
+        ["MS_np_ta_pw0", "PS_np_ta_pw0", "GE_np_ta_pw0", "BW", "MS_ip_te_pll"]
+    )
+
+
+class TestEndToEndRanking:
+    def test_all_measures_positively_correlated_with_consensus(self, baseline_results):
+        for name, quality in baseline_results.items():
+            assert quality.mean_correctness > 0.0, name
+
+    def test_graph_edit_distance_is_weakest_structural_measure(self, baseline_results):
+        ge = baseline_results["GE_np_ta_pw0"].mean_correctness
+        ms = baseline_results["MS_np_ta_pw0"].mean_correctness
+        ps = baseline_results["PS_np_ta_pw0"].mean_correctness
+        assert ge <= ms + 0.05
+        assert ge <= ps + 0.05
+
+    def test_annotation_measure_is_strong_baseline(self, baseline_results):
+        bw = baseline_results["BW"].mean_correctness
+        assert bw >= baseline_results["GE_np_ta_pw0"].mean_correctness
+
+    def test_structural_measures_are_complete(self, baseline_results):
+        assert baseline_results["MS_np_ta_pw0"].mean_completeness > 0.95
+        assert baseline_results["PS_np_ta_pw0"].mean_completeness > 0.95
+
+    def test_label_matching_reduces_completeness(self, evaluation):
+        pll = evaluation.evaluate_measure("MS_ip_te_pll")
+        plm = evaluation.evaluate_measure("MS_ip_te_plm")
+        assert plm.mean_completeness <= pll.mean_completeness
+
+    def test_unnormalized_ged_not_better_than_normalized(self, evaluation):
+        normalized = evaluation.evaluate_measure("GE_ip_te_pll")
+        unnormalized = evaluation.evaluate_measure("GE_ip_te_pll_nonorm")
+        assert unnormalized.mean_correctness <= normalized.mean_correctness + 0.1
+
+    def test_greedy_mapping_close_to_maximum_weight(self, evaluation):
+        greedy = evaluation.evaluate_measure("MS_np_ta_pw3_greedy")
+        maximum = evaluation.evaluate_measure("MS_np_ta_pw3")
+        assert abs(greedy.mean_correctness - maximum.mean_correctness) < 0.2
+
+    def test_ensemble_at_least_as_good_as_weaker_member(self, evaluation):
+        bw = evaluation.evaluate_measure("BW")
+        ms = evaluation.evaluate_measure("MS_ip_te_pll")
+        ensemble = evaluation.evaluate_measure("BW+MS_ip_te_pll")
+        assert ensemble.mean_correctness >= min(bw.mean_correctness, ms.mean_correctness) - 0.05
+
+
+class TestRepositoryKnowledgeEffects:
+    def test_projection_shrinks_average_workflow(self, small_corpus):
+        knowledge = RepositoryKnowledge.from_repository(small_corpus.repository)
+        before, after = knowledge.projection_size_reduction(small_corpus.repository)
+        assert after < before
+
+    def test_te_preselection_reduces_module_comparisons(self, small_corpus):
+        workflows = small_corpus.repository.workflows()[:20]
+        unrestricted = create_measure("MS_np_ta_pll")
+        restricted = create_measure("MS_np_te_pll")
+        for first, second in zip(workflows, workflows[1:]):
+            unrestricted.similarity(first, second)
+            restricted.similarity(first, second)
+        assert restricted.stats.module_pair_comparisons < unrestricted.stats.module_pair_comparisons
+        reduction = (
+            unrestricted.stats.module_pair_comparisons
+            / max(1, restricted.stats.module_pair_comparisons)
+        )
+        assert reduction > 1.3
+
+    def test_projection_keeps_measures_well_defined(self, small_corpus):
+        projection = ImportanceProjection()
+        measure = create_measure("MS_ip_ta_pll")
+        workflows = small_corpus.repository.workflows()[:10]
+        for workflow in workflows:
+            projected = projection.transform(workflow)
+            assert projected.size > 0
+        for first, second in zip(workflows, workflows[1:]):
+            assert 0.0 <= measure.similarity(first, second) <= 1.0
+
+    def test_frequency_scorer_drops_most_common_module(self, small_corpus):
+        knowledge = RepositoryKnowledge.from_repository(small_corpus.repository)
+        top_signature, _count = knowledge.most_common_modules(1)[0]
+        scorer = knowledge.frequency_importance_scorer(max_frequency=0.05)
+        for workflow in small_corpus.repository:
+            for module in workflow.modules:
+                from repro.core import FrequencyImportanceScorer
+
+                if FrequencyImportanceScorer.signature(module) == top_signature:
+                    assert scorer.score(module, workflow) == 0.0
+                    return
+        pytest.fail("most common module signature not found in corpus")
+
+
+class TestEndToEndRetrieval:
+    def test_search_finds_family_members_before_strangers(self, small_corpus):
+        engine = SimilaritySearchEngine(small_corpus.repository)
+        truth = small_corpus.ground_truth
+        families: dict[str, list[str]] = {}
+        for workflow_id, info in truth.variants.items():
+            families.setdefault(info.family_id, []).append(workflow_id)
+        family = next(members for members in families.values() if len(members) >= 4)
+        query_id = family[0]
+        results = engine.search(query_id, "MS_ip_te_pll", k=10)
+        retrieved_families = [truth.family_of(w) for w in results.identifiers()]
+        hits_in_top = sum(
+            1 for fam in retrieved_families[: len(family) - 1] if fam == truth.family_of(query_id)
+        )
+        assert hits_in_top >= 1
+
+    def test_mean_true_similarity_of_top_results_exceeds_corpus_mean(self, small_corpus):
+        engine = SimilaritySearchEngine(small_corpus.repository)
+        truth = small_corpus.ground_truth
+        query_id = small_corpus.life_science_workflow_ids()[0]
+        results = engine.search(query_id, "BW+MS_ip_te_pll", k=5)
+        top_mean = sum(
+            truth.true_similarity(query_id, workflow_id) for workflow_id in results.identifiers()
+        ) / len(results.results)
+        all_ids = [wid for wid in small_corpus.repository.identifiers() if wid != query_id]
+        corpus_mean = sum(truth.true_similarity(query_id, wid) for wid in all_ids) / len(all_ids)
+        assert top_mean > corpus_mean

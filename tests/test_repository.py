@@ -1,0 +1,202 @@
+"""Tests for the workflow repository, knowledge and clustering."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import FrequencyImportanceScorer, ModuleSetsSimilarity
+from repro.repository import (
+    RepositoryKnowledge,
+    WorkflowRepository,
+    agglomerative_clusters,
+    find_duplicates,
+    pairwise_similarities,
+    threshold_clusters,
+)
+from repro.workflow import WorkflowBuilder
+
+
+def build_repository():
+    kegg = (
+        WorkflowBuilder("kegg", title="KEGG pathway analysis", tags=("kegg", "pathway"))
+        .add_module("fetch", label="get_pathway", module_type="wsdl", service_name="KEGGService")
+        .add_module("split", label="Split_string", module_type="localworker")
+        .add_module("render", label="color_pathway", module_type="wsdl", service_name="KEGGService")
+        .chain("fetch", "split", "render")
+        .build()
+    )
+    kegg2 = (
+        WorkflowBuilder("kegg2", title="KEGG pathway analysis copy", tags=("kegg",))
+        .add_module("fetch", label="get_pathway", module_type="wsdl", service_name="KEGGService")
+        .add_module("render", label="color_pathway", module_type="wsdl", service_name="KEGGService")
+        .chain("fetch", "render")
+        .build()
+    )
+    blast = (
+        WorkflowBuilder("blast", title="BLAST search", tags=())
+        .add_module("blast", label="run_blast", module_type="wsdl", service_name="WSBlast")
+        .add_module("filter", label="Filter_hits", module_type="rshell", script="x")
+        .chain("blast", "filter")
+        .build()
+    )
+    return WorkflowRepository([kegg, kegg2, blast], name="test-repo")
+
+
+class TestRepositoryContainer:
+    def test_add_and_get(self):
+        repository = build_repository()
+        assert len(repository) == 3
+        assert repository.get("kegg").annotations.title == "KEGG pathway analysis"
+        assert "blast" in repository
+
+    def test_duplicate_identifier_rejected(self):
+        repository = build_repository()
+        with pytest.raises(KeyError):
+            repository.add(repository.get("kegg"))
+
+    def test_replace_allowed_when_requested(self):
+        repository = build_repository()
+        repository.add(repository.get("kegg"), replace=True)
+        assert len(repository) == 3
+
+    def test_remove(self):
+        repository = build_repository()
+        removed = repository.remove("blast")
+        assert removed.identifier == "blast"
+        assert "blast" not in repository
+        with pytest.raises(KeyError):
+            repository.remove("blast")
+
+    def test_unknown_get_raises(self):
+        with pytest.raises(KeyError):
+            build_repository().get("nope")
+
+    def test_iteration_and_identifiers(self):
+        repository = build_repository()
+        assert sorted(repository.identifiers()) == ["blast", "kegg", "kegg2"]
+        assert len(list(repository)) == 3
+
+    def test_filter_and_tag_selection(self):
+        repository = build_repository()
+        tagged = repository.tagged()
+        assert sorted(tagged.identifiers()) == ["kegg", "kegg2"]
+        kegg_only = repository.with_tag("KEGG")
+        assert sorted(kegg_only.identifiers()) == ["kegg", "kegg2"]
+
+    def test_sample(self):
+        repository = build_repository()
+        sample = repository.sample(2, rng=random.Random(1))
+        assert len(sample) == 2
+        assert repository.sample(10, rng=random.Random(1)) == repository.workflows()
+
+    def test_statistics(self):
+        stats = build_repository().statistics()
+        assert stats.workflow_count == 3
+        assert stats.module_count == 7
+        assert stats.mean_modules_per_workflow == pytest.approx(7 / 3)
+        assert stats.untagged_fraction == pytest.approx(1 / 3)
+        assert stats.type_histogram["wsdl"] == 5
+
+    def test_save_and_load_roundtrip(self, tmp_path):
+        repository = build_repository()
+        path = tmp_path / "repo.json"
+        repository.save(path)
+        restored = WorkflowRepository.load(path)
+        assert sorted(restored.identifiers()) == sorted(repository.identifiers())
+        assert restored.name == "test-repo"
+        assert restored.get("kegg") == repository.get("kegg")
+
+
+class TestRepositoryKnowledge:
+    def test_usage_frequencies(self):
+        knowledge = RepositoryKnowledge.from_repository(build_repository())
+        assert knowledge.workflow_count == 3
+        # KEGGService appears in two of three workflows.
+        module = build_repository().get("kegg").module("fetch")
+        assert knowledge.usage_frequency(module) == pytest.approx(2 / 3)
+
+    def test_most_common_modules(self):
+        knowledge = RepositoryKnowledge.from_repository(build_repository())
+        top_signature, count = knowledge.most_common_modules(1)[0]
+        assert top_signature == "service:keggservice"
+        assert count == 2
+
+    def test_frequency_scorer_derivation(self):
+        knowledge = RepositoryKnowledge.from_repository(build_repository())
+        scorer = knowledge.frequency_importance_scorer(max_frequency=0.5)
+        assert isinstance(scorer, FrequencyImportanceScorer)
+        module = build_repository().get("kegg").module("fetch")
+        workflow = build_repository().get("kegg")
+        assert scorer.score(module, workflow) == 0.0  # used in 2/3 > 0.5
+
+    def test_type_equivalence_derivation(self):
+        knowledge = RepositoryKnowledge.from_repository(build_repository())
+        preselection = knowledge.type_equivalence()
+        categories = knowledge.observed_categories()
+        assert categories["web_service"] == 5
+        assert preselection.candidate_count(
+            list(build_repository().get("kegg").modules),
+            list(build_repository().get("blast").modules),
+        ) < 6
+
+    def test_projection_size_reduction(self):
+        knowledge = RepositoryKnowledge.from_repository(build_repository())
+        before, after = knowledge.projection_size_reduction(build_repository())
+        assert before > after
+        assert after == pytest.approx(6 / 3)
+
+    def test_tag_usage(self):
+        knowledge = RepositoryKnowledge.from_repository(build_repository())
+        assert knowledge.tag_usage["kegg"] == 2
+
+    def test_empty_repository(self):
+        knowledge = RepositoryKnowledge.from_repository(WorkflowRepository())
+        assert knowledge.frequencies() == {}
+        assert knowledge.usage_frequency(build_repository().get("kegg").module("fetch")) == 0.0
+
+
+class TestClusteringAndDuplicates:
+    def test_pairwise_similarities_cover_all_pairs(self):
+        workflows = build_repository().workflows()
+        similarities = pairwise_similarities(workflows, ModuleSetsSimilarity("pll"))
+        assert len(similarities) == 3
+
+    def test_duplicates_detected(self):
+        workflows = build_repository().workflows()
+        duplicates = find_duplicates(
+            workflows, ModuleSetsSimilarity("pll"), threshold=0.6
+        )
+        assert any({pair.first_id, pair.second_id} == {"kegg", "kegg2"} for pair in duplicates)
+
+    def test_duplicates_sorted_by_similarity(self):
+        workflows = build_repository().workflows()
+        duplicates = find_duplicates(workflows, ModuleSetsSimilarity("pll"), threshold=0.0)
+        values = [pair.similarity for pair in duplicates]
+        assert values == sorted(values, reverse=True)
+
+    def test_threshold_clusters_group_family(self):
+        workflows = build_repository().workflows()
+        clusters = threshold_clusters(workflows, ModuleSetsSimilarity("pll"), threshold=0.6)
+        assert {"kegg", "kegg2"} in clusters
+        assert {"blast"} in clusters
+
+    def test_agglomerative_clusters_group_family(self):
+        workflows = build_repository().workflows()
+        clusters = agglomerative_clusters(workflows, ModuleSetsSimilarity("pll"), threshold=0.6)
+        assert {"kegg", "kegg2"} in clusters
+
+    def test_low_threshold_merges_everything(self):
+        workflows = build_repository().workflows()
+        clusters = threshold_clusters(workflows, ModuleSetsSimilarity("pll"), threshold=0.0)
+        assert len(clusters) == 1
+
+    def test_precomputed_similarities_reused(self):
+        workflows = build_repository().workflows()
+        measure = ModuleSetsSimilarity("pll")
+        similarities = pairwise_similarities(workflows, measure)
+        clusters = threshold_clusters(
+            workflows, measure, threshold=0.6, similarities=similarities
+        )
+        assert {"kegg", "kegg2"} in clusters

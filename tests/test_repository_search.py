@@ -1,0 +1,86 @@
+"""Tests for the similarity search engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.repository import SimilaritySearchEngine
+
+
+class TestSearch:
+    def test_top_k_size(self, search_engine, small_corpus):
+        query_id = small_corpus.repository.identifiers()[0]
+        results = search_engine.search(query_id, "BW", k=5)
+        assert len(results) <= 5
+        assert results.query_id == query_id
+        assert results.measure == "BW"
+
+    def test_query_not_in_results(self, search_engine, small_corpus):
+        query_id = small_corpus.repository.identifiers()[0]
+        results = search_engine.search(query_id, "MS_ip_te_pll", k=10)
+        assert query_id not in results.identifiers()
+
+    def test_results_sorted_by_similarity(self, search_engine, small_corpus):
+        query_id = small_corpus.repository.identifiers()[3]
+        results = search_engine.search(query_id, "MS_ip_te_pll", k=10)
+        values = [result.similarity for result in results]
+        assert values == sorted(values, reverse=True)
+        assert [result.rank for result in results] == list(range(1, len(results.results) + 1))
+
+    def test_query_by_workflow_object(self, search_engine, small_corpus):
+        query = small_corpus.repository.workflows()[0]
+        results = search_engine.search(query, "BW", k=3)
+        assert results.query_id == query.identifier
+
+    def test_unknown_query_raises(self, search_engine):
+        with pytest.raises(KeyError):
+            search_engine.search("does-not-exist", "BW")
+
+    def test_family_member_ranked_first(self, search_engine, small_corpus):
+        ground_truth = small_corpus.ground_truth
+        # Pick a workflow from a family with at least 3 members.
+        families = {}
+        for workflow_id, info in ground_truth.variants.items():
+            families.setdefault(info.family_id, []).append(workflow_id)
+        family = next(members for members in families.values() if len(members) >= 3)
+        query_id = family[0]
+        results = search_engine.search(query_id, "MS_ip_te_pll", k=10)
+        top_families = [
+            ground_truth.family_of(workflow_id) for workflow_id in results.identifiers()[:3]
+        ]
+        assert ground_truth.family_of(query_id) in top_families
+
+    def test_similarity_of_lookup(self, search_engine, small_corpus):
+        query_id = small_corpus.repository.identifiers()[0]
+        results = search_engine.search(query_id, "BW", k=5)
+        first = results.results[0]
+        assert results.similarity_of(first.workflow_id) == first.similarity
+        assert results.similarity_of("missing") is None
+
+    def test_candidate_restriction(self, search_engine, small_corpus):
+        workflows = small_corpus.repository.workflows()
+        query = workflows[0]
+        pool = workflows[1:4]
+        results = search_engine.search(query, "BW", k=10, candidates=pool)
+        assert set(results.identifiers()) <= {workflow.identifier for workflow in pool}
+
+
+class TestMultiMeasureSearch:
+    def test_search_all_measures(self, search_engine, small_corpus):
+        query_id = small_corpus.repository.identifiers()[0]
+        results = search_engine.search_all_measures(query_id, ["BW", "MS_ip_te_pll"], k=5)
+        assert set(results) == {"BW", "MS_ip_te_pll"}
+
+    def test_merged_candidates_union(self, search_engine, small_corpus):
+        query_id = small_corpus.repository.identifiers()[0]
+        merged = search_engine.merged_candidates(query_id, ["BW", "MS_ip_te_pll"], k=5)
+        bw = set(search_engine.search(query_id, "BW", k=5).identifiers())
+        ms = set(search_engine.search(query_id, "MS_ip_te_pll", k=5).identifiers())
+        assert set(merged) == bw | ms
+        assert len(merged) == len(set(merged))
+
+    def test_pairwise_similarity_matrix(self, search_engine, small_corpus):
+        pool = small_corpus.repository.workflows()[:5]
+        similarities = search_engine.pairwise_similarity("BW", workflows=pool)
+        assert len(similarities) == 10
+        assert all(0.0 <= value <= 1.0 for value in similarities.values())

@@ -1,0 +1,126 @@
+"""Tests for the Levenshtein edit distance and derived similarity."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text import (
+    damerau_levenshtein_distance,
+    levenshtein_distance,
+    levenshtein_similarity,
+    normalized_levenshtein,
+)
+
+short_text = st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=24)
+
+
+class TestLevenshteinDistance:
+    def test_identical_strings_have_zero_distance(self):
+        assert levenshtein_distance("get_pathway", "get_pathway") == 0
+
+    def test_empty_against_nonempty_is_length(self):
+        assert levenshtein_distance("", "abc") == 3
+        assert levenshtein_distance("abc", "") == 3
+
+    def test_both_empty(self):
+        assert levenshtein_distance("", "") == 0
+
+    def test_single_substitution(self):
+        assert levenshtein_distance("kitten", "sitten") == 1
+
+    def test_classic_example(self):
+        assert levenshtein_distance("kitten", "sitting") == 3
+
+    def test_case_matters(self):
+        assert levenshtein_distance("BLAST", "blast") == 5
+
+    def test_insertion_only(self):
+        assert levenshtein_distance("abc", "abxc") == 1
+
+    def test_max_distance_early_exit(self):
+        value = levenshtein_distance("aaaaaaaaaa", "bbbbbbbbbb", max_distance=3)
+        assert value == 4  # reported as bound + 1
+
+    def test_max_distance_not_triggered_when_close(self):
+        assert levenshtein_distance("abcd", "abce", max_distance=3) == 1
+
+    def test_length_difference_exceeds_bound(self):
+        assert levenshtein_distance("a", "abcdefgh", max_distance=2) == 3
+
+    @given(short_text, short_text)
+    @settings(max_examples=80)
+    def test_symmetry(self, a, b):
+        assert levenshtein_distance(a, b) == levenshtein_distance(b, a)
+
+    @given(short_text, short_text)
+    @settings(max_examples=80)
+    def test_bounded_by_longer_length(self, a, b):
+        assert levenshtein_distance(a, b) <= max(len(a), len(b))
+
+    @given(short_text, short_text)
+    @settings(max_examples=80)
+    def test_at_least_length_difference(self, a, b):
+        assert levenshtein_distance(a, b) >= abs(len(a) - len(b))
+
+    @given(short_text, short_text, short_text)
+    @settings(max_examples=50)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein_distance(a, c) <= levenshtein_distance(a, b) + levenshtein_distance(b, c)
+
+    @given(short_text)
+    @settings(max_examples=50)
+    def test_identity_of_indiscernibles(self, a):
+        assert levenshtein_distance(a, a) == 0
+
+
+class TestDamerauLevenshtein:
+    def test_transposition_costs_one(self):
+        assert damerau_levenshtein_distance("abcd", "abdc") == 1
+        assert levenshtein_distance("abcd", "abdc") == 2
+
+    def test_identical(self):
+        assert damerau_levenshtein_distance("same", "same") == 0
+
+    def test_empty_cases(self):
+        assert damerau_levenshtein_distance("", "abc") == 3
+        assert damerau_levenshtein_distance("abc", "") == 3
+
+    @given(short_text, short_text)
+    @settings(max_examples=50)
+    def test_never_exceeds_levenshtein(self, a, b):
+        assert damerau_levenshtein_distance(a, b) <= levenshtein_distance(a, b)
+
+
+class TestNormalizedAndSimilarity:
+    def test_identical_strings_similarity_one(self):
+        assert levenshtein_similarity("run_blast", "run_blast") == 1.0
+
+    def test_disjoint_strings_similarity_zero(self):
+        assert levenshtein_similarity("aaa", "bbb") == 0.0
+
+    def test_both_empty_similarity_one(self):
+        assert levenshtein_similarity("", "") == 1.0
+
+    def test_known_value(self):
+        # one edit over max length 4
+        assert normalized_levenshtein("abcd", "abcx") == pytest.approx(0.25)
+        assert levenshtein_similarity("abcd", "abcx") == pytest.approx(0.75)
+
+    def test_label_variants_score_high(self):
+        assert levenshtein_similarity("get_pathway", "getPathway") > 0.7
+
+    def test_unrelated_labels_score_low(self):
+        assert levenshtein_similarity("run_blast_search", "color_pathway_by_objects") < 0.4
+
+    @given(short_text, short_text)
+    @settings(max_examples=80)
+    def test_similarity_in_unit_interval(self, a, b):
+        value = levenshtein_similarity(a, b)
+        assert 0.0 <= value <= 1.0
+
+    @given(short_text, short_text)
+    @settings(max_examples=80)
+    def test_similarity_symmetric(self, a, b):
+        assert levenshtein_similarity(a, b) == pytest.approx(levenshtein_similarity(b, a))

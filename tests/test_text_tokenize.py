@@ -1,0 +1,116 @@
+"""Tests for annotation tokenisation and stopword filtering."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text import (
+    STOPWORDS,
+    clean_token,
+    is_stopword,
+    remove_stopwords,
+    split_tokens,
+    token_set,
+    tokenize,
+    tokenize_label,
+)
+
+
+class TestSplitAndClean:
+    def test_split_on_whitespace(self):
+        assert split_tokens("KEGG pathway analysis") == ["KEGG", "pathway", "analysis"]
+
+    def test_split_on_underscores(self):
+        assert split_tokens("get_pathway_by_gene") == ["get", "pathway", "by", "gene"]
+
+    def test_split_mixed_separators(self):
+        assert split_tokens("run_blast search\tnow") == ["run", "blast", "search", "now"]
+
+    def test_split_empty_string(self):
+        assert split_tokens("") == []
+
+    def test_clean_token_lowercases(self):
+        assert clean_token("KEGG") == "kegg"
+
+    def test_clean_token_strips_punctuation(self):
+        assert clean_token("Pathway-Genes!") == "pathwaygenes"
+
+    def test_clean_token_keeps_digits(self):
+        assert clean_token("Entrez2805") == "entrez2805"
+
+
+class TestStopwords:
+    def test_common_words_are_stopwords(self):
+        for word in ("the", "and", "of", "using"):
+            assert is_stopword(word)
+
+    def test_domain_words_are_not_stopwords(self):
+        for word in ("pathway", "blast", "gene", "kegg"):
+            assert not is_stopword(word)
+
+    def test_stopword_check_is_case_insensitive(self):
+        assert is_stopword("The")
+
+    def test_remove_stopwords_preserves_order(self):
+        assert remove_stopwords(["the", "kegg", "and", "pathway"]) == ["kegg", "pathway"]
+
+    def test_stopword_list_is_lowercase(self):
+        assert all(word == word.lower() for word in STOPWORDS)
+
+
+class TestTokenize:
+    def test_paper_example_title(self):
+        tokens = tokenize("Get Pathway-Genes by Entrez gene id")
+        assert "pathwaygenes" in tokens
+        assert "entrez" in tokens
+        assert "gene" in tokens
+        assert "by" not in tokens  # stopword
+
+    def test_lowercasing_applied(self):
+        assert tokenize("KEGG Pathway") == ["kegg", "pathway"]
+
+    def test_stopwords_can_be_kept(self):
+        tokens = tokenize("analysis of pathways", filter_stopwords=False)
+        assert "of" in tokens
+
+    def test_min_length_filter(self):
+        tokens = tokenize("a bc def", filter_stopwords=False, min_length=2)
+        assert tokens == ["bc", "def"]
+
+    def test_empty_text(self):
+        assert tokenize("") == []
+
+    def test_non_alnum_only_tokens_dropped(self):
+        assert tokenize("--- !!! pathway") == ["pathway"]
+
+    def test_token_set_semantics(self):
+        tokens = token_set("pathway pathway gene")
+        assert tokens == frozenset({"pathway", "gene"})
+
+    @given(st.text(max_size=60))
+    @settings(max_examples=60)
+    def test_tokens_are_lowercase_alnum(self, text):
+        for token in tokenize(text):
+            assert token == token.lower()
+            assert token.isalnum()
+
+    @given(st.text(max_size=60))
+    @settings(max_examples=60)
+    def test_tokenize_is_idempotent_on_join(self, text):
+        tokens = tokenize(text)
+        assert tokenize(" ".join(tokens)) == tokens
+
+
+class TestTokenizeLabel:
+    def test_camel_case_split(self):
+        assert tokenize_label("getPathwayByGene") == ["get", "pathway", "by", "gene"]
+
+    def test_snake_case_split(self):
+        assert tokenize_label("run_blast_search") == ["run", "blast", "search"]
+
+    def test_keeps_stopwords(self):
+        assert "by" in tokenize_label("get_pathway_by_gene")
+
+    def test_empty_label(self):
+        assert tokenize_label("") == []

@@ -1,0 +1,105 @@
+"""Tests for the fluent workflow builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workflow import Module, WorkflowBuilder, WorkflowError
+
+
+class TestBuilder:
+    def test_basic_chain(self):
+        workflow = (
+            WorkflowBuilder("wf", title="t")
+            .add_module("a", module_type="wsdl")
+            .add_module("b", module_type="beanshell")
+            .chain("a", "b")
+            .build()
+        )
+        assert workflow.size == 2
+        assert workflow.edges() == [("a", "b")]
+        assert workflow.annotations.title == "t"
+
+    def test_label_defaults_to_identifier(self):
+        workflow = WorkflowBuilder("wf").add_module("fetch_data").build()
+        assert workflow.module("fetch_data").label == "fetch_data"
+
+    def test_duplicate_module_rejected(self):
+        builder = WorkflowBuilder("wf").add_module("a")
+        with pytest.raises(WorkflowError):
+            builder.add_module("a")
+
+    def test_connect_unknown_module_rejected(self):
+        builder = WorkflowBuilder("wf").add_module("a")
+        with pytest.raises(WorkflowError):
+            builder.connect("a", "missing")
+        with pytest.raises(WorkflowError):
+            builder.connect("missing", "a")
+
+    def test_parameters_sorted_and_stored(self):
+        workflow = (
+            WorkflowBuilder("wf")
+            .add_module("a", parameters={"z": "1", "a": "2"})
+            .build()
+        )
+        assert workflow.module("a").parameters == (("a", "2"), ("z", "1"))
+
+    def test_add_existing_module(self):
+        module = Module("ext", label="external")
+        workflow = WorkflowBuilder("wf").add_existing_module(module).build()
+        assert workflow.module("ext").label == "external"
+
+    def test_add_existing_duplicate_rejected(self):
+        builder = WorkflowBuilder("wf").add_module("a")
+        with pytest.raises(WorkflowError):
+            builder.add_existing_module(Module("a"))
+
+    def test_has_module(self):
+        builder = WorkflowBuilder("wf").add_module("a")
+        assert builder.has_module("a")
+        assert not builder.has_module("b")
+
+    def test_annotate_partial_update(self):
+        builder = WorkflowBuilder("wf", title="old", tags=("x",))
+        builder.annotate(description="desc")
+        workflow = builder.build()
+        assert workflow.annotations.title == "old"
+        assert workflow.annotations.description == "desc"
+        assert workflow.annotations.tags == ("x",)
+
+    def test_annotate_replaces_tags(self):
+        workflow = WorkflowBuilder("wf", tags=("a",)).annotate(tags=["b", "c"]).build()
+        assert workflow.annotations.tags == ("b", "c")
+
+    def test_cycle_detected_at_build(self):
+        builder = (
+            WorkflowBuilder("wf")
+            .add_module("a")
+            .add_module("b")
+            .connect("a", "b")
+            .connect("b", "a")
+        )
+        with pytest.raises(WorkflowError):
+            builder.build()
+
+    def test_ports_recorded(self):
+        workflow = (
+            WorkflowBuilder("wf")
+            .add_module("a", inputs=("in1",), outputs=("out1", "out2"))
+            .build()
+        )
+        module = workflow.module("a")
+        assert module.inputs == ("in1",)
+        assert module.outputs == ("out1", "out2")
+
+    def test_connect_with_ports(self):
+        workflow = (
+            WorkflowBuilder("wf")
+            .add_module("a")
+            .add_module("b")
+            .connect("a", "b", source_port="out", target_port="in")
+            .build()
+        )
+        link = workflow.datalinks[0]
+        assert link.source_port == "out"
+        assert link.target_port == "in"

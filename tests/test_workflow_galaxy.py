@@ -1,0 +1,118 @@
+"""Tests for the Galaxy .ga parser/writer."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.workflow import GalaxyParseError, parse_galaxy, parse_galaxy_file, write_galaxy
+
+SAMPLE = {
+    "a_galaxy_workflow": "true",
+    "name": "RNA-seq quantification",
+    "annotation": "Maps reads and counts features",
+    "tags": ["rna-seq"],
+    "uuid": "1234-abcd",
+    "steps": {
+        "0": {
+            "id": 0,
+            "type": "data_input",
+            "label": "FASTQ reads",
+            "name": "Input dataset",
+            "input_connections": {},
+            "tool_id": None,
+        },
+        "1": {
+            "id": 1,
+            "type": "tool",
+            "label": "HISAT2",
+            "name": "hisat2",
+            "tool_id": "hisat2",
+            "tool_state": json.dumps({"ref_genome": "hg38", "__page__": 0}),
+            "input_connections": {"reads": {"id": 0, "output_name": "output"}},
+        },
+        "2": {
+            "id": 2,
+            "type": "tool",
+            "label": "featureCounts",
+            "name": "featurecounts",
+            "tool_id": "featurecounts",
+            "tool_state": json.dumps({"annotation": "gencode"}),
+            "input_connections": {
+                "alignment": [{"id": 1, "output_name": "bam"}],
+            },
+        },
+    },
+}
+
+
+class TestParse:
+    def test_basic_fields(self):
+        workflow = parse_galaxy(json.dumps(SAMPLE))
+        assert workflow.identifier == "1234-abcd"
+        assert workflow.annotations.title == "RNA-seq quantification"
+        assert workflow.annotations.tags == ("rna-seq",)
+        assert workflow.source_format == "galaxy"
+
+    def test_accepts_decoded_dict(self):
+        workflow = parse_galaxy(SAMPLE)
+        assert workflow.size == 3
+
+    def test_step_types(self):
+        workflow = parse_galaxy(SAMPLE)
+        assert workflow.module("step_0").module_type == "galaxy_data_input"
+        assert workflow.module("step_1").module_type == "galaxy_tool"
+
+    def test_tool_state_becomes_parameters(self):
+        workflow = parse_galaxy(SAMPLE)
+        params = workflow.module("step_1").parameter_dict()
+        assert params["ref_genome"] == "hg38"
+        assert "__page__" not in params
+
+    def test_connections_become_datalinks(self):
+        workflow = parse_galaxy(SAMPLE)
+        assert ("step_0", "step_1") in workflow.edges()
+        assert ("step_1", "step_2") in workflow.edges()
+
+    def test_connection_list_form_supported(self):
+        workflow = parse_galaxy(SAMPLE)
+        link = [l for l in workflow.datalinks if l.target == "step_2"][0]
+        assert link.source_port == "bam"
+        assert link.target_port == "alignment"
+
+    def test_explicit_identifier_overrides(self):
+        workflow = parse_galaxy(SAMPLE, identifier="custom")
+        assert workflow.identifier == "custom"
+
+    def test_invalid_json_raises(self):
+        with pytest.raises(GalaxyParseError):
+            parse_galaxy("{not json")
+
+    def test_missing_steps_raises(self):
+        with pytest.raises(GalaxyParseError):
+            parse_galaxy(json.dumps({"name": "x"}))
+
+    def test_parse_file_uses_stem_as_identifier(self, tmp_path):
+        path = tmp_path / "my_workflow.ga"
+        payload = dict(SAMPLE)
+        payload.pop("uuid")
+        path.write_text(json.dumps(payload))
+        workflow = parse_galaxy_file(path)
+        assert workflow.identifier == "my_workflow"
+
+
+class TestWrite:
+    def test_roundtrip(self):
+        original = parse_galaxy(SAMPLE)
+        document = write_galaxy(original)
+        restored = parse_galaxy(document)
+        assert restored.size == original.size
+        assert restored.edges() == original.edges()
+        assert restored.annotations.title == original.annotations.title
+
+    def test_written_document_is_galaxy_shaped(self):
+        document = json.loads(write_galaxy(parse_galaxy(SAMPLE)))
+        assert document["a_galaxy_workflow"] == "true"
+        assert "steps" in document
+        assert len(document["steps"]) == 3

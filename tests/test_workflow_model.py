@@ -1,0 +1,180 @@
+"""Tests for the workflow data model (Module, DataLink, Workflow)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workflow import (
+    CATEGORY_LOCAL,
+    CATEGORY_SCRIPT,
+    CATEGORY_WEB_SERVICE,
+    DataLink,
+    Module,
+    Workflow,
+    WorkflowAnnotations,
+    WorkflowError,
+)
+
+
+def simple_workflow() -> Workflow:
+    modules = (
+        Module(identifier="a", label="fetch", module_type="wsdl"),
+        Module(identifier="b", label="parse", module_type="beanshell", script="x"),
+        Module(identifier="c", label="split", module_type="localworker"),
+    )
+    links = (DataLink("a", "b"), DataLink("b", "c"))
+    return Workflow(
+        identifier="wf",
+        modules=modules,
+        datalinks=links,
+        annotations=WorkflowAnnotations(title="T", description="D", tags=("x",)),
+    )
+
+
+class TestModule:
+    def test_category_mapping(self):
+        assert Module("m", module_type="wsdl").category == CATEGORY_WEB_SERVICE
+        assert Module("m", module_type="beanshell").category == CATEGORY_SCRIPT
+        assert Module("m", module_type="localworker").category == CATEGORY_LOCAL
+
+    def test_trivial_flag(self):
+        assert Module("m", module_type="stringconstant").is_trivial
+        assert not Module("m", module_type="wsdl").is_trivial
+
+    def test_attribute_access(self):
+        module = Module(
+            "m",
+            label="fetch",
+            module_type="wsdl",
+            description="d",
+            script="s",
+            service_authority="A",
+            service_name="N",
+            service_uri="U",
+            parameters=(("k", "v"),),
+        )
+        assert module.attribute("label") == "fetch"
+        assert module.attribute("type") == "wsdl"
+        assert module.attribute("service_uri") == "U"
+        assert module.attribute("parameters") == "k=v"
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(KeyError):
+            Module("m").attribute("nonexistent")
+
+    def test_with_values_returns_copy(self):
+        module = Module("m", label="old")
+        changed = module.with_values(label="new")
+        assert changed.label == "new"
+        assert module.label == "old"
+
+    def test_parameter_dict(self):
+        module = Module("m", parameters=(("a", "1"), ("b", "2")))
+        assert module.parameter_dict() == {"a": "1", "b": "2"}
+
+
+class TestWorkflowValidation:
+    def test_duplicate_module_ids_rejected(self):
+        with pytest.raises(WorkflowError):
+            Workflow(
+                identifier="wf",
+                modules=(Module("a"), Module("a")),
+            )
+
+    def test_dangling_datalink_rejected(self):
+        with pytest.raises(WorkflowError):
+            Workflow(
+                identifier="wf",
+                modules=(Module("a"),),
+                datalinks=(DataLink("a", "missing"),),
+            )
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(WorkflowError):
+            Workflow(
+                identifier="wf", modules=(Module("a"),), datalinks=(DataLink("a", "a"),)
+            )
+
+    def test_cycle_rejected(self):
+        with pytest.raises(WorkflowError):
+            Workflow(
+                identifier="wf",
+                modules=(Module("a"), Module("b")),
+                datalinks=(DataLink("a", "b"), DataLink("b", "a")),
+            )
+
+    def test_empty_workflow_is_valid(self):
+        workflow = Workflow(identifier="empty")
+        assert workflow.size == 0
+        assert workflow.edge_count == 0
+
+
+class TestWorkflowAccessors:
+    def test_size_and_edge_count(self):
+        workflow = simple_workflow()
+        assert workflow.size == 3
+        assert workflow.edge_count == 2
+        assert len(workflow) == 3
+
+    def test_module_lookup(self):
+        workflow = simple_workflow()
+        assert workflow.module("b").label == "parse"
+        with pytest.raises(KeyError):
+            workflow.module("zzz")
+
+    def test_module_map_and_ids(self):
+        workflow = simple_workflow()
+        assert workflow.module_ids() == ["a", "b", "c"]
+        assert set(workflow.module_map()) == {"a", "b", "c"}
+
+    def test_sources_and_sinks(self):
+        workflow = simple_workflow()
+        assert workflow.source_modules() == ["a"]
+        assert workflow.sink_modules() == ["c"]
+
+    def test_topological_order(self):
+        assert simple_workflow().topological_order() == ["a", "b", "c"]
+
+    def test_adjacency_includes_isolated_modules(self):
+        workflow = Workflow(identifier="wf", modules=(Module("lonely"),))
+        assert workflow.adjacency() == {"lonely": set()}
+
+    def test_edges_deduplicated(self):
+        workflow = Workflow(
+            identifier="wf",
+            modules=(Module("a"), Module("b")),
+            datalinks=(DataLink("a", "b", source_port="p1"), DataLink("a", "b", source_port="p2")),
+        )
+        assert workflow.edges() == [("a", "b")]
+
+    def test_type_and_category_histogram(self):
+        workflow = simple_workflow()
+        assert workflow.type_histogram() == {"wsdl": 1, "beanshell": 1, "localworker": 1}
+        categories = workflow.category_histogram()
+        assert categories[CATEGORY_WEB_SERVICE] == 1
+
+    def test_describe_mentions_title_and_sizes(self):
+        text = simple_workflow().describe()
+        assert "T" in text
+        assert "3 modules" in text
+
+    def test_iteration_yields_modules(self):
+        assert [module.identifier for module in simple_workflow()] == ["a", "b", "c"]
+
+
+class TestDerivedCopies:
+    def test_with_modules_replaces_structure(self):
+        workflow = simple_workflow()
+        reduced = workflow.with_modules(workflow.modules[:2], (DataLink("a", "b"),))
+        assert reduced.size == 2
+        assert reduced.annotations == workflow.annotations
+
+    def test_with_annotations(self):
+        workflow = simple_workflow()
+        changed = workflow.with_annotations(WorkflowAnnotations(title="new"))
+        assert changed.annotations.title == "new"
+        assert workflow.annotations.title == "T"
+
+    def test_annotations_has_tags(self):
+        assert WorkflowAnnotations(tags=("a",)).has_tags
+        assert not WorkflowAnnotations().has_tags

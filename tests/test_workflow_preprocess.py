@@ -1,0 +1,127 @@
+"""Tests for dataset preparation: port removal and sub-workflow inlining."""
+
+from __future__ import annotations
+
+from repro.workflow import (
+    INPUT_PORT_TYPE,
+    OUTPUT_PORT_TYPE,
+    WorkflowBuilder,
+    inline_subworkflows,
+    prepare_workflow,
+    remove_ports,
+)
+
+
+def workflow_with_ports():
+    return (
+        WorkflowBuilder("wf")
+        .add_module("in_port", label="gene_id", module_type=INPUT_PORT_TYPE)
+        .add_module("fetch", label="fetch", module_type="wsdl")
+        .add_module("out_port", label="result", module_type=OUTPUT_PORT_TYPE)
+        .chain("in_port", "fetch", "out_port")
+        .build()
+    )
+
+
+def nested_parent():
+    return (
+        WorkflowBuilder("parent")
+        .add_module("pre", label="prepare", module_type="beanshell")
+        .add_module("nested", label="nested analysis", module_type="workflow", parameters={"subworkflow": "sub-1"})
+        .add_module("post", label="report", module_type="beanshell")
+        .chain("pre", "nested", "post")
+        .build()
+    )
+
+
+def sub_workflow():
+    return (
+        WorkflowBuilder("sub-1")
+        .add_module("s1", label="inner_fetch", module_type="wsdl")
+        .add_module("s2", label="inner_parse", module_type="beanshell")
+        .chain("s1", "s2")
+        .build()
+    )
+
+
+class TestRemovePorts:
+    def test_ports_removed(self):
+        prepared = remove_ports(workflow_with_ports())
+        assert prepared.module_ids() == ["fetch"]
+        assert prepared.edge_count == 0
+
+    def test_noop_without_ports(self):
+        workflow = WorkflowBuilder("wf").add_module("a").build()
+        assert remove_ports(workflow) is workflow
+
+    def test_annotations_preserved(self):
+        workflow = workflow_with_ports().with_annotations(
+            workflow_with_ports().annotations.with_values(title="keep me")
+        )
+        assert remove_ports(workflow).annotations.title == "keep me"
+
+
+class TestInlining:
+    def test_subworkflow_replaced_by_body(self):
+        inlined = inline_subworkflows(nested_parent(), {"sub-1": sub_workflow()})
+        ids = inlined.module_ids()
+        assert "nested" not in ids
+        assert "nested/s1" in ids
+        assert "nested/s2" in ids
+
+    def test_dataflow_reconnected(self):
+        inlined = inline_subworkflows(nested_parent(), {"sub-1": sub_workflow()})
+        edges = inlined.edges()
+        assert ("pre", "nested/s1") in edges
+        assert ("nested/s1", "nested/s2") in edges
+        assert ("nested/s2", "post") in edges
+
+    def test_unknown_reference_left_in_place(self):
+        inlined = inline_subworkflows(nested_parent(), {})
+        assert "nested" in inlined.module_ids()
+
+    def test_nested_inlining_two_levels(self):
+        inner = (
+            WorkflowBuilder("inner")
+            .add_module("deep", label="deep_step", module_type="wsdl")
+            .build()
+        )
+        middle = (
+            WorkflowBuilder("middle")
+            .add_module("call_inner", module_type="dataflow", parameters={"subworkflow": "inner"})
+            .build()
+        )
+        parent = (
+            WorkflowBuilder("parent")
+            .add_module("call_middle", module_type="workflow", parameters={"subworkflow": "middle"})
+            .build()
+        )
+        inlined = inline_subworkflows(parent, {"middle": middle, "inner": inner})
+        assert any(identifier.endswith("deep") for identifier in inlined.module_ids())
+
+    def test_service_uri_reference_supported(self):
+        parent = (
+            WorkflowBuilder("parent")
+            .add_module("nested", module_type="workflow", service_uri="sub-1")
+            .build()
+        )
+        inlined = inline_subworkflows(parent, {"sub-1": sub_workflow()})
+        assert "nested/s1" in inlined.module_ids()
+
+
+class TestPrepareWorkflow:
+    def test_inline_and_remove_ports(self):
+        parent = (
+            WorkflowBuilder("parent")
+            .add_module("port", label="in", module_type=INPUT_PORT_TYPE)
+            .add_module("nested", module_type="workflow", parameters={"subworkflow": "sub-1"})
+            .chain("port", "nested")
+            .build()
+        )
+        prepared = prepare_workflow(parent, {"sub-1": sub_workflow()})
+        assert "port" not in prepared.module_ids()
+        assert "nested/s1" in prepared.module_ids()
+
+    def test_prepare_without_definitions(self):
+        prepared = prepare_workflow(workflow_with_ports())
+        assert prepared.module_ids() == ["fetch"]

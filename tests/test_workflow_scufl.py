@@ -1,0 +1,139 @@
+"""Tests for the SCUFL-like XML parser/writer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workflow import (
+    INPUT_PORT_TYPE,
+    OUTPUT_PORT_TYPE,
+    ScuflParseError,
+    parse_scufl,
+    parse_scufl_file,
+    write_scufl,
+)
+
+SAMPLE = """
+<workflow id="1189" author="alice">
+  <title>KEGG pathway analysis</title>
+  <description>Fetches a KEGG pathway for a gene.</description>
+  <tags><tag>kegg</tag><tag>pathway</tag></tags>
+  <processors>
+    <processor id="fetch" type="wsdl" label="get_pathway_by_gene">
+      <service authority="KEGG" name="KEGGService" uri="http://soap.genome.jp/KEGG.wsdl"/>
+    </processor>
+    <processor id="parse" type="beanshell" label="parse_response">
+      <script>String[] parts = response.split("\\n");</script>
+      <parameter name="timeout" value="30"/>
+    </processor>
+  </processors>
+  <datalinks>
+    <datalink source="fetch" sink="parse" source_port="pathway" sink_port="text"/>
+  </datalinks>
+  <inputs><input name="gene_id" feeds="fetch"/></inputs>
+  <outputs><output name="gene_list" fed_by="parse"/></outputs>
+</workflow>
+"""
+
+
+class TestParse:
+    def test_basic_fields(self):
+        workflow = parse_scufl(SAMPLE, keep_ports=False)
+        assert workflow.identifier == "1189"
+        assert workflow.annotations.title == "KEGG pathway analysis"
+        assert workflow.annotations.tags == ("kegg", "pathway")
+        assert workflow.annotations.author == "alice"
+        assert workflow.source_format == "scufl"
+
+    def test_processor_attributes(self):
+        workflow = parse_scufl(SAMPLE, keep_ports=False)
+        fetch = workflow.module("fetch")
+        assert fetch.module_type == "wsdl"
+        assert fetch.service_authority == "KEGG"
+        assert fetch.service_uri.endswith("KEGG.wsdl")
+        parse = workflow.module("parse")
+        assert "split" in parse.script
+        assert parse.parameter_dict() == {"timeout": "30"}
+
+    def test_datalink(self):
+        workflow = parse_scufl(SAMPLE, keep_ports=False)
+        assert workflow.edges() == [("fetch", "parse")]
+        link = workflow.datalinks[0]
+        assert link.source_port == "pathway"
+        assert link.target_port == "text"
+
+    def test_ports_kept_as_pseudo_modules(self):
+        workflow = parse_scufl(SAMPLE, keep_ports=True)
+        types = {module.module_type for module in workflow.modules}
+        assert INPUT_PORT_TYPE in types
+        assert OUTPUT_PORT_TYPE in types
+        assert workflow.size == 4
+        assert ("input:gene_id", "fetch") in workflow.edges()
+        assert ("parse", "output:gene_list") in workflow.edges()
+
+    def test_ports_dropped_when_requested(self):
+        workflow = parse_scufl(SAMPLE, keep_ports=False)
+        assert workflow.size == 2
+
+    def test_invalid_xml_raises(self):
+        with pytest.raises(ScuflParseError):
+            parse_scufl("<workflow id='1'><unclosed>")
+
+    def test_wrong_root_raises(self):
+        with pytest.raises(ScuflParseError):
+            parse_scufl("<pipeline id='1'/>")
+
+    def test_missing_id_raises(self):
+        with pytest.raises(ScuflParseError):
+            parse_scufl("<workflow><processors/></workflow>")
+
+    def test_duplicate_processor_id_raises(self):
+        document = """
+        <workflow id="w">
+          <processors>
+            <processor id="a" type="wsdl"/>
+            <processor id="a" type="wsdl"/>
+          </processors>
+        </workflow>
+        """
+        with pytest.raises(ScuflParseError):
+            parse_scufl(document)
+
+    def test_dangling_datalinks_dropped(self):
+        document = """
+        <workflow id="w">
+          <processors><processor id="a" type="wsdl"/></processors>
+          <datalinks><datalink source="a" sink="ghost"/></datalinks>
+        </workflow>
+        """
+        workflow = parse_scufl(document)
+        assert workflow.edge_count == 0
+
+    def test_parse_file(self, tmp_path):
+        path = tmp_path / "wf.xml"
+        path.write_text(SAMPLE)
+        workflow = parse_scufl_file(path, keep_ports=False)
+        assert workflow.identifier == "1189"
+
+
+class TestWrite:
+    def test_roundtrip_without_ports(self):
+        original = parse_scufl(SAMPLE, keep_ports=False)
+        document = write_scufl(original)
+        restored = parse_scufl(document, keep_ports=False)
+        assert restored.module_ids() == original.module_ids()
+        assert restored.edges() == original.edges()
+        assert restored.annotations == original.annotations
+
+    def test_roundtrip_with_ports(self):
+        original = parse_scufl(SAMPLE, keep_ports=True)
+        document = write_scufl(original)
+        restored = parse_scufl(document, keep_ports=True)
+        assert sorted(restored.module_ids()) == sorted(original.module_ids())
+        assert restored.edges() == original.edges()
+
+    def test_written_document_contains_script_and_service(self):
+        original = parse_scufl(SAMPLE, keep_ports=False)
+        document = write_scufl(original)
+        assert "KEGGService" in document
+        assert "split" in document

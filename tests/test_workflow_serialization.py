@@ -1,0 +1,87 @@
+"""Tests for the internal JSON workflow format."""
+
+from __future__ import annotations
+
+from repro.workflow import (
+    WorkflowBuilder,
+    dump_workflow,
+    dump_workflows,
+    load_workflow,
+    load_workflows,
+    workflow_from_dict,
+    workflow_to_dict,
+)
+
+
+def full_workflow():
+    return (
+        WorkflowBuilder(
+            "wf-1",
+            title="KEGG analysis",
+            description="Analyses a pathway",
+            tags=("kegg", "pathway"),
+            author="alice",
+            source_format="scufl",
+        )
+        .add_module(
+            "fetch",
+            label="get_pathway",
+            module_type="wsdl",
+            description="fetches",
+            service_authority="KEGG",
+            service_name="KEGGService",
+            service_uri="http://kegg/ws.wsdl",
+            parameters={"db": "kegg"},
+            inputs=("gene_id",),
+            outputs=("pathway",),
+        )
+        .add_module("parse", label="parse_it", module_type="beanshell", script="x.split()")
+        .connect("fetch", "parse", source_port="pathway", target_port="text")
+        .build()
+    )
+
+
+class TestDictRoundTrip:
+    def test_roundtrip_preserves_identity(self):
+        workflow = full_workflow()
+        restored = workflow_from_dict(workflow_to_dict(workflow))
+        assert restored == workflow
+
+    def test_dict_contains_expected_keys(self):
+        payload = workflow_to_dict(full_workflow())
+        assert payload["id"] == "wf-1"
+        assert payload["annotations"]["tags"] == ["kegg", "pathway"]
+        assert payload["modules"][0]["service_uri"] == "http://kegg/ws.wsdl"
+        assert payload["datalinks"][0]["source_port"] == "pathway"
+
+    def test_missing_optional_fields_default(self):
+        payload = {
+            "id": "minimal",
+            "modules": [{"id": "only"}],
+            "datalinks": [],
+        }
+        workflow = workflow_from_dict(payload)
+        assert workflow.identifier == "minimal"
+        assert workflow.module("only").label == ""
+        assert workflow.annotations.title == ""
+
+    def test_empty_workflow(self):
+        workflow = workflow_from_dict({"id": "empty", "modules": [], "datalinks": []})
+        assert workflow.size == 0
+
+
+class TestFileRoundTrip:
+    def test_single_workflow_file(self, tmp_path):
+        workflow = full_workflow()
+        path = tmp_path / "wf.json"
+        dump_workflow(workflow, path)
+        assert load_workflow(path) == workflow
+
+    def test_corpus_file(self, tmp_path):
+        first = full_workflow()
+        second = WorkflowBuilder("wf-2").add_module("solo").build()
+        path = tmp_path / "corpus.json"
+        dump_workflows([first, second], path)
+        restored = load_workflows(path)
+        assert [workflow.identifier for workflow in restored] == ["wf-1", "wf-2"]
+        assert restored[0] == first
