@@ -1,0 +1,191 @@
+"""Timing harness for the repository-scale batch similarity engine.
+
+Compares the reference ("seed") per-query search path against the
+:mod:`repro.perf` batch path on the same synthetic corpus and verifies
+that both return *identical* top-k lists and scores, then writes the
+measurements to ``BENCH_search.json`` at the repository root so the perf
+trajectory is tracked from PR to PR.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf_search.py
+    REPRO_BENCH_SCALE=small python benchmarks/bench_perf_search.py --queries 8
+
+The corpus size follows ``REPRO_BENCH_SCALE`` (``small`` = 400
+workflows, ``full`` = the paper's 1483).  Exit status is non-zero if the
+fast path ever disagrees with the reference path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+_ROOT = _HERE.parent
+sys.path.insert(0, str(_HERE))
+sys.path.insert(0, str(_ROOT / "src"))
+
+from bench_config import SCALE, describe_scale  # noqa: E402
+
+from repro.core.framework import SimilarityFramework  # noqa: E402
+from repro.corpus.generator import CorpusSpec, generate_myexperiment_corpus  # noqa: E402
+from repro.repository.search import SimilaritySearchEngine  # noqa: E402
+from repro.text.levenshtein import levenshtein_similarity  # noqa: E402
+
+
+def result_tuples(result_list):
+    return [(hit.workflow_id, hit.similarity, hit.rank) for hit in result_list]
+
+
+def run_benchmark(args: argparse.Namespace) -> dict:
+    workflow_count = SCALE["workflows"]
+    corpus = generate_myexperiment_corpus(
+        CorpusSpec(workflow_count=workflow_count, seed=args.seed)
+    )
+    repository = corpus.repository
+    query_ids = repository.identifiers()[: args.queries]
+    print(describe_scale())
+    print(
+        f"top-k search benchmark: {len(query_ids)} queries over "
+        f"{len(repository)} workflows, k={args.k}, measure={args.measure}"
+    )
+
+    # -- reference path (per-query sequential scan, cold caches) ------------
+    levenshtein_similarity.cache_clear()
+    seed_engine = SimilaritySearchEngine(repository, SimilarityFramework())
+    started = time.perf_counter()
+    seed_results = [seed_engine.search(qid, args.measure, k=args.k) for qid in query_ids]
+    seed_seconds = time.perf_counter() - started
+    seed_measure = seed_engine.framework.measure(args.measure)
+    seed_comparisons = seed_measure.stats.module_pair_comparisons
+    print(f"  seed path: {seed_seconds:8.2f}s  ({seed_comparisons} module comparisons)")
+
+    # -- batch path ---------------------------------------------------------
+    fast_engine = SimilaritySearchEngine(repository, SimilarityFramework())
+    started = time.perf_counter()
+    fast_results = fast_engine.search_batch(
+        query_ids, args.measure, k=args.k, workers=args.workers
+    )
+    fast_seconds = time.perf_counter() - started
+    prune_stats = fast_engine.last_batch_stats.as_dict()
+    cache_stats = fast_engine.context.cache_stats()
+    print(f"  fast path: {fast_seconds:8.2f}s  (prune: {prune_stats})")
+
+    # -- steady state: a second batch against warm caches -------------------
+    started = time.perf_counter()
+    fast_engine.search_batch(query_ids, args.measure, k=args.k)
+    fast_warm_seconds = time.perf_counter() - started
+    print(f"  fast path (warm caches): {fast_warm_seconds:8.2f}s")
+
+    identical = all(
+        result_tuples(seed) == result_tuples(fast)
+        for seed, fast in zip(seed_results, fast_results)
+    )
+    speedup = seed_seconds / fast_seconds if fast_seconds else float("inf")
+    print(f"  speedup: {speedup:.1f}x  identical results: {identical}")
+
+    # -- all-pairs (clustering) section -------------------------------------
+    pairwise_pool = repository.workflows()[: args.pairwise_workflows]
+    levenshtein_similarity.cache_clear()
+    seed_instance = SimilarityFramework().measure(args.measure)
+    started = time.perf_counter()
+    seed_pairs = {
+        (first.identifier, second.identifier): seed_instance.similarity(first, second)
+        for i, first in enumerate(pairwise_pool)
+        for second in pairwise_pool[i + 1:]
+    }
+    pairwise_seed_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    fast_pairs = fast_engine.pairwise_similarity(args.measure, workflows=pairwise_pool)
+    pairwise_fast_seconds = time.perf_counter() - started
+    pairwise_identical = seed_pairs == fast_pairs
+    pairwise_speedup = (
+        pairwise_seed_seconds / pairwise_fast_seconds if pairwise_fast_seconds else float("inf")
+    )
+    print(
+        f"  all-pairs ({len(pairwise_pool)} workflows, {len(seed_pairs)} pairs): "
+        f"seed {pairwise_seed_seconds:.2f}s, fast {pairwise_fast_seconds:.2f}s "
+        f"({pairwise_speedup:.1f}x, identical: {pairwise_identical})"
+    )
+
+    return {
+        "benchmark": "bench_perf_search",
+        "scale": describe_scale(),
+        "workflows": len(repository),
+        "queries": len(query_ids),
+        "k": args.k,
+        "measure": args.measure,
+        "workers": args.workers,
+        "search": {
+            "seed_seconds": seed_seconds,
+            "fast_seconds": fast_seconds,
+            "fast_warm_seconds": fast_warm_seconds,
+            "speedup": speedup,
+            "identical": identical,
+            "seed_module_comparisons": seed_comparisons,
+            "prune": prune_stats,
+            "caches": cache_stats,
+        },
+        "pairwise": {
+            "workflows": len(pairwise_pool),
+            "pairs": len(seed_pairs),
+            "seed_seconds": pairwise_seed_seconds,
+            "fast_seconds": pairwise_fast_seconds,
+            "speedup": pairwise_speedup,
+            "identical": pairwise_identical,
+        },
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--queries", type=int, default=32, help="number of query workflows")
+    parser.add_argument("-k", type=int, default=SCALE["top_k"])
+    parser.add_argument("--measure", default="MS_ip_te_pll")
+    parser.add_argument("--seed", type=int, default=20140901, help="corpus generator seed")
+    parser.add_argument(
+        "--workers", type=int, default=None, help="process pool size for the fast path"
+    )
+    parser.add_argument(
+        "--pairwise-workflows",
+        type=int,
+        default=48,
+        help="pool size of the all-pairs (clustering) section",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(_ROOT / "BENCH_search.json"),
+        help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.0,
+        help="exit non-zero if the search speedup falls below this factor",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(args)
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if not report["search"]["identical"] or not report["pairwise"]["identical"]:
+        print("FAIL: fast path results differ from the reference path", file=sys.stderr)
+        return 2
+    if args.min_speedup and report["search"]["speedup"] < args.min_speedup:
+        print(
+            f"FAIL: speedup {report['search']['speedup']:.1f}x below "
+            f"required {args.min_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        return 3
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

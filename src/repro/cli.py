@@ -7,6 +7,9 @@ library without writing Python:
   workflow files (internal JSON, SCUFL-like XML or Galaxy ``.ga``);
 * ``repro search CORPUS QUERY_ID --measure BW+MS_ip_te_pll -k 10`` —
   top-k similarity search over a corpus file;
+* ``repro search-batch CORPUS --measure MS_ip_te_pll -k 10 --workers 4``
+  — batch top-k search for many (default: all) queries on the
+  repository-scale fast path, optionally on a process pool;
 * ``repro generate-corpus OUT.json --workflows 500`` — write a synthetic
   myExperiment-style (or Galaxy-style) corpus to disk;
 * ``repro stats CORPUS`` — corpus statistics (size, annotations, module
@@ -87,6 +90,61 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_search_batch(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    repository = WorkflowRepository.load(args.corpus)
+    engine = SimilaritySearchEngine(
+        repository, SimilarityFramework(ged_timeout=args.ged_timeout)
+    )
+    if args.queries is not None:
+        if not args.queries:
+            print("error: --queries given but no identifiers listed", file=sys.stderr)
+            return 2
+        missing = [query for query in args.queries if query not in repository]
+        if missing:
+            print(f"error: query workflows not in corpus: {missing}", file=sys.stderr)
+            return 2
+        queries = args.queries
+    else:
+        queries = None  # every repository workflow queries itself against the rest
+    started = time.perf_counter()
+    results = engine.search_batch(
+        queries,
+        args.measure,
+        k=args.top_k,
+        prune=not args.no_prune,
+        workers=args.workers,
+    )
+    elapsed = time.perf_counter() - started
+    if args.output:
+        payload = {
+            "measure": args.measure,
+            "k": args.top_k,
+            "seconds": elapsed,
+            "results": {
+                result.query_id: [
+                    {"workflow_id": hit.workflow_id, "similarity": hit.similarity, "rank": hit.rank}
+                    for hit in result
+                ]
+                for result in results
+            },
+        }
+        Path(args.output).write_text(json.dumps(payload, indent=2))
+        print(f"wrote {len(results)} result lists to {args.output} ({elapsed:.2f}s)")
+    else:
+        for result in results:
+            hits = ", ".join(f"{hit.workflow_id}:{hit.similarity:.3f}" for hit in result)
+            print(f"{result.query_id}\t{hits}")
+        print(
+            f"# {len(results)} queries under {args.measure} in {elapsed:.2f}s"
+            + (f" ({args.workers} workers)" if args.workers else ""),
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _cmd_generate_corpus(args: argparse.Namespace) -> int:
     if args.format == "galaxy":
         corpus = generate_galaxy_corpus(
@@ -156,6 +214,34 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("-k", "--top-k", type=int, default=10)
     search.add_argument("--ged-timeout", type=float, default=5.0)
     search.set_defaults(func=_cmd_search)
+
+    search_batch = subparsers.add_parser(
+        "search-batch",
+        help="batch top-k search for many queries (fast path, optional process pool)",
+    )
+    search_batch.add_argument("corpus", help="corpus JSON file")
+    search_batch.add_argument(
+        "--queries",
+        nargs="*",
+        default=None,
+        help="query workflow identifiers (default: every workflow in the corpus)",
+    )
+    search_batch.add_argument("--measure", default="MS_ip_te_pll")
+    search_batch.add_argument("-k", "--top-k", type=int, default=10)
+    search_batch.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan queries out over a process pool of this size",
+    )
+    search_batch.add_argument(
+        "--no-prune",
+        action="store_true",
+        help="disable top-k frontier pruning (exhaustive scoring)",
+    )
+    search_batch.add_argument("--output", help="write results as JSON instead of printing")
+    search_batch.add_argument("--ged-timeout", type=float, default=5.0)
+    search_batch.set_defaults(func=_cmd_search_batch)
 
     generate = subparsers.add_parser("generate-corpus", help="write a synthetic corpus to disk")
     generate.add_argument("output", help="output JSON file")

@@ -28,6 +28,7 @@ __all__ = [
     "label_token_jaccard",
     "prefix_match",
     "COMPARATORS",
+    "SYMMETRIC_COMPARATORS",
     "get_comparator",
 ]
 
@@ -107,6 +108,24 @@ COMPARATORS: dict[str, AttributeComparator] = {
     "label_token_jaccard": label_token_jaccard,
     "prefix": prefix_match,
 }
+
+
+#: Registry names whose comparator provably returns the bit-identical float
+#: for swapped operands.  The cross-query score cache of :mod:`repro.perf`
+#: only folds ``(a, b)`` and ``(b, a)`` into one cache entry when every rule
+#: of a configuration uses a comparator listed here; custom registrations
+#: are conservatively treated as asymmetric.
+SYMMETRIC_COMPARATORS: frozenset[str] = frozenset(
+    {
+        "exact",
+        "exact_ci",
+        "levenshtein",
+        "levenshtein_ci",
+        "token_jaccard",
+        "label_token_jaccard",
+        "prefix",
+    }
+)
 
 
 def get_comparator(name: str) -> AttributeComparator:

@@ -109,12 +109,18 @@ class TypeEquivalence(PairPreselection):
     def candidate_pairs(
         self, first_modules: Sequence[Module], second_modules: Sequence[Module]
     ) -> set[tuple[int, int]]:
+        # Resolve each module's category exactly once per call.  The old
+        # version recomputed the first module's category inside the inner
+        # loop, turning the dominant cost of the ``te`` strategy into
+        # redundant dictionary probes at repository scale.
+        first_categories = [self._category(module) for module in first_modules]
         by_category: dict[str, list[int]] = {}
         for j, module in enumerate(second_modules):
             by_category.setdefault(self._category(module), []).append(j)
         pairs: set[tuple[int, int]] = set()
-        for i, module in enumerate(first_modules):
-            for j in by_category.get(self._category(module), ()):
+        empty: tuple[int, ...] = ()
+        for i, category in enumerate(first_categories):
+            for j in by_category.get(category, empty):
                 pairs.add((i, j))
         return pairs
 

@@ -1,0 +1,55 @@
+"""Repository-scale performance layer (profiles, caches, pruned search).
+
+This package makes batch similarity search and all-pairs clustering fast
+*without changing a single score*:
+
+* :mod:`repro.perf.profiles` — per-module precomputation (interned
+  attribute strings, lowercase variants, token sets, character bags,
+  type-equivalence categories), cached by object identity so the
+  importance projection's reuse of module instances is exploited.
+* :mod:`repro.perf.cache` — cross-query module-pair score caches keyed
+  by (configuration, attribute fingerprints), with symmetric-pair
+  canonicalisation for provably symmetric comparators.
+* :mod:`repro.perf.engine` — comparator acceleration for all structural
+  measures plus an exact, frontier-pruned top-k scan for ``MS`` measures
+  (character-bag bounds, banded Levenshtein refinement).
+* :mod:`repro.perf.parallel` — an optional ``concurrent.futures``
+  process-pool backend for query batches and all-pairs scoring.
+
+The user-facing entry points are
+:meth:`SimilaritySearchEngine.search_batch
+<repro.repository.search.SimilaritySearchEngine.search_batch>` and
+:meth:`SimilaritySearchEngine.pairwise_similarity
+<repro.repository.search.SimilaritySearchEngine.pairwise_similarity>`;
+``benchmarks/bench_perf_search.py`` tracks the resulting speed-ups in
+``BENCH_search.json``.
+"""
+
+from .cache import ModulePairScoreCache
+from .engine import (
+    AccelerationContext,
+    CachedModuleComparator,
+    PruneStats,
+    accelerate_measure,
+    module_set_top_k,
+    supports_pruned_top_k,
+)
+from .parallel import parallel_pairwise, parallel_search_batch, pool_available
+from .profiles import PROFILE_ATTRIBUTES, ModuleProfile, ProfileStore, WorkflowProfile
+
+__all__ = [
+    "AccelerationContext",
+    "CachedModuleComparator",
+    "ModulePairScoreCache",
+    "ModuleProfile",
+    "PROFILE_ATTRIBUTES",
+    "ProfileStore",
+    "PruneStats",
+    "WorkflowProfile",
+    "accelerate_measure",
+    "module_set_top_k",
+    "parallel_pairwise",
+    "parallel_search_batch",
+    "pool_available",
+    "supports_pruned_top_k",
+]

@@ -1,0 +1,367 @@
+"""Cross-query module-pair score caching.
+
+The paper's central scalability observation is that label (and attribute)
+vocabularies are tiny relative to the number of module pairs a
+repository-scale search compares: the same ``(label_a, label_b)``
+comparison recurs across thousands of workflow pairs and across every
+query of a batch.  :class:`ModulePairScoreCache` therefore memoises the
+*configured* module-pair score — the full weighted attribute mean of a
+:class:`~repro.core.module_similarity.ModuleComparisonConfig` — keyed by
+the pair of attribute fingerprints, so a comparison is paid for once per
+distinct value combination and then served as a dictionary lookup for
+the rest of the process lifetime.
+
+Scores produced here are bit-identical to
+:meth:`ModuleComparator.compare <repro.core.module_similarity.ModuleComparator.compare>`:
+the cache replays the exact same weighted-mean float operations over the
+same comparator semantics (with Myers' bit-parallel Levenshtein standing
+in for the rolling-row edit distance — same integers, same division).
+The equivalence tests pin this property.
+
+When every rule of a configuration uses a provably symmetric comparator
+(see :data:`repro.core.comparators.SYMMETRIC_COMPARATORS`), ``(a, b)``
+and ``(b, a)`` share one canonical cache entry, halving both memory and
+the number of distances ever computed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.comparators import SYMMETRIC_COMPARATORS, prefix_match
+from ..core.module_similarity import ModuleComparisonConfig
+from ..text.levenshtein import bitparallel_levenshtein_distance
+from .profiles import ModuleProfile
+
+__all__ = ["ModulePairScoreCache", "LevenshteinRule"]
+
+# Internal rule kinds with specialised, profile-aware evaluation.
+_KIND_EXACT = 0
+_KIND_EXACT_CI = 1
+_KIND_LEV = 2
+_KIND_LEV_CI = 3
+_KIND_TOKEN_JACCARD = 4
+_KIND_LABEL_TOKEN_JACCARD = 5
+_KIND_PREFIX = 6
+_KIND_CUSTOM = 7
+
+_KIND_BY_NAME = {
+    "exact": _KIND_EXACT,
+    "exact_ci": _KIND_EXACT_CI,
+    "levenshtein": _KIND_LEV,
+    "levenshtein_ci": _KIND_LEV_CI,
+    "token_jaccard": _KIND_TOKEN_JACCARD,
+    "label_token_jaccard": _KIND_LABEL_TOKEN_JACCARD,
+    "prefix": _KIND_PREFIX,
+}
+
+class LevenshteinRule:
+    """Description of a single-Levenshtein-rule configuration.
+
+    Exposed by :attr:`ModulePairScoreCache.single_levenshtein` so the
+    top-k engine can drive the banded edit distance for configurations
+    like ``pll``/``gll`` where the pair score *is* one label similarity.
+    """
+
+    __slots__ = ("attribute", "weight", "skip_if_both_empty", "lowercase")
+
+    def __init__(self, attribute: str, weight: float, skip_if_both_empty: bool, lowercase: bool) -> None:
+        self.attribute = attribute
+        self.weight = weight
+        self.skip_if_both_empty = skip_if_both_empty
+        self.lowercase = lowercase
+
+
+def _levenshtein_similarity_exact(value_a: str, value_b: str) -> float:
+    """Bit-identical stand-in for :func:`repro.text.levenshtein_similarity`."""
+    if value_a == value_b:
+        return 1.0
+    longest = max(len(value_a), len(value_b))
+    if longest == 0:
+        return 1.0
+    return 1.0 - (bitparallel_levenshtein_distance(value_a, value_b) / longest)
+
+
+def _char_bag_common(bag_a: dict[str, int], bag_b: dict[str, int]) -> int:
+    """Size of the multiset intersection of two character bags."""
+    if len(bag_b) < len(bag_a):
+        bag_a, bag_b = bag_b, bag_a
+    get = bag_b.get
+    common = 0
+    for char, count in bag_a.items():
+        other = get(char)
+        if other is not None:
+            common += count if count < other else other
+    return common
+
+
+class ModulePairScoreCache:
+    """Memoised module-pair scores for one comparison configuration."""
+
+    __slots__ = (
+        "config",
+        "symmetric",
+        "single_levenshtein",
+        "hits",
+        "misses",
+        "_attributes",
+        "_rules",
+        "_scores",
+        "_bounds",
+        "_fingerprints",
+    )
+
+    def __init__(self, config: ModuleComparisonConfig) -> None:
+        self.config = config
+        self._attributes = tuple(rule.attribute for rule in config.rules)
+        self.symmetric = all(rule.comparator in SYMMETRIC_COMPARATORS for rule in config.rules)
+        # Prepared rule tuples: (kind, attribute, weight, skip_if_both_empty, custom_fn).
+        self._rules: list[tuple[int, str, float, bool, Callable[[str, str], float] | None]] = []
+        for rule in config.rules:
+            kind = _KIND_BY_NAME.get(rule.comparator, _KIND_CUSTOM)
+            custom = rule.comparator_fn if kind == _KIND_CUSTOM else None
+            self._rules.append((kind, rule.attribute, rule.weight, rule.skip_if_both_empty, custom))
+        if len(self._rules) == 1 and self._rules[0][0] in (_KIND_LEV, _KIND_LEV_CI):
+            kind, attribute, weight, skip, _ = self._rules[0]
+            self.single_levenshtein: LevenshteinRule | None = LevenshteinRule(
+                attribute, weight, skip, lowercase=kind == _KIND_LEV_CI
+            )
+        else:
+            self.single_levenshtein = None
+        self._scores: dict[tuple[tuple[str, ...], tuple[str, ...]], float] = {}
+        # Non-exact upper bounds, memoised separately: the same label
+        # pairs recur across thousands of candidates, and recomputing a
+        # character-bag bound per occurrence would dominate the pruning
+        # pass.  Exact scores always shadow these (checked first).
+        self._bounds: dict[tuple[tuple[str, ...], tuple[str, ...]], float] = {}
+        self._fingerprints: dict[int, tuple[ModuleProfile, tuple[str, ...]]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- keys ----------------------------------------------------------------
+
+    def fingerprint(self, profile: ModuleProfile) -> tuple[str, ...]:
+        """The interned attribute values this configuration compares."""
+        entry = self._fingerprints.get(id(profile))
+        # The stored profile reference keeps the id alive *and* guards
+        # against recycled ids from profiles created after a store
+        # clear() — a stale fingerprint would silently corrupt scores.
+        if entry is not None and entry[0] is profile:
+            return entry[1]
+        values = profile.values
+        fingerprint = tuple(values[name] for name in self._attributes)
+        self._fingerprints[id(profile)] = (profile, fingerprint)
+        return fingerprint
+
+    def _key(
+        self, fingerprint_a: tuple[str, ...], fingerprint_b: tuple[str, ...]
+    ) -> tuple[tuple[str, ...], tuple[str, ...]]:
+        if self.symmetric and fingerprint_b < fingerprint_a:
+            return (fingerprint_b, fingerprint_a)
+        return (fingerprint_a, fingerprint_b)
+
+    # -- scoring -------------------------------------------------------------
+
+    def score(self, profile_a: ModuleProfile, profile_b: ModuleProfile) -> float:
+        """The configured pair score, served from cache when possible."""
+        key = self._key(self.fingerprint(profile_a), self.fingerprint(profile_b))
+        value = self._scores.get(key)
+        if value is not None:
+            self.hits += 1
+            return value
+        self.misses += 1
+        value = self._compute(profile_a, profile_b)
+        self._scores[key] = value
+        return value
+
+    @staticmethod
+    def _cheap_similarity(
+        kind: int,
+        attribute: str,
+        profile_a: ModuleProfile,
+        profile_b: ModuleProfile,
+        value_a: str,
+        value_b: str,
+        custom: Callable[[str, str], float] | None,
+    ) -> float:
+        """Exact similarity of every rule kind except the Levenshtein pair.
+
+        Shared by :meth:`_compute` and :meth:`upper_bound` so the two
+        paths cannot drift apart — the pruning soundness argument relies
+        on the bound pass evaluating these kinds *identically* to the
+        exact pass.
+        """
+        if kind == _KIND_EXACT:
+            return 1.0 if value_a == value_b else 0.0
+        if kind == _KIND_EXACT_CI:
+            return 1.0 if profile_a.lowered(attribute) == profile_b.lowered(attribute) else 0.0
+        if kind == _KIND_TOKEN_JACCARD:
+            tokens_a = profile_a.token_set(attribute)
+            tokens_b = profile_b.token_set(attribute)
+            if not tokens_a and not tokens_b:
+                return 0.0
+            return len(tokens_a & tokens_b) / len(tokens_a | tokens_b)
+        if kind == _KIND_LABEL_TOKEN_JACCARD:
+            tokens_a = profile_a.label_token_set(attribute)
+            tokens_b = profile_b.label_token_set(attribute)
+            if not tokens_a and not tokens_b:
+                return 0.0
+            return len(tokens_a & tokens_b) / len(tokens_a | tokens_b)
+        if kind == _KIND_PREFIX:
+            return prefix_match(value_a, value_b)
+        return custom(value_a, value_b)  # type: ignore[misc]
+
+    def _compute(self, profile_a: ModuleProfile, profile_b: ModuleProfile) -> float:
+        # Mirrors ModuleComparator.compare: same rule order, same skip
+        # semantics, same accumulation — bit-identical results.
+        total_score = 0.0
+        total_weight = 0.0
+        values_a = profile_a.values
+        values_b = profile_b.values
+        for kind, attribute, weight, skip_if_both_empty, custom in self._rules:
+            value_a = values_a[attribute]
+            value_b = values_b[attribute]
+            if skip_if_both_empty and not value_a and not value_b:
+                continue
+            if kind == _KIND_LEV:
+                similarity = _levenshtein_similarity_exact(value_a, value_b)
+            elif kind == _KIND_LEV_CI:
+                similarity = _levenshtein_similarity_exact(
+                    profile_a.lowered(attribute), profile_b.lowered(attribute)
+                )
+            else:
+                similarity = self._cheap_similarity(
+                    kind, attribute, profile_a, profile_b, value_a, value_b, custom
+                )
+            total_score += similarity * weight
+            total_weight += weight
+        if total_weight == 0.0:
+            return 0.0
+        return total_score / total_weight
+
+    # -- pruning support -----------------------------------------------------
+
+    def upper_bound(self, profile_a: ModuleProfile, profile_b: ModuleProfile) -> tuple[float, bool]:
+        """A cheap certified upper bound on :meth:`score`.
+
+        Returns ``(value, exact)``.  Cached pairs return their exact
+        score.  For uncached pairs each Levenshtein rule is bounded via
+        the character-bag argument (``distance >= longest - common``,
+        hence ``similarity <= common / longest``); all other built-in
+        rules are cheap enough to evaluate exactly.  When *every* rule
+        could be evaluated exactly the result is the true score and is
+        cached as such.
+        """
+        key = self._key(self.fingerprint(profile_a), self.fingerprint(profile_b))
+        value = self._scores.get(key)
+        if value is not None:
+            self.hits += 1
+            return value, True
+        value = self._bounds.get(key)
+        if value is not None:
+            return value, False
+        total_score = 0.0
+        total_weight = 0.0
+        all_exact = True
+        values_a = profile_a.values
+        values_b = profile_b.values
+        for kind, attribute, weight, skip_if_both_empty, custom in self._rules:
+            value_a = values_a[attribute]
+            value_b = values_b[attribute]
+            if skip_if_both_empty and not value_a and not value_b:
+                continue
+            if kind in (_KIND_LEV, _KIND_LEV_CI):
+                if kind == _KIND_LEV_CI:
+                    value_a = profile_a.lowered(attribute)
+                    value_b = profile_b.lowered(attribute)
+                if value_a == value_b:
+                    similarity = 1.0
+                else:
+                    longest = max(len(value_a), len(value_b))
+                    if kind == _KIND_LEV_CI:
+                        # Character bags are built over the raw values;
+                        # recompute on the lowered strings for tightness.
+                        bag_a: dict[str, int] = {}
+                        for char in value_a:
+                            bag_a[char] = bag_a.get(char, 0) + 1
+                        bag_b: dict[str, int] = {}
+                        for char in value_b:
+                            bag_b[char] = bag_b.get(char, 0) + 1
+                        common = _char_bag_common(bag_a, bag_b)
+                    else:
+                        common = _char_bag_common(
+                            profile_a.char_bag(attribute), profile_b.char_bag(attribute)
+                        )
+                    similarity = common / longest
+                    all_exact = False
+            elif kind == _KIND_CUSTOM:
+                similarity = 1.0  # custom comparators cannot be bounded cheaply
+                all_exact = False
+            else:
+                similarity = self._cheap_similarity(
+                    kind, attribute, profile_a, profile_b, value_a, value_b, custom
+                )
+            total_score += similarity * weight
+            total_weight += weight
+        value = (total_score / total_weight) if total_weight else 0.0
+        if all_exact:
+            # The bound pass happened to be an exact evaluation (e.g. the
+            # ``plm`` exact-match configuration) — promote it to a hit.
+            self.misses += 1
+            self._scores[key] = value
+        else:
+            self._bounds[key] = value
+        return value, all_exact
+
+    def score_from_levenshtein(
+        self, profile_a: ModuleProfile, profile_b: ModuleProfile, similarity: float, *, exact: bool
+    ) -> float:
+        """Fold an externally computed Levenshtein similarity into a pair score.
+
+        Only valid for :attr:`single_levenshtein` configurations.  With
+        ``exact`` the resulting score is cached (it is bit-identical to
+        :meth:`score`); capped banded results are folded through the same
+        monotone float operations, preserving their upper-bound property,
+        but never cached.
+        """
+        rule = self.single_levenshtein
+        assert rule is not None, "score_from_levenshtein requires a single-Levenshtein config"
+        value_a = profile_a.values[rule.attribute]
+        value_b = profile_b.values[rule.attribute]
+        if rule.skip_if_both_empty and not value_a and not value_b:
+            return 0.0
+        value = (similarity * rule.weight) / rule.weight
+        if exact:
+            key = self._key(self.fingerprint(profile_a), self.fingerprint(profile_b))
+            if key not in self._scores:
+                self.misses += 1
+                self._scores[key] = value
+        return value
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self._scores)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, float | int | str]:
+        return {
+            "config": self.config.name,
+            "entries": self.size,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "symmetric": self.symmetric,
+        }
+
+    def clear(self) -> None:
+        self._scores.clear()
+        self._bounds.clear()
+        self._fingerprints.clear()
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,429 @@
+"""Batch similarity acceleration: cached comparators and pruned top-k.
+
+Two cooperating layers, both exact (no score changes):
+
+* :func:`accelerate_measure` swaps the
+  :class:`~repro.core.module_similarity.ModuleComparator` of any
+  structural measure (including ensemble members) for a
+  :class:`CachedModuleComparator` that serves module-pair scores from a
+  cross-query :class:`~repro.perf.cache.ModulePairScoreCache`.  Every
+  downstream step — mapping, topological comparison, normalisation —
+  runs unchanged, so ``MS``/``PS``/``GE`` all produce bit-identical
+  scores, only faster.
+
+* :func:`module_set_top_k` is a drop-in replacement for
+  :meth:`SimilarityFramework.top_k
+  <repro.core.framework.SimilarityFramework.top_k>` for ``MS`` measures.
+  It maintains the current top-k frontier and discards candidates whose
+  *certified upper bound* cannot beat the k-th score: a matching selects
+  at most one pair per row and per column, so the minimum of the
+  row-maxima and column-maxima sums of an upper-bound matrix bounds the
+  non-normalised similarity, and the similarity-weighted Jaccard
+  normalisation is monotone in it.  Candidates surviving the cheap
+  character-bag bound face a second, banded-Levenshtein refinement whose
+  per-row distance budget is derived from the frontier score (the
+  ``max_distance`` plumbing of :func:`repro.text.levenshtein.banded_levenshtein_distance`).
+  Only candidates surviving both filters pay for an exact comparison —
+  which the measure itself performs, so selected scores, tie-breaks and
+  ranks match the sequential scan exactly.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.base import WorkflowSimilarityMeasure
+from ..core.ensemble import MeanEnsemble
+from ..core.framework import RankedWorkflow
+from ..core.module_similarity import ModuleComparator, ModuleComparisonConfig
+from ..core.preselection import AllPairs, StrictTypeMatch, TypeEquivalence
+from ..core.topological import ModuleSetsSimilarity, StructuralMeasure
+from ..text.levenshtein import bounded_levenshtein_similarity
+from ..workflow.model import Module, Workflow
+from .cache import ModulePairScoreCache
+from .profiles import ProfileStore
+
+__all__ = [
+    "AccelerationContext",
+    "CachedModuleComparator",
+    "accelerate_measure",
+    "supports_pruned_top_k",
+    "module_set_top_k",
+    "PruneStats",
+]
+
+
+class AccelerationContext:
+    """Shared profile store and score caches of one search engine.
+
+    One context is meant to live as long as the repository it serves:
+    the longer it lives, the more cross-query reuse it extracts.  Pair
+    caches are shared per configuration (name and rules), so an ensemble
+    whose members agree on the module scheme shares one cache.
+    """
+
+    def __init__(self, profiles: ProfileStore | None = None) -> None:
+        self.profiles = profiles if profiles is not None else ProfileStore()
+        self._pair_caches: dict[object, ModulePairScoreCache] = {}
+
+    def pair_cache(self, config: ModuleComparisonConfig) -> ModulePairScoreCache:
+        key = (config.name, config.rules)
+        cache = self._pair_caches.get(key)
+        if cache is None:
+            cache = ModulePairScoreCache(config)
+            self._pair_caches[key] = cache
+        return cache
+
+    def cache_stats(self) -> list[dict[str, float | int | str]]:
+        return [cache.stats() for cache in self._pair_caches.values()]
+
+    def clear(self) -> None:
+        self.profiles.clear()
+        for cache in self._pair_caches.values():
+            cache.clear()
+
+
+class CachedModuleComparator(ModuleComparator):
+    """A :class:`ModuleComparator` backed by profiles and a score cache.
+
+    ``comparisons_performed`` keeps the seed semantics (one increment per
+    scored candidate pair, hit or miss) so the pair-preselection
+    statistics of Section 5.1.4 are unaffected by acceleration.
+    """
+
+    def __init__(self, config: ModuleComparisonConfig, context: AccelerationContext) -> None:
+        super().__init__(config)
+        self.context = context
+        self.cache = context.pair_cache(config)
+
+    def compare(self, first: Module, second: Module) -> float:
+        self.comparisons_performed += 1
+        profiles = self.context.profiles
+        return self.cache.score(profiles.module_profile(first), profiles.module_profile(second))
+
+    def similarity_matrix(
+        self,
+        first_modules: Sequence[Module],
+        second_modules: Sequence[Module],
+        *,
+        candidate_pairs: set[tuple[int, int]] | None = None,
+    ) -> list[list[float]]:
+        module_profile = self.context.profiles.module_profile
+        score = self.cache.score
+        profiles_a = [module_profile(module) for module in first_modules]
+        profiles_b = [module_profile(module) for module in second_modules]
+        width = len(profiles_b)
+        matrix: list[list[float]] = []
+        if candidate_pairs is None:
+            for profile_a in profiles_a:
+                matrix.append([score(profile_a, profile_b) for profile_b in profiles_b])
+            self.comparisons_performed += len(profiles_a) * width
+        else:
+            performed = 0
+            for i, profile_a in enumerate(profiles_a):
+                row = [0.0] * width
+                for j in range(width):
+                    if (i, j) in candidate_pairs:
+                        row[j] = score(profile_a, profiles_b[j])
+                        performed += 1
+                matrix.append(row)
+            self.comparisons_performed += performed
+        return matrix
+
+
+def accelerate_measure(measure: WorkflowSimilarityMeasure, context: AccelerationContext) -> bool:
+    """Install cached comparators on a measure (recursing into ensembles).
+
+    Returns ``True`` if at least one comparator was swapped.  Idempotent:
+    already-accelerated measures are left untouched.  Scores are
+    unchanged by construction — only the module-pair evaluation strategy
+    is replaced.
+    """
+    if isinstance(measure, MeanEnsemble):
+        swapped = False
+        for member in measure.members:
+            swapped = accelerate_measure(member, context) or swapped
+        return swapped
+    if isinstance(measure, StructuralMeasure):
+        if isinstance(measure.comparator, CachedModuleComparator):
+            return False
+        measure.comparator = CachedModuleComparator(measure.comparator.config, context)
+        return True
+    return False
+
+
+@dataclass
+class PruneStats:
+    """Bookkeeping of one pruned top-k scan (aggregated per batch)."""
+
+    candidates: int = 0
+    pruned_char_bag: int = 0
+    pruned_banded: int = 0
+    exact_comparisons: int = 0
+    banded_calls: int = 0
+
+    @property
+    def pruned(self) -> int:
+        return self.pruned_char_bag + self.pruned_banded
+
+    def merge(self, other: "PruneStats") -> None:
+        self.candidates += other.candidates
+        self.pruned_char_bag += other.pruned_char_bag
+        self.pruned_banded += other.pruned_banded
+        self.exact_comparisons += other.exact_comparisons
+        self.banded_calls += other.banded_calls
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "candidates": self.candidates,
+            "pruned_char_bag": self.pruned_char_bag,
+            "pruned_banded": self.pruned_banded,
+            "exact_comparisons": self.exact_comparisons,
+            "banded_calls": self.banded_calls,
+        }
+
+
+def supports_pruned_top_k(measure: WorkflowSimilarityMeasure) -> bool:
+    """Whether :func:`module_set_top_k` can run this measure.
+
+    The frontier bound relies on the ``MS`` compare semantics (one
+    mapping over one module similarity matrix, Jaccard or identity
+    normalisation), so only plain :class:`ModuleSetsSimilarity`
+    instances qualify — subclasses may override ``compare`` arbitrarily.
+    """
+    return type(measure) is ModuleSetsSimilarity
+
+
+def _jaccard_required_nnsim(kth_score: float, size_a: int, size_b: int) -> float:
+    """The non-normalised similarity needed to *beat* ``kth_score``.
+
+    Inverts ``sim = nnsim / (|A| + |B| - nnsim)``; the normalisation is
+    strictly increasing in ``nnsim``, so any candidate whose ``nnsim``
+    upper bound stays at or below this threshold cannot outrank the
+    current k-th result.
+    """
+    return kth_score * (size_a + size_b) / (1.0 + kth_score)
+
+
+def module_set_top_k(
+    query: Workflow,
+    pool: Sequence[Workflow],
+    measure: ModuleSetsSimilarity,
+    context: AccelerationContext,
+    *,
+    k: int = 10,
+    exclude_query: bool = True,
+    prune: bool = True,
+    stats: PruneStats | None = None,
+) -> list[RankedWorkflow]:
+    """Exact top-k under an ``MS`` measure with frontier pruning.
+
+    Candidates are processed in pool order, mirroring the tie-breaking of
+    :meth:`SimilarityFramework.rank` (descending score, input order): the
+    frontier only ever contains earlier-positioned candidates, so a later
+    candidate whose upper bound does not *exceed* the k-th score can be
+    discarded even on equality.  Every surviving candidate is scored by
+    ``measure.similarity`` itself, so returned scores are the measure's
+    own, bit for bit.
+    """
+    if stats is None:
+        stats = PruneStats()
+    if k <= 0:
+        return []
+    cache = context.pair_cache(measure.comparator.config)
+    profiles = context.profiles
+    preselection = measure.preselection
+    query_processed = measure.preprocess(query)
+    query_profile = profiles.workflow_profile(query_processed)
+    single_levenshtein = cache.single_levenshtein
+
+    # Min-heap of the k best so far; the root is the current k-th entry.
+    # Entries are (score, -position): lower score is worse, and on equal
+    # scores a *larger* position is worse, matching rank()'s ordering.
+    frontier: list[tuple[float, int, Workflow]] = []
+    heappush = heapq.heappush
+    heappushpop = heapq.heappushpop
+
+    for position, candidate in enumerate(pool):
+        if exclude_query and candidate.identifier == query.identifier:
+            continue
+        stats.candidates += 1
+        full = len(frontier) == k
+        if full and prune:
+            kth_score = frontier[0][0]
+            candidate_processed = measure.preprocess(candidate)
+            if query_profile.size and candidate_processed.modules:
+                candidate_profile = profiles.workflow_profile(candidate_processed)
+                if _prunable(
+                    query_profile,
+                    candidate_profile,
+                    preselection,
+                    cache,
+                    kth_score,
+                    measure.normalize,
+                    single_levenshtein,
+                    stats,
+                ):
+                    continue
+        score = measure.similarity(query, candidate)
+        stats.exact_comparisons += 1
+        entry = (score, -position, candidate)
+        if full:
+            heappushpop(frontier, entry)
+        else:
+            heappush(frontier, entry)
+
+    ranked = sorted(frontier, key=lambda entry: (-entry[0], -entry[1]))
+    return [
+        RankedWorkflow(workflow=workflow, similarity=score, rank=rank)
+        for rank, (score, _neg_position, workflow) in enumerate(ranked, start=1)
+    ]
+
+
+def _admissible_columns(query_profile, candidate_profile, preselection):
+    """Per-query-module column index lists under the preselection strategy.
+
+    ``None`` means "every column" (the ``ta`` strategy).  The ``te`` and
+    ``tm`` strategies are answered from the profiles' cached category and
+    type indices — the same groupings their ``candidate_pairs``
+    implementations derive per call — and any custom strategy falls back
+    to that method.
+    """
+    if isinstance(preselection, AllPairs):
+        return None
+    empty: tuple[int, ...] = ()
+    if type(preselection) is TypeEquivalence and preselection._categories is None:
+        grouped = candidate_profile.indices_by_category()
+        return [grouped.get(category, empty) for category in query_profile.categories]
+    if type(preselection) is StrictTypeMatch:
+        grouped = candidate_profile.indices_by_type()
+        return [
+            grouped.get(profile.lowered("type"), empty) for profile in query_profile.modules
+        ]
+    pairs = preselection.candidate_pairs(
+        [profile.module for profile in query_profile.modules],
+        [profile.module for profile in candidate_profile.modules],
+    )
+    if pairs is None:
+        return None
+    rows: list[list[int]] = [[] for _ in range(query_profile.size)]
+    for i, j in sorted(pairs):
+        rows[i].append(j)
+    return rows
+
+
+def _prunable(
+    query_profile,
+    candidate_profile,
+    preselection,
+    cache: ModulePairScoreCache,
+    kth_score: float,
+    normalize: bool,
+    single_levenshtein,
+    stats: PruneStats,
+) -> bool:
+    """Decide whether a candidate provably cannot beat the k-th score."""
+    size_a = query_profile.size
+    size_b = candidate_profile.size
+    columns = _admissible_columns(query_profile, candidate_profile, preselection)
+    profiles_a = query_profile.modules
+    profiles_b = candidate_profile.modules
+    upper_bound = cache.upper_bound
+
+    # Stage 1: character-bag upper-bound matrix.
+    matrix: list[list[float]] = []
+    exact_flags: list[list[bool]] = []
+    col_max = [0.0] * size_b
+    row_max = [0.0] * size_a
+    all_columns = range(size_b)
+    for i in range(size_a):
+        profile_a = profiles_a[i]
+        row = [0.0] * size_b
+        flags = [True] * size_b
+        best = 0.0
+        for j in (all_columns if columns is None else columns[i]):
+            value, exact = upper_bound(profile_a, profiles_b[j])
+            row[j] = value
+            flags[j] = exact
+            if value > best:
+                best = value
+            if value > col_max[j]:
+                col_max[j] = value
+        row_max[i] = best
+        matrix.append(row)
+        exact_flags.append(flags)
+
+    row_sum = sum(row_max)
+    nnsim_bound = min(row_sum, sum(col_max))
+    if _bounded_similarity(nnsim_bound, size_a, size_b, normalize) <= kth_score:
+        stats.pruned_char_bag += 1
+        return True
+
+    if single_levenshtein is None:
+        return False
+
+    # Stage 2: banded-Levenshtein refinement.  A pair in row i can only
+    # lift the candidate above the frontier if its score clears
+    # required - (best possible contribution of all other rows); pairs
+    # below that floor are re-bounded by a banded edit distance whose
+    # max_distance encodes the floor.
+    required = (
+        _jaccard_required_nnsim(kth_score, size_a, size_b) if normalize else kth_score
+    )
+    lowercase = single_levenshtein.lowercase
+    attribute = single_levenshtein.attribute
+    refined = False
+    for i in range(size_a):
+        floor = required - (row_sum - row_max[i])
+        if floor <= 0.0:
+            continue
+        profile_a = profiles_a[i]
+        row = matrix[i]
+        flags = exact_flags[i]
+        best = 0.0
+        for j in range(size_b):
+            value = row[j]
+            if value > 0.0 and not flags[j] and value >= floor:
+                profile_b = profiles_b[j]
+                if lowercase:
+                    value_a = profile_a.lowered(attribute)
+                    value_b = profile_b.lowered(attribute)
+                else:
+                    value_a = profile_a.values[attribute]
+                    value_b = profile_b.values[attribute]
+                similarity, exact = bounded_levenshtein_similarity(value_a, value_b, floor)
+                stats.banded_calls += 1
+                value = cache.score_from_levenshtein(profile_a, profile_b, similarity, exact=exact)
+                if value < row[j]:
+                    row[j] = value
+                    refined = True
+                flags[j] = exact
+            if value > best:
+                best = value
+        row_max[i] = best
+    if not refined:
+        return False
+    col_max = [0.0] * size_b
+    for row in matrix:
+        for j in range(size_b):
+            if row[j] > col_max[j]:
+                col_max[j] = row[j]
+    nnsim_bound = min(sum(row_max), sum(col_max))
+    if _bounded_similarity(nnsim_bound, size_a, size_b, normalize) <= kth_score:
+        stats.pruned_banded += 1
+        return True
+    return False
+
+
+def _bounded_similarity(nnsim_bound: float, size_a: int, size_b: int, normalize: bool) -> float:
+    if not normalize:
+        return nnsim_bound
+    if size_a == 0 and size_b == 0:
+        return 1.0
+    denominator = size_a + size_b - nnsim_bound
+    if denominator <= 0.0:
+        return 1.0
+    value = nnsim_bound / denominator
+    return 1.0 if value > 1.0 else value

@@ -1,0 +1,156 @@
+"""Optional process-pool backend for batch search and all-pairs scoring.
+
+Workers are long-lived: each process receives the pickled workflow pool
+once (via the executor initializer), builds its own
+:class:`~repro.repository.search.SimilaritySearchEngine` with a private
+:class:`~repro.perf.engine.AccelerationContext`, and then answers many
+query chunks, amortising profile construction and cache warm-up the same
+way the serial engine does.
+
+Only measures addressed *by name* can run in a pool (workers rebuild the
+measure from the registry); measure instances carry caches and callables
+that are not worth shipping across process boundaries.  Pool failures —
+sandboxes without semaphores, missing ``fork`` support — degrade to the
+serial path rather than failing the search; callers can check
+:func:`pool_available` up front if they need a hard answer.
+"""
+
+from __future__ import annotations
+
+import pickle
+import sys
+from typing import Sequence
+
+from ..workflow.model import Workflow
+
+__all__ = ["pool_available", "parallel_search_batch", "parallel_pairwise"]
+
+# Per-process worker state, initialised once per pool worker.
+_WORKER_ENGINE = None
+
+
+def _init_worker(payload: bytes) -> None:
+    global _WORKER_ENGINE
+    from ..core.framework import SimilarityFramework
+    from ..repository.repository import WorkflowRepository
+    from ..repository.search import SimilaritySearchEngine
+
+    workflows, ged_timeout = pickle.loads(payload)
+    repository = WorkflowRepository(workflows, name="pool-worker")
+    _WORKER_ENGINE = SimilaritySearchEngine(
+        repository, SimilarityFramework(ged_timeout=ged_timeout)
+    )
+
+
+def _search_chunk(args: tuple[Sequence[str], str, int, bool]) -> list[tuple[str, list[tuple[str, float, int]]]]:
+    query_ids, measure, k, prune = args
+    results = []
+    for query_id in query_ids:
+        result = _WORKER_ENGINE.search_batch(
+            [query_id], measure, k=k, prune=prune, workers=None
+        )[0]
+        results.append(
+            (query_id, [(hit.workflow_id, hit.similarity, hit.rank) for hit in result.results])
+        )
+    return results
+
+
+def _pairwise_chunk(args: tuple[Sequence[int], str]) -> list[tuple[str, str, float]]:
+    rows, measure = args
+    repository = _WORKER_ENGINE.repository
+    pool = repository.workflows()
+    instance = _WORKER_ENGINE._accelerated_measure(measure)
+    out = []
+    for i in rows:
+        first = pool[i]
+        for second in pool[i + 1:]:
+            out.append((first.identifier, second.identifier, instance.similarity(first, second)))
+    return out
+
+
+def pool_available(workers: int = 2) -> bool:
+    """Probe whether a process pool can actually be created here."""
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=1) as executor:
+            return executor.submit(int, 1).result(timeout=60) == 1
+    except Exception:
+        return False
+
+
+def _chunked(items: Sequence, chunk_size: int) -> list[Sequence]:
+    return [items[start:start + chunk_size] for start in range(0, len(items), chunk_size)]
+
+
+def parallel_search_batch(
+    workflows: Sequence[Workflow],
+    query_ids: Sequence[str],
+    measure: str,
+    *,
+    k: int,
+    workers: int,
+    chunk_size: int,
+    ged_timeout: float | None,
+    prune: bool = True,
+) -> dict[str, list[tuple[str, float, int]]] | None:
+    """Run a search batch across a process pool.
+
+    Returns ``{query_id: [(workflow_id, similarity, rank), ...]}`` or
+    ``None`` when no pool could be created (caller falls back to serial).
+    """
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        payload = pickle.dumps((list(workflows), ged_timeout))
+        chunks = _chunked(list(query_ids), max(1, chunk_size))
+        results: dict[str, list[tuple[str, float, int]]] = {}
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_init_worker, initargs=(payload,)
+        ) as executor:
+            for chunk_result in executor.map(
+                _search_chunk, [(chunk, measure, k, prune) for chunk in chunks]
+            ):
+                for query_id, hits in chunk_result:
+                    results[query_id] = hits
+        return results
+    except Exception as error:  # pragma: no cover - environment dependent
+        print(f"warning: process pool unavailable ({error}); searching serially", file=sys.stderr)
+        return None
+
+
+def parallel_pairwise(
+    workflows: Sequence[Workflow],
+    measure: str,
+    *,
+    workers: int,
+    chunk_size: int,
+    ged_timeout: float | None,
+) -> dict[tuple[str, str], float] | None:
+    """All unordered pairs across a process pool (``None`` on failure).
+
+    Rows are interleaved across chunks (row ``i`` pairs with all later
+    workflows, so early rows are much heavier than late ones; striding
+    balances the load).
+    """
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        payload = pickle.dumps((list(workflows), ged_timeout))
+        count = len(workflows)
+        stride = max(1, workers * 2)
+        row_groups = [list(range(offset, count, stride)) for offset in range(stride)]
+        row_groups = [group for group in row_groups if group]
+        similarities: dict[tuple[str, str], float] = {}
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_init_worker, initargs=(payload,)
+        ) as executor:
+            for chunk_result in executor.map(
+                _pairwise_chunk, [(group, measure) for group in row_groups]
+            ):
+                for first_id, second_id, value in chunk_result:
+                    similarities[(first_id, second_id)] = value
+        return similarities
+    except Exception as error:  # pragma: no cover - environment dependent
+        print(f"warning: process pool unavailable ({error}); scoring serially", file=sys.stderr)
+        return None

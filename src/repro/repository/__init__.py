@@ -3,6 +3,7 @@
 from .clustering import (
     DuplicatePair,
     agglomerative_clusters,
+    cluster_repository,
     find_duplicates,
     pairwise_similarities,
     threshold_clusters,
@@ -14,6 +15,7 @@ from .search import SearchResult, SearchResultList, SimilaritySearchEngine
 __all__ = [
     "DuplicatePair",
     "agglomerative_clusters",
+    "cluster_repository",
     "find_duplicates",
     "pairwise_similarities",
     "threshold_clusters",

@@ -18,10 +18,14 @@ measure:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from ..core.base import WorkflowSimilarityMeasure
 from ..workflow.model import Workflow
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..core.framework import SimilarityFramework
+    from .repository import WorkflowRepository
 
 __all__ = [
     "DuplicatePair",
@@ -29,6 +33,7 @@ __all__ = [
     "threshold_clusters",
     "agglomerative_clusters",
     "pairwise_similarities",
+    "cluster_repository",
 ]
 
 
@@ -106,6 +111,44 @@ def threshold_clusters(
     for workflow in workflows:
         clusters.setdefault(find(workflow.identifier), set()).add(workflow.identifier)
     return sorted(clusters.values(), key=lambda cluster: (-len(cluster), sorted(cluster)[0]))
+
+
+def cluster_repository(
+    repository: "WorkflowRepository",
+    measure: str | WorkflowSimilarityMeasure = "MS_ip_te_pll",
+    *,
+    threshold: float = 0.7,
+    linkage: str = "single",
+    workers: int | None = None,
+    framework: "SimilarityFramework | None" = None,
+) -> list[set[str]]:
+    """Cluster a whole repository on the batch similarity fast path.
+
+    Computes the all-pairs similarity matrix through
+    :meth:`SimilaritySearchEngine.pairwise_similarity
+    <repro.repository.search.SimilaritySearchEngine.pairwise_similarity>`
+    (precomputed profiles, cross-query score caches, optional process
+    pool via ``workers``) and feeds it to the requested flat clustering:
+    ``linkage="single"`` for connected components above the threshold,
+    ``linkage="average"`` for average-link agglomeration.
+    """
+    from .search import SimilaritySearchEngine
+
+    if linkage not in ("single", "average"):
+        raise ValueError(f"unknown linkage {linkage!r}; use 'single' or 'average'")
+    engine = SimilaritySearchEngine(repository, framework)
+    similarities = engine.pairwise_similarity(measure, workers=workers)
+    workflows = repository.workflows()
+    # With similarities precomputed the clustering helpers never invoke
+    # the measure; resolve it only to satisfy their signature.
+    instance = engine.framework.measure(measure)
+    if linkage == "average":
+        return agglomerative_clusters(
+            workflows, instance, threshold=threshold, similarities=similarities
+        )
+    return threshold_clusters(
+        workflows, instance, threshold=threshold, similarities=similarities
+    )
 
 
 def agglomerative_clusters(

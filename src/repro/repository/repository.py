@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterable, Iterator
 
+from ..perf.profiles import ProfileStore, WorkflowProfile
 from ..workflow.model import Workflow
 from ..workflow.serialization import load_workflows, workflow_from_dict, workflow_to_dict
 
@@ -58,6 +59,7 @@ class WorkflowRepository:
     def __init__(self, workflows: Iterable[Workflow] = (), *, name: str = "repository") -> None:
         self.name = name
         self._workflows: dict[str, Workflow] = {}
+        self._profile_store: ProfileStore | None = None
         for workflow in workflows:
             self.add(workflow)
 
@@ -122,6 +124,34 @@ class WorkflowRepository:
         if count >= len(workflows):
             return workflows
         return rng.sample(workflows, count)
+
+    # -- comparison profiles ---------------------------------------------------
+
+    @property
+    def profile_store(self) -> ProfileStore:
+        """The repository's shared :class:`~repro.perf.profiles.ProfileStore`.
+
+        Search engines bound to this repository route all their profile
+        lookups through this store, so the per-module precomputation
+        (interned attributes, token sets, type categories) is paid once
+        per repository regardless of how many engines, measures or query
+        batches consume it.  Created lazily; module profiles are keyed by
+        object identity, so workflows added later are profiled on first
+        use without invalidation.
+        """
+        if self._profile_store is None:
+            self._profile_store = ProfileStore()
+        return self._profile_store
+
+    def profile(self, workflow: Workflow | str) -> WorkflowProfile:
+        """The cached :class:`~repro.perf.profiles.WorkflowProfile` of a workflow."""
+        if isinstance(workflow, str):
+            workflow = self.get(workflow)
+        return self.profile_store.workflow_profile(workflow)
+
+    def profiles(self) -> list[WorkflowProfile]:
+        """Profiles of every workflow, materialising the cache up front."""
+        return [self.profile(workflow) for workflow in self]
 
     # -- statistics -----------------------------------------------------------
 

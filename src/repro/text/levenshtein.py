@@ -16,6 +16,9 @@ __all__ = [
     "levenshtein_similarity",
     "normalized_levenshtein",
     "damerau_levenshtein_distance",
+    "bitparallel_levenshtein_distance",
+    "banded_levenshtein_distance",
+    "bounded_levenshtein_similarity",
 ]
 
 
@@ -65,6 +68,152 @@ def levenshtein_distance(a: str, b: str, *, max_distance: int | None = None) -> 
             return max_distance + 1
         previous = current
     return previous[-1]
+
+
+def bitparallel_levenshtein_distance(a: str, b: str) -> int:
+    """Exact Levenshtein distance via Myers' bit-parallel algorithm [Mye99].
+
+    Produces the same integer distance as :func:`levenshtein_distance` for
+    every input (the batch-equivalence tests pin this), but processes one
+    whole row of the dynamic-programming table per big-integer operation
+    instead of one cell per ``min`` call.  On the module labels the
+    repository-scale search compares this is roughly an order of
+    magnitude faster than the rolling-row implementation, which is why
+    the :mod:`repro.perf` score caches use it for their cache misses.
+
+    Python integers are arbitrary precision, so no 64-bit chunking is
+    needed; strings of any length are handled by widening the bit masks.
+    """
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    # The bit vectors span the shorter string so the masks stay small.
+    if len(a) < len(b):
+        a, b = b, a
+    m = len(b)
+    peq: dict[str, int] = {}
+    for index, char in enumerate(b):
+        peq[char] = peq.get(char, 0) | (1 << index)
+    mask = (1 << m) - 1
+    last = 1 << (m - 1)
+    pv = mask
+    mv = 0
+    score = m
+    get = peq.get
+    for char in a:
+        eq = get(char, 0)
+        xv = eq | mv
+        xh = (((eq & pv) + pv) ^ pv) | eq
+        ph = mv | (~(xh | pv) & mask)
+        mh = pv & xh
+        if ph & last:
+            score += 1
+        elif mh & last:
+            score -= 1
+        ph = ((ph << 1) | 1) & mask
+        mh = (mh << 1) & mask
+        pv = mh | (~(xv | ph) & mask)
+        mv = ph & xv
+    return score
+
+
+def banded_levenshtein_distance(a: str, b: str, max_distance: int) -> int:
+    """Levenshtein distance restricted to a diagonal band (Ukkonen's cut-off).
+
+    Returns the exact distance when it is at most ``max_distance`` and
+    ``max_distance + 1`` otherwise — a strict contract (unlike the
+    opportunistic early exit of :func:`levenshtein_distance`, which may
+    still return exact values above the bound).  Only the ``2d + 1``
+    cells around the main diagonal are ever touched, so very dissimilar
+    strings are rejected in ``O(len * d)`` instead of ``O(len^2)``.
+
+    The strict contract is what lets the top-k search engine treat a
+    capped result as a certified upper bound on string similarity.
+    """
+    if max_distance < 0:
+        max_distance = 0
+    if a == b:
+        return 0
+    la, lb = len(a), len(b)
+    if not a:
+        return lb if lb <= max_distance else max_distance + 1
+    if not b:
+        return la if la <= max_distance else max_distance + 1
+    if abs(la - lb) > max_distance:
+        return max_distance + 1
+    # Keep ``b`` the shorter string; the band is laid over its columns.
+    if lb > la:
+        a, b = b, a
+        la, lb = lb, la
+    big = max_distance + 1
+    # Cells outside the band stay at ``big``; capping every value there
+    # preserves exactness for all results <= max_distance (values beyond
+    # the bound are interchangeable in the minimisation).
+    previous = [j if j <= max_distance else big for j in range(lb + 1)]
+    for i, char_a in enumerate(a, start=1):
+        lower = i - max_distance
+        if lower < 1:
+            lower = 1
+        upper = i + max_distance
+        if upper > lb:
+            upper = lb
+        current = [big] * (lb + 1)
+        if lower == 1 and i <= max_distance:
+            current[0] = i
+        best = big
+        for j in range(lower, upper + 1):
+            cost = 0 if char_a == b[j - 1] else 1
+            value = previous[j - 1] + cost
+            above = previous[j] + 1
+            if above < value:
+                value = above
+            left = current[j - 1] + 1
+            if left < value:
+                value = left
+            if value > big:
+                value = big
+            current[j] = value
+            if value < best:
+                best = value
+        if best > max_distance:
+            return big
+        previous = current
+    distance = previous[lb]
+    return distance if distance <= max_distance else big
+
+
+def bounded_levenshtein_similarity(a: str, b: str, floor: float) -> tuple[float, bool]:
+    """Levenshtein similarity with an early exit below ``floor``.
+
+    Returns ``(value, exact)``.  With ``exact`` ``True`` the value is
+    bit-identical to :func:`levenshtein_similarity`.  With ``exact``
+    ``False`` the value is a certified *upper bound* on the true
+    similarity that itself lies strictly below ``floor`` — proof that
+    the pair cannot clear the floor, obtained in ``O(len * d)`` band
+    work instead of the full ``O(len^2)`` edit distance.  A top-k
+    frontier can therefore discard capped comparisons outright and only
+    ever pays full price for pairs that matter.
+    """
+    if a == b:
+        return 1.0, True
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 1.0, True
+    max_distance = int((1.0 - floor) * longest) if floor > 0.0 else longest
+    # Adaptive backend: the banded DP touches O(len * d) interpreted
+    # cells, while Myers' scan costs O(len) big-integer rows regardless
+    # of d — so the band only wins when it is genuinely narrow on a long
+    # string.  Either way the returned similarity is bit-identical to
+    # levenshtein_similarity whenever ``exact`` is True.
+    if longest > 64 and (2 * max_distance + 1) * 8 < longest:
+        distance = banded_levenshtein_distance(a, b, max_distance)
+        if distance <= max_distance:
+            return 1.0 - (distance / longest), True
+        return 1.0 - ((max_distance + 1) / longest), False
+    return 1.0 - (bitparallel_levenshtein_distance(a, b) / longest), True
 
 
 def damerau_levenshtein_distance(a: str, b: str) -> int:

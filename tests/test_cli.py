@@ -89,6 +89,36 @@ class TestCommands:
         assert exit_code == 2
         assert "not found" in capsys.readouterr().err
 
+    def test_search_batch_prints_all_queries(self, corpus_file, small_corpus, capsys):
+        ids = small_corpus.repository.identifiers()[:3]
+        exit_code = main(
+            ["search-batch", str(corpus_file), "--queries", *ids, "--measure", "BW", "-k", "3"]
+        )
+        assert exit_code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert [line.split("\t")[0] for line in lines] == ids
+
+    def test_search_batch_writes_json(self, corpus_file, small_corpus, tmp_path):
+        ids = small_corpus.repository.identifiers()[:2]
+        output = tmp_path / "results.json"
+        exit_code = main(
+            [
+                "search-batch", str(corpus_file), "--queries", *ids,
+                "--measure", "MS_ip_te_pll", "-k", "4", "--output", str(output),
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(output.read_text())
+        assert set(payload["results"]) == set(ids)
+        for hits in payload["results"].values():
+            assert len(hits) <= 4
+            assert all(set(hit) == {"workflow_id", "similarity", "rank"} for hit in hits)
+
+    def test_search_batch_unknown_query_fails(self, corpus_file, capsys):
+        exit_code = main(["search-batch", str(corpus_file), "--queries", "ghost"])
+        assert exit_code == 2
+        assert "not in corpus" in capsys.readouterr().err
+
     def test_generate_corpus_and_stats(self, tmp_path, capsys):
         output = tmp_path / "generated.json"
         assert main(["generate-corpus", str(output), "--workflows", "12", "--seed", "3"]) == 0

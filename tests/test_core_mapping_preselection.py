@@ -96,3 +96,21 @@ class TestPreselection:
             modules_of_types("weird_type"), modules_of_types("another_weird")
         )
         assert pairs == {(0, 0)}
+
+    def test_type_equivalence_matches_bruteforce_definition(self):
+        # The precomputed category lists must yield exactly the pairs the
+        # definition gives: (i, j) is admissible iff the categories match.
+        strategy = TypeEquivalence()
+        first = modules_of_types(
+            "wsdl", "beanshell", "localworker", "stringconstant", "weird", "rshell"
+        )
+        second = modules_of_types(
+            "arbitrarywsdl", "filter", "constant", "python", "wsdl", "unknown"
+        )
+        expected = {
+            (i, j)
+            for i, module_a in enumerate(first)
+            for j, module_b in enumerate(second)
+            if strategy._category(module_a) == strategy._category(module_b)
+        }
+        assert strategy.candidate_pairs(first, second) == expected

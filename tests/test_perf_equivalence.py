@@ -1,0 +1,213 @@
+"""Fast-path / slow-path score equivalence.
+
+The perf layer's contract is that it changes *nothing* about the scores:
+``search_batch``, the cached similarity matrices and the pruned top-k
+scan must return bit-identical results to the reference per-query path
+on any corpus.  These tests pin that property on the shared synthetic
+corpus and on generated micro-corpora.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.framework import SimilarityFramework
+from repro.corpus.generator import CorpusSpec, generate_myexperiment_corpus
+from repro.perf import AccelerationContext, accelerate_measure, pool_available
+from repro.repository import SimilaritySearchEngine
+
+MEASURES = [
+    "MS_ip_te_pll",  # the paper's best structural configuration
+    "MS_np_ta_pw0",  # multi-attribute uniform weights, no preselection
+    "MS_np_tm_plm",  # strict type matching + exact label matching
+    "MS_np_ta_pw3_greedy",  # tuned weights, greedy mapping
+    "MS_ip_te_pll_nonorm",  # un-normalised scores exercise the nnsim frontier
+]
+
+
+def result_tuples(result_list):
+    return [(hit.workflow_id, hit.similarity, hit.rank) for hit in result_list]
+
+
+@pytest.fixture()
+def engines(small_corpus):
+    repository = small_corpus.repository
+    return (
+        SimilaritySearchEngine(repository, SimilarityFramework()),
+        SimilaritySearchEngine(repository, SimilarityFramework()),
+    )
+
+
+class TestSearchBatchEquivalence:
+    @pytest.mark.parametrize("measure", MEASURES)
+    def test_identical_to_sequential_search(self, engines, small_corpus, measure):
+        seed_engine, fast_engine = engines
+        query_ids = small_corpus.repository.identifiers()[:6]
+        seed = [seed_engine.search(qid, measure, k=10) for qid in query_ids]
+        fast = fast_engine.search_batch(query_ids, measure, k=10)
+        assert [r.query_id for r in fast] == query_ids
+        for seed_result, fast_result in zip(seed, fast):
+            assert fast_result.measure == seed_result.measure
+            assert result_tuples(fast_result) == result_tuples(seed_result)
+
+    def test_identical_for_annotation_and_ensemble_measures(self, engines, small_corpus):
+        seed_engine, fast_engine = engines
+        query_ids = small_corpus.repository.identifiers()[:4]
+        for measure in ("BW", "BW+MS_ip_te_pll"):
+            seed = [seed_engine.search(qid, measure, k=10) for qid in query_ids]
+            fast = fast_engine.search_batch(query_ids, measure, k=10)
+            for seed_result, fast_result in zip(seed, fast):
+                assert result_tuples(fast_result) == result_tuples(seed_result)
+
+    def test_identical_with_small_k_and_large_k(self, engines, small_corpus):
+        seed_engine, fast_engine = engines
+        query_id = small_corpus.repository.identifiers()[7]
+        for k in (1, 3, 500):
+            seed = seed_engine.search(query_id, "MS_ip_te_pll", k=k)
+            fast = fast_engine.search_batch([query_id], "MS_ip_te_pll", k=k)[0]
+            assert result_tuples(fast) == result_tuples(seed)
+
+    def test_prune_disabled_still_identical(self, engines, small_corpus):
+        seed_engine, fast_engine = engines
+        query_id = small_corpus.repository.identifiers()[2]
+        seed = seed_engine.search(query_id, "MS_ip_te_pll", k=10)
+        fast = fast_engine.search_batch([query_id], "MS_ip_te_pll", k=10, prune=False)[0]
+        assert result_tuples(fast) == result_tuples(seed)
+
+    def test_queries_none_searches_all(self, engines, small_corpus):
+        _, fast_engine = engines
+        results = fast_engine.search_batch(None, "BW", k=3)
+        assert len(results) == len(small_corpus.repository)
+
+    def test_pruning_actually_prunes(self, engines, small_corpus):
+        _, fast_engine = engines
+        query_ids = small_corpus.repository.identifiers()[:6]
+        fast_engine.search_batch(query_ids, "MS_ip_te_pll", k=5)
+        stats = fast_engine.last_batch_stats
+        assert stats.candidates > 0
+        assert stats.pruned > 0
+        assert stats.exact_comparisons + stats.pruned == stats.candidates
+
+    def test_profile_store_clear_does_not_corrupt_scores(self, small_corpus):
+        # Regression: fingerprints memoised by id() must not survive a
+        # profile-store clear — recycled profile ids used to resolve to
+        # stale fingerprints and silently corrupt similarity scores.
+        import gc
+
+        repository = small_corpus.repository
+        engine = SimilaritySearchEngine(repository, SimilarityFramework())
+        query_id = repository.identifiers()[0]
+        before = engine.search_batch([query_id], "MS_ip_te_pll", k=10)[0]
+        repository.profile_store.clear()
+        gc.collect()
+        after = engine.search_batch([query_id], "MS_ip_te_pll", k=10)[0]
+        assert result_tuples(after) == result_tuples(before)
+
+    def test_generated_micro_corpora(self):
+        # Property-style: several tiny corpora with different seeds, the
+        # full query set, both a pruning-friendly and a pw-style measure.
+        for corpus_seed in (3, 17):
+            corpus = generate_myexperiment_corpus(
+                CorpusSpec(workflow_count=25, seed=corpus_seed)
+            )
+            repository = corpus.repository
+            seed_engine = SimilaritySearchEngine(repository, SimilarityFramework())
+            fast_engine = SimilaritySearchEngine(repository, SimilarityFramework())
+            for measure in ("MS_ip_te_pll", "MS_np_te_pw0"):
+                query_ids = repository.identifiers()
+                seed = [seed_engine.search(qid, measure, k=5) for qid in query_ids]
+                fast = fast_engine.search_batch(query_ids, measure, k=5)
+                for seed_result, fast_result in zip(seed, fast):
+                    assert result_tuples(fast_result) == result_tuples(seed_result)
+
+
+class TestPairwiseEquivalence:
+    def test_identical_to_sequential_pairwise(self, engines, small_corpus):
+        seed_engine, fast_engine = engines
+        pool = small_corpus.repository.workflows()[:15]
+        seed = seed_engine.pairwise_similarity("MS_ip_te_pll", workflows=pool, accelerate=False)
+        fast = fast_engine.pairwise_similarity("MS_ip_te_pll", workflows=pool)
+        assert fast == seed
+        assert list(fast) == list(seed)  # same (earlier, later) key order
+
+    def test_matches_clustering_helper(self, engines, small_corpus):
+        from repro.repository.clustering import pairwise_similarities
+
+        _, fast_engine = engines
+        pool = small_corpus.repository.workflows()[:10]
+        reference = pairwise_similarities(pool, SimilarityFramework().measure("MS_ip_te_pll"))
+        fast = fast_engine.pairwise_similarity("MS_ip_te_pll", workflows=pool)
+        assert fast == reference
+
+
+class TestClusterRepository:
+    def test_matches_slow_path_clusters(self, small_corpus):
+        from repro.repository.clustering import cluster_repository, threshold_clusters
+        from repro.repository.repository import WorkflowRepository
+
+        pool = small_corpus.repository.workflows()[:20]
+        repository = WorkflowRepository(pool, name="slice")
+        fast = cluster_repository(repository, "MS_ip_te_pll", threshold=0.6)
+        reference = threshold_clusters(
+            pool, SimilarityFramework().measure("MS_ip_te_pll"), threshold=0.6
+        )
+        assert fast == reference
+
+    def test_average_linkage_and_validation(self, small_corpus):
+        from repro.repository.clustering import agglomerative_clusters, cluster_repository
+        from repro.repository.repository import WorkflowRepository
+
+        pool = small_corpus.repository.workflows()[:12]
+        repository = WorkflowRepository(pool, name="slice")
+        fast = cluster_repository(repository, "MS_ip_te_pll", threshold=0.6, linkage="average")
+        reference = agglomerative_clusters(
+            pool, SimilarityFramework().measure("MS_ip_te_pll"), threshold=0.6
+        )
+        assert fast == reference
+        with pytest.raises(ValueError):
+            cluster_repository(repository, linkage="complete")
+
+
+class TestStructuralMeasureAcceleration:
+    def test_ps_and_ge_cached_comparators_equivalent(self, small_corpus):
+        workflows = small_corpus.repository.workflows()[:6]
+        for measure_name in ("PS_ip_te_pll", "GE_np_te_plm"):
+            plain = SimilarityFramework().measure(measure_name)
+            accelerated = SimilarityFramework().measure(measure_name)
+            accelerate_measure(accelerated, AccelerationContext())
+            for i, first in enumerate(workflows):
+                for second in workflows[i + 1:]:
+                    assert accelerated.similarity(first, second) == plain.similarity(
+                        first, second
+                    ), measure_name
+
+
+class TestParallelBackend:
+    def test_worker_results_identical(self, small_corpus):
+        if not pool_available():
+            pytest.skip("process pools unavailable in this environment")
+        repository = small_corpus.repository
+        serial_engine = SimilaritySearchEngine(repository, SimilarityFramework())
+        parallel_engine = SimilaritySearchEngine(repository, SimilarityFramework())
+        query_ids = repository.identifiers()[:4]
+        serial = serial_engine.search_batch(query_ids, "MS_ip_te_pll", k=5)
+        parallel = parallel_engine.search_batch(
+            query_ids, "MS_ip_te_pll", k=5, workers=2, chunk_size=2
+        )
+        assert [result_tuples(r) for r in parallel] == [result_tuples(r) for r in serial]
+        assert [r.measure for r in parallel] == [r.measure for r in serial]
+
+    def test_parallel_pairwise_identical(self, small_corpus):
+        if not pool_available():
+            pytest.skip("process pools unavailable in this environment")
+        # Use a small corpus slice via a dedicated repository so workers
+        # score the same pool the serial path does.
+        from repro.repository.repository import WorkflowRepository
+
+        pool = small_corpus.repository.workflows()[:12]
+        repository = WorkflowRepository(pool, name="slice")
+        serial_engine = SimilaritySearchEngine(repository, SimilarityFramework())
+        parallel_engine = SimilaritySearchEngine(repository, SimilarityFramework())
+        serial = serial_engine.pairwise_similarity("MS_ip_te_pll")
+        parallel = parallel_engine.pairwise_similarity("MS_ip_te_pll", workers=2)
+        assert parallel == serial

@@ -1,0 +1,221 @@
+"""Tests for the perf layer's profiles and score caches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.configs import get_module_config
+from repro.core.module_similarity import AttributeRule, ModuleComparator, ModuleComparisonConfig
+from repro.perf import (
+    AccelerationContext,
+    CachedModuleComparator,
+    ModulePairScoreCache,
+    ProfileStore,
+    accelerate_measure,
+)
+from repro.workflow.model import Module
+
+
+@pytest.fixture()
+def store() -> ProfileStore:
+    return ProfileStore()
+
+
+def make_module(identifier="m1", **overrides) -> Module:
+    defaults = dict(
+        label="get_pathway_by_gene",
+        module_type="wsdl",
+        description="Retrieves KEGG pathways",
+        service_authority="KEGG",
+        service_name="KEGGService",
+        service_uri="http://soap.genome.jp/KEGG.wsdl",
+    )
+    defaults.update(overrides)
+    return Module(identifier=identifier, **defaults)
+
+
+class TestModuleProfile:
+    def test_values_match_module_attributes(self, store):
+        module = make_module()
+        profile = store.module_profile(module)
+        for name in ("label", "type", "description", "script", "service_name"):
+            assert profile.values[name] == module.attribute(name)
+
+    def test_category_matches_module_category(self, store):
+        assert store.module_profile(make_module()).category == "web_service"
+        assert store.module_profile(make_module(module_type="beanshell")).category == "script"
+
+    def test_lowered_and_token_sets_are_memoised(self, store):
+        profile = store.module_profile(make_module(label="Get_Pathway_By_Gene"))
+        assert profile.lowered("label") == "get_pathway_by_gene"
+        assert profile.lowered("label") is profile.lowered("label")
+        assert profile.token_set("description") == profile.token_set("description")
+
+    def test_char_bag_counts_multiplicities(self, store):
+        profile = store.module_profile(make_module(label="aab"))
+        assert profile.char_bag("label") == {"a": 2, "b": 1}
+
+    def test_store_is_identity_keyed(self, store):
+        module = make_module()
+        twin = make_module()  # equal value, different object
+        assert store.module_profile(module) is store.module_profile(module)
+        assert store.module_profile(module) is not store.module_profile(twin)
+
+    def test_workflow_profile_groups_categories(self, store, kegg_workflow):
+        profile = store.workflow_profile(kegg_workflow)
+        assert profile.size == kegg_workflow.size
+        grouped = profile.indices_by_category()
+        assert set(grouped) == set(profile.categories)
+        for category, indices in grouped.items():
+            for index in indices:
+                assert profile.categories[index] == category
+
+    def test_warm_profiles_whole_repository(self, store, small_corpus):
+        total = store.warm(small_corpus.repository)
+        assert total == sum(workflow.size for workflow in small_corpus.repository)
+
+
+class TestRepositoryProfileCache:
+    def test_profiles_cached_on_repository(self, small_corpus):
+        repository = small_corpus.repository
+        workflow = repository.workflows()[0]
+        assert repository.profile(workflow) is repository.profile(workflow.identifier)
+        assert len(repository.profiles()) == len(repository)
+
+
+class TestPairScoreCache:
+    def test_scores_match_module_comparator(self, store):
+        for config_name in ("pw0", "pw3", "pll", "plm", "gw1"):
+            config = get_module_config(config_name)
+            comparator = ModuleComparator(config)
+            cache = ModulePairScoreCache(config)
+            pairs = [
+                (make_module(), make_module("m2", label="getPathwayByGene")),
+                (make_module(), make_module("m3", label="", module_type="beanshell", script="x=1;")),
+                (make_module(label="", description="", script=""), make_module("m4", label="")),
+            ]
+            for first, second in pairs:
+                expected = comparator.compare(first, second)
+                actual = cache.score(store.module_profile(first), store.module_profile(second))
+                assert actual == expected, config_name
+
+    def test_symmetric_pairs_share_one_entry(self, store):
+        cache = ModulePairScoreCache(get_module_config("pll"))
+        first = store.module_profile(make_module(label="alpha_beta"))
+        second = store.module_profile(make_module("m2", label="beta_gamma"))
+        forward = cache.score(first, second)
+        backward = cache.score(second, first)
+        assert forward == backward
+        assert cache.size == 1
+        assert cache.misses == 1
+        assert cache.hits == 1
+
+    def test_upper_bound_dominates_score(self, store):
+        cache = ModulePairScoreCache(get_module_config("pw0"))
+        modules = [
+            make_module(),
+            make_module("m2", label="getPathwayByGene"),
+            make_module("m3", label="run_blast", module_type="beanshell", script="y=2;"),
+            make_module("m4", label="", description="something else entirely"),
+        ]
+        profiles = [store.module_profile(module) for module in modules]
+        for first in profiles:
+            for second in profiles:
+                bound, exact = cache.upper_bound(first, second)
+                score = cache.score(first, second)
+                assert bound >= score
+                if exact:
+                    assert bound == score
+
+    def test_exact_match_config_bound_is_exact(self, store):
+        cache = ModulePairScoreCache(get_module_config("plm"))
+        first = store.module_profile(make_module())
+        second = store.module_profile(make_module("m2", label="other"))
+        bound, exact = cache.upper_bound(first, second)
+        assert exact
+        assert bound == cache.score(first, second)
+
+    def test_single_levenshtein_introspection(self):
+        config = ModuleComparisonConfig(
+            name="custom", rules=(AttributeRule("label", "prefix"), AttributeRule("type", "exact"))
+        )
+        assert ModulePairScoreCache(config).symmetric  # prefix is registered symmetric
+        config2 = ModuleComparisonConfig(name="lbl", rules=(AttributeRule("label", "levenshtein"),))
+        cache = ModulePairScoreCache(config2)
+        assert cache.symmetric
+        assert cache.single_levenshtein is not None
+        assert cache.single_levenshtein.attribute == "label"
+
+    def test_custom_comparator_disables_symmetry(self, store):
+        from repro.core.comparators import COMPARATORS
+
+        COMPARATORS["test_asym"] = lambda a, b: float(len(a) > len(b))
+        try:
+            config = ModuleComparisonConfig(
+                name="asym", rules=(AttributeRule("label", "test_asym"),)
+            )
+            cache = ModulePairScoreCache(config)
+            assert not cache.symmetric
+            comparator = ModuleComparator(config)
+            first = make_module(label="longer_label")
+            second = make_module("m2", label="short")
+            forward = cache.score(store.module_profile(first), store.module_profile(second))
+            backward = cache.score(store.module_profile(second), store.module_profile(first))
+            assert forward == comparator.compare(first, second)
+            assert backward == comparator.compare(second, first)
+            assert cache.size == 2  # no symmetric folding for unknown comparators
+        finally:
+            del COMPARATORS["test_asym"]
+
+
+class TestAttributeRuleResolution:
+    def test_comparator_resolved_at_construction(self):
+        rule = AttributeRule("label", "levenshtein")
+        assert callable(rule.comparator_fn)
+        assert rule.comparator_fn("abc", "abc") == 1.0
+
+    def test_unknown_comparator_fails_fast(self):
+        with pytest.raises(KeyError):
+            AttributeRule("label", "definitely_not_registered")
+
+
+class TestCachedComparator:
+    def test_matrix_identical_to_plain_comparator(self, kegg_workflow, kegg_variant_workflow):
+        config = get_module_config("pw0")
+        plain = ModuleComparator(config)
+        cached = CachedModuleComparator(config, AccelerationContext())
+        modules_a = list(kegg_workflow.modules)
+        modules_b = list(kegg_variant_workflow.modules)
+        assert cached.similarity_matrix(modules_a, modules_b) == plain.similarity_matrix(
+            modules_a, modules_b
+        )
+        restricted = {(0, 0), (1, 2), (3, 3)}
+        assert cached.similarity_matrix(
+            modules_a, modules_b, candidate_pairs=restricted
+        ) == plain.similarity_matrix(modules_a, modules_b, candidate_pairs=restricted)
+
+    def test_comparison_counter_keeps_seed_semantics(self, kegg_workflow, kegg_variant_workflow):
+        config = get_module_config("pll")
+        plain = ModuleComparator(config)
+        cached = CachedModuleComparator(config, AccelerationContext())
+        modules_a = list(kegg_workflow.modules)
+        modules_b = list(kegg_variant_workflow.modules)
+        plain.similarity_matrix(modules_a, modules_b)
+        cached.similarity_matrix(modules_a, modules_b)
+        cached.similarity_matrix(modules_a, modules_b)  # cache hits still count
+        assert cached.comparisons_performed == 2 * plain.comparisons_performed
+
+    def test_accelerate_measure_swaps_comparators(self, framework):
+        context = AccelerationContext()
+        measure = framework.measure("MS_ip_te_pll")
+        assert accelerate_measure(measure, context)
+        assert isinstance(measure.comparator, CachedModuleComparator)
+        assert not accelerate_measure(measure, context)  # idempotent
+
+    def test_accelerate_measure_recurses_into_ensembles(self, framework):
+        context = AccelerationContext()
+        ensemble = framework.measure("BW+MS_ip_te_pll")
+        assert accelerate_measure(ensemble, context)
+        structural = [m for m in ensemble.members if hasattr(m, "comparator")]
+        assert structural
+        assert all(isinstance(m.comparator, CachedModuleComparator) for m in structural)

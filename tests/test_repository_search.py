@@ -57,6 +57,16 @@ class TestSearch:
         assert results.similarity_of(first.workflow_id) == first.similarity
         assert results.similarity_of("missing") is None
 
+    def test_contains_membership(self, search_engine, small_corpus):
+        query_id = small_corpus.repository.identifiers()[0]
+        results = search_engine.search(query_id, "BW", k=5)
+        assert results.results[0].workflow_id in results
+        assert "missing" not in results
+        # Every reported hit must be indexable.
+        for hit in results:
+            assert hit.workflow_id in results
+            assert results.similarity_of(hit.workflow_id) == hit.similarity
+
     def test_candidate_restriction(self, search_engine, small_corpus):
         workflows = small_corpus.repository.workflows()
         query = workflows[0]

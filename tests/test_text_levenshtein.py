@@ -12,6 +12,11 @@ from repro.text import (
     levenshtein_similarity,
     normalized_levenshtein,
 )
+from repro.text.levenshtein import (
+    banded_levenshtein_distance,
+    bitparallel_levenshtein_distance,
+    bounded_levenshtein_similarity,
+)
 
 short_text = st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=24)
 
@@ -91,6 +96,82 @@ class TestDamerauLevenshtein:
     @settings(max_examples=50)
     def test_never_exceeds_levenshtein(self, a, b):
         assert damerau_levenshtein_distance(a, b) <= levenshtein_distance(a, b)
+
+
+class TestBitparallelLevenshtein:
+    """The Myers scan must agree with the DP implementation everywhere."""
+
+    def test_classic_example(self):
+        assert bitparallel_levenshtein_distance("kitten", "sitting") == 3
+
+    def test_empty_cases(self):
+        assert bitparallel_levenshtein_distance("", "") == 0
+        assert bitparallel_levenshtein_distance("", "abc") == 3
+        assert bitparallel_levenshtein_distance("abc", "") == 3
+
+    def test_long_strings_cross_word_boundary(self):
+        a = "get_pathway_by_gene_identifier" * 5  # 150 chars > 64-bit words
+        b = "get_pathways_by_gene_identifier" * 5
+        assert bitparallel_levenshtein_distance(a, b) == levenshtein_distance(a, b)
+
+    @given(short_text, short_text)
+    @settings(max_examples=200)
+    def test_matches_dp_implementation(self, a, b):
+        assert bitparallel_levenshtein_distance(a, b) == levenshtein_distance(a, b)
+
+
+class TestBandedLevenshtein:
+    """Strict contract: exact within the bound, bound + 1 beyond it."""
+
+    def test_within_bound_is_exact(self):
+        assert banded_levenshtein_distance("kitten", "sitting", 5) == 3
+
+    def test_beyond_bound_reports_bound_plus_one(self):
+        assert banded_levenshtein_distance("aaaaaaaa", "bbbbbbbb", 3) == 4
+
+    def test_zero_bound(self):
+        assert banded_levenshtein_distance("same", "same", 0) == 0
+        assert banded_levenshtein_distance("same", "sama", 0) == 1
+
+    def test_length_difference_shortcut(self):
+        assert banded_levenshtein_distance("a", "abcdefgh", 2) == 3
+
+    @given(short_text, short_text, st.integers(min_value=0, max_value=30))
+    @settings(max_examples=200)
+    def test_strict_contract_vs_dp(self, a, b, max_distance):
+        true_distance = levenshtein_distance(a, b)
+        value = banded_levenshtein_distance(a, b, max_distance)
+        if true_distance <= max_distance:
+            assert value == true_distance
+        else:
+            assert value == max_distance + 1
+
+
+class TestBoundedSimilarity:
+    def test_exact_result_matches_similarity(self):
+        value, exact = bounded_levenshtein_similarity("get_pathway", "getPathway", 0.5)
+        assert exact
+        assert value == levenshtein_similarity("get_pathway", "getPathway")
+
+    def test_capped_result_certifies_below_floor(self):
+        # Long, dissimilar strings with a tight floor: the narrow band
+        # certifies "below floor" without computing the full distance.
+        a, b = "a" * 1000, "b" * 1000
+        value, exact = bounded_levenshtein_similarity(a, b, 0.97)
+        assert not exact
+        assert value < 0.97
+        assert value >= levenshtein_similarity(a, b)
+
+    @given(short_text, short_text, st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=200)
+    def test_sound_for_any_floor(self, a, b, floor):
+        true_value = levenshtein_similarity(a, b)
+        value, exact = bounded_levenshtein_similarity(a, b, floor)
+        if exact:
+            assert value == true_value
+        else:
+            assert value < floor
+            assert value >= true_value
 
 
 class TestNormalizedAndSimilarity:
