@@ -1,10 +1,15 @@
 """Timing harness for the repository-scale batch similarity engine.
 
-Compares the reference ("seed") per-query search path against the
-:mod:`repro.perf` batch path on the same synthetic corpus and verifies
-that both return *identical* top-k lists and scores, then writes the
-measurements to ``BENCH_search.json`` at the repository root so the perf
-trajectory is tracked from PR to PR.
+Both paths run through the public :class:`repro.api.SimilarityService`
+facade: the reference ("seed") path is a ``SearchRequest`` under
+``ExecutionPolicy.sequential()`` (the per-query reference scan), the
+fast path is the same request under the default ``auto`` policy (the
+service routes to the pruned/cached batch, or the process pool when
+``--workers`` grants one).  The harness verifies that both return
+*identical* ``ResultSet`` payloads — the facade's core contract — and
+writes the measurements (including the diagnostics the service attaches
+to every response) to ``BENCH_search.json`` at the repository root so
+the perf trajectory is tracked from PR to PR.
 
 Usage::
 
@@ -31,14 +36,15 @@ sys.path.insert(0, str(_ROOT / "src"))
 
 from bench_config import SCALE, describe_scale  # noqa: E402
 
+from repro.api import (  # noqa: E402
+    ExecutionPolicy,
+    PairwiseRequest,
+    SearchRequest,
+    SimilarityService,
+)
 from repro.core.framework import SimilarityFramework  # noqa: E402
 from repro.corpus.generator import CorpusSpec, generate_myexperiment_corpus  # noqa: E402
-from repro.repository.search import SimilaritySearchEngine  # noqa: E402
 from repro.text.levenshtein import levenshtein_similarity  # noqa: E402
-
-
-def result_tuples(result_list):
-    return [(hit.workflow_id, hit.similarity, hit.rank) for hit in result_list]
 
 
 def run_benchmark(args: argparse.Namespace) -> dict:
@@ -56,58 +62,67 @@ def run_benchmark(args: argparse.Namespace) -> dict:
 
     # -- reference path (per-query sequential scan, cold caches) ------------
     levenshtein_similarity.cache_clear()
-    seed_engine = SimilaritySearchEngine(repository, SimilarityFramework())
-    started = time.perf_counter()
-    seed_results = [seed_engine.search(qid, args.measure, k=args.k) for qid in query_ids]
-    seed_seconds = time.perf_counter() - started
-    seed_measure = seed_engine.framework.measure(args.measure)
+    seed_service = SimilarityService(repository, framework=SimilarityFramework())
+    seed_request = SearchRequest(
+        measure=args.measure,
+        queries=query_ids,
+        k=args.k,
+        policy=ExecutionPolicy.sequential(),
+    )
+    seed_set = seed_service.search(seed_request)
+    seed_seconds = seed_set.diagnostics.seconds
+    seed_measure = seed_service.engine.framework.measure(args.measure)
     seed_comparisons = seed_measure.stats.module_pair_comparisons
     print(f"  seed path: {seed_seconds:8.2f}s  ({seed_comparisons} module comparisons)")
 
-    # -- batch path ---------------------------------------------------------
-    fast_engine = SimilaritySearchEngine(repository, SimilarityFramework())
-    started = time.perf_counter()
-    fast_results = fast_engine.search_batch(
-        query_ids, args.measure, k=args.k, workers=args.workers
+    # -- batch path (the service's own routing) -----------------------------
+    fast_service = SimilarityService(repository, framework=SimilarityFramework())
+    fast_request = SearchRequest(
+        measure=args.measure,
+        queries=query_ids,
+        k=args.k,
+        policy=ExecutionPolicy.auto(workers=args.workers),
     )
-    fast_seconds = time.perf_counter() - started
-    prune_stats = fast_engine.last_batch_stats.as_dict()
-    cache_stats = fast_engine.context.cache_stats()
-    print(f"  fast path: {fast_seconds:8.2f}s  (prune: {prune_stats})")
+    fast_set = fast_service.search(fast_request)
+    fast_seconds = fast_set.diagnostics.seconds
+    prune_stats = fast_set.diagnostics.prune or {}
+    cache_stats = fast_set.diagnostics.caches
+    print(
+        f"  fast path: {fast_seconds:8.2f}s  "
+        f"({fast_set.diagnostics.path} path, prune: {prune_stats})"
+    )
 
     # -- steady state: a second batch against warm caches -------------------
-    started = time.perf_counter()
-    fast_engine.search_batch(query_ids, args.measure, k=args.k)
-    fast_warm_seconds = time.perf_counter() - started
+    fast_warm_seconds = fast_service.search(fast_request).diagnostics.seconds
     print(f"  fast path (warm caches): {fast_warm_seconds:8.2f}s")
 
-    identical = all(
-        result_tuples(seed) == result_tuples(fast)
-        for seed, fast in zip(seed_results, fast_results)
-    )
+    # ResultSet equality covers the full payload (hits, scores, ranks)
+    # and ignores diagnostics — exactly the facade's equivalence contract.
+    identical = seed_set == fast_set
     speedup = seed_seconds / fast_seconds if fast_seconds else float("inf")
     print(f"  speedup: {speedup:.1f}x  identical results: {identical}")
 
     # -- all-pairs (clustering) section -------------------------------------
-    pairwise_pool = repository.workflows()[: args.pairwise_workflows]
+    pairwise_ids = repository.identifiers()[: args.pairwise_workflows]
     levenshtein_similarity.cache_clear()
-    seed_instance = SimilarityFramework().measure(args.measure)
-    started = time.perf_counter()
-    seed_pairs = {
-        (first.identifier, second.identifier): seed_instance.similarity(first, second)
-        for i, first in enumerate(pairwise_pool)
-        for second in pairwise_pool[i + 1:]
-    }
-    pairwise_seed_seconds = time.perf_counter() - started
-    started = time.perf_counter()
-    fast_pairs = fast_engine.pairwise_similarity(args.measure, workflows=pairwise_pool)
-    pairwise_fast_seconds = time.perf_counter() - started
-    pairwise_identical = seed_pairs == fast_pairs
+    pairwise_seed_set = seed_service.pairwise(
+        PairwiseRequest(
+            measure=args.measure,
+            workflows=pairwise_ids,
+            policy=ExecutionPolicy.sequential(),
+        )
+    )
+    pairwise_seed_seconds = pairwise_seed_set.diagnostics.seconds
+    pairwise_fast_set = fast_service.pairwise(
+        PairwiseRequest(measure=args.measure, workflows=pairwise_ids)
+    )
+    pairwise_fast_seconds = pairwise_fast_set.diagnostics.seconds
+    pairwise_identical = pairwise_seed_set == pairwise_fast_set
     pairwise_speedup = (
         pairwise_seed_seconds / pairwise_fast_seconds if pairwise_fast_seconds else float("inf")
     )
     print(
-        f"  all-pairs ({len(pairwise_pool)} workflows, {len(seed_pairs)} pairs): "
+        f"  all-pairs ({len(pairwise_ids)} workflows, {len(pairwise_seed_set.pairs)} pairs): "
         f"seed {pairwise_seed_seconds:.2f}s, fast {pairwise_fast_seconds:.2f}s "
         f"({pairwise_speedup:.1f}x, identical: {pairwise_identical})"
     )
@@ -126,17 +141,19 @@ def run_benchmark(args: argparse.Namespace) -> dict:
             "fast_warm_seconds": fast_warm_seconds,
             "speedup": speedup,
             "identical": identical,
+            "path": fast_set.diagnostics.path,
             "seed_module_comparisons": seed_comparisons,
             "prune": prune_stats,
             "caches": cache_stats,
         },
         "pairwise": {
-            "workflows": len(pairwise_pool),
-            "pairs": len(seed_pairs),
+            "workflows": len(pairwise_ids),
+            "pairs": len(pairwise_seed_set.pairs),
             "seed_seconds": pairwise_seed_seconds,
             "fast_seconds": pairwise_fast_seconds,
             "speedup": pairwise_speedup,
             "identical": pairwise_identical,
+            "path": pairwise_fast_set.diagnostics.path,
         },
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
     }

@@ -9,43 +9,56 @@ family ground truth.
 
 Run with::
 
-    python examples/duplicate_detection_and_clustering.py
+    python examples/duplicate_detection_and_clustering.py [corpus_size [subset_size]]
 """
 
 from __future__ import annotations
 
-from repro.core import create_measure
+import sys
+
+from repro.api import ClusterRequest, PairwiseRequest, SimilarityService
 from repro.corpus import CorpusSpec, generate_myexperiment_corpus
-from repro.repository import find_duplicates, pairwise_similarities, threshold_clusters
 
 
 def main() -> None:
-    corpus = generate_myexperiment_corpus(CorpusSpec(workflow_count=120, seed=23))
+    corpus_size = int(sys.argv[1]) if len(sys.argv) > 1 else 120
+    subset_size = int(sys.argv[2]) if len(sys.argv) > 2 else 60
+    corpus = generate_myexperiment_corpus(CorpusSpec(workflow_count=corpus_size, seed=23))
     truth = corpus.ground_truth
 
     # Work on the life-science subset (as the paper's evaluation does) and
     # keep the pairwise matrix small enough to print.
-    workflows = [
-        corpus.repository.get(workflow_id)
-        for workflow_id in corpus.life_science_workflow_ids()[:60]
-    ]
-    measure = create_measure("BW+MS_ip_te_pll")
-    print(f"computing pairwise similarities of {len(workflows)} workflows ...")
-    similarities = pairwise_similarities(workflows, measure)
+    workflow_ids = corpus.life_science_workflow_ids()[:subset_size]
+    measure = "BW+MS_ip_te_pll"
+    service = SimilarityService(corpus.repository)
+    print(f"computing pairwise similarities of {len(workflow_ids)} workflows ...")
+    pairwise = service.pairwise(PairwiseRequest(measure=measure, workflows=workflow_ids))
+    print(
+        f"  ({len(pairwise.pairs)} pairs on the {pairwise.diagnostics.path} path, "
+        f"{pairwise.diagnostics.seconds:.2f}s)"
+    )
 
-    # Near-duplicate detection.
-    duplicates = find_duplicates(workflows, measure, threshold=0.75, similarities=similarities)
+    # Near-duplicate detection: the ResultSet carries every scored pair.
+    duplicates = sorted(
+        (pair for pair in pairwise.pairs if pair[2] >= 0.75),
+        key=lambda pair: -pair[2],
+    )
     print()
     print(f"{len(duplicates)} near-duplicate pairs (similarity >= 0.75):")
-    for pair in duplicates[:10]:
-        same_family = truth.family_of(pair.first_id) == truth.family_of(pair.second_id)
+    for first_id, second_id, similarity in duplicates[:10]:
+        same_family = truth.family_of(first_id) == truth.family_of(second_id)
         print(
-            f"  {pair.first_id} ~ {pair.second_id}  similarity={pair.similarity:.3f}  "
+            f"  {first_id} ~ {second_id}  similarity={similarity:.3f}  "
             f"{'same family' if same_family else 'DIFFERENT family'}"
         )
 
-    # Functional clustering via connected components over a similarity threshold.
-    clusters = threshold_clusters(workflows, measure, threshold=0.55, similarities=similarities)
+    # Functional clustering via connected components over a similarity
+    # threshold.  The cluster request re-aggregates workflow pairs, but
+    # every module-pair score comes straight from the service's caches
+    # warmed by the pairwise request above.
+    clusters = service.cluster(
+        ClusterRequest(measure=measure, threshold=0.55, workflows=workflow_ids)
+    ).cluster_sets()
     multi = [cluster for cluster in clusters if len(cluster) > 1]
     print()
     print(f"{len(clusters)} clusters at threshold 0.55, {len(multi)} of them non-singleton")

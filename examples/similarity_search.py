@@ -17,8 +17,9 @@ from __future__ import annotations
 
 import sys
 
+from repro.api import SearchRequest, SimilarityService
 from repro.corpus import CorpusSpec, generate_myexperiment_corpus
-from repro.repository import RepositoryKnowledge, SimilaritySearchEngine
+from repro.repository import RepositoryKnowledge
 
 
 def relation(corpus, query_id: str, candidate_id: str) -> str:
@@ -54,13 +55,20 @@ def main() -> None:
     print(f"query: {query.describe()}")
     print(f"the query's family has {len(family)} members in the corpus")
 
-    engine = SimilaritySearchEngine(corpus.repository)
+    # One long-lived service answers every request; the execution policy
+    # defaults to `auto`, so the service itself routes each measure to
+    # the fastest bit-identical path (pruned / cached batch scan).
+    service = SimilarityService(corpus.repository)
     for measure in ("BW", "MS_ip_te_pll", "BW+MS_ip_te_pll"):
-        results = engine.search(query_id, measure, k=10)
+        result_set = service.search(SearchRequest(measure=measure, queries=[query_id], k=10))
+        diagnostics = result_set.diagnostics
         print()
-        print(f"top-10 results for measure {measure}:")
+        print(
+            f"top-10 results for measure {measure} "
+            f"({diagnostics.path} path, {diagnostics.seconds:.2f}s):"
+        )
         print(f"  {'rank':<5}{'workflow':<12}{'score':<8}{'relation':<14}title")
-        for hit in results:
+        for hit in result_set.for_query(query_id):
             workflow = corpus.repository.get(hit.workflow_id)
             print(
                 f"  {hit.rank:<5}{hit.workflow_id:<12}{hit.similarity:<8.3f}"

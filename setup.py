@@ -2,8 +2,21 @@
 
 ``pip install -e .`` is the documented install path; this file lets
 ``python setup.py develop`` work in fully offline environments where
-pip cannot build an editable wheel.
+pip cannot build an editable wheel.  The ``py.typed`` marker ships with
+the package so type checkers consume the inline annotations of the
+``repro.api`` facade.
 """
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    version="1.1.0",
+    description="Similarity search for scientific workflows (Starlinger et al., PVLDB 2014)",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    package_data={"repro": ["py.typed"]},
+    include_package_data=True,
+    zip_safe=False,
+    python_requires=">=3.10",
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

@@ -2,34 +2,45 @@
 
 A from-scratch Python reproduction of Starlinger, Brancotte,
 Cohen-Boulakia, Leser: "Similarity Search for Scientific Workflows",
-PVLDB 7(12), 2014.
+PVLDB 7(12), 2014, grown into a repository-scale similarity service.
 
-The package is organised along the paper's own structure:
-
-* :mod:`repro.workflow` — the scientific workflow model and parsers;
-* :mod:`repro.core` — the similarity framework (module comparison,
-  module mapping, topological comparison, normalisation, repository
-  knowledge, annotation measures, ensembles);
-* :mod:`repro.repository` — workflow repositories, repository knowledge
-  and similarity search;
-* :mod:`repro.corpus` — synthetic myExperiment-style and Galaxy-style
-  corpora with latent ground truth;
-* :mod:`repro.goldstandard` — Likert ratings, simulated experts and
-  BioConsert consensus rankings;
-* :mod:`repro.evaluation` — ranking correctness/completeness, retrieval
-  precision and the experiment harnesses behind every figure;
-* :mod:`repro.text`, :mod:`repro.graphs` — the textual and graph
-  algorithm substrates everything above is built on.
+The advertised import surface is the :mod:`repro.api` facade (re-exported
+here): a :class:`SimilarityService` opened over a
+:class:`WorkflowRepository` answers declarative, JSON-serializable
+requests with unified :class:`ResultSet` responses, routing each request
+to the fastest bit-identical execution path itself.
 
 Quickstart::
 
-    from repro.workflow import WorkflowBuilder
-    from repro.core import SimilarityFramework
+    from repro import SimilarityService, SearchRequest, WorkflowRepository
 
-    framework = SimilarityFramework()
-    score = framework.similarity(workflow_a, workflow_b, "MS_ip_te_pll")
+    service = SimilarityService.open("corpus.json")
+    result = service.search(SearchRequest(measure="MS_ip_te_pll", k=10))
+    for query_result in result:
+        print(query_result.query_id, query_result.identifiers())
+
+The paper-structured subpackages remain importable for research use:
+:mod:`repro.workflow` (model and parsers), :mod:`repro.core` (the
+similarity framework), :mod:`repro.repository`, :mod:`repro.corpus`,
+:mod:`repro.goldstandard`, :mod:`repro.evaluation`, :mod:`repro.text`,
+:mod:`repro.graphs`, :mod:`repro.perf`.  The package ships a
+``py.typed`` marker; all public types are annotated inline.
 """
 
+from .api import (
+    ClusterRequest,
+    ExecutionDiagnostics,
+    ExecutionMode,
+    ExecutionPolicy,
+    MeasureBuilder,
+    MeasureSpec,
+    PairwiseRequest,
+    QueryResult,
+    ResultSet,
+    SearchHit,
+    SearchRequest,
+    SimilarityService,
+)
 from .core.framework import SimilarityFramework
 from .core.registry import create_measure
 from .repository.repository import WorkflowRepository
@@ -37,13 +48,29 @@ from .repository.search import SimilaritySearchEngine
 from .workflow.builder import WorkflowBuilder
 from .workflow.model import Module, Workflow, WorkflowAnnotations
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
+#: The advertised public surface: the ``repro.api`` facade types first,
+#: then the workflow model and repository they operate on.  Older entry
+#: points (``SimilarityFramework``, ``SimilaritySearchEngine``,
+#: ``create_measure``) stay importable for backwards compatibility but
+#: are deliberately not part of ``__all__`` — prefer the facade.
 __all__ = [
-    "SimilarityFramework",
-    "create_measure",
+    # facade
+    "SimilarityService",
+    "SearchRequest",
+    "PairwiseRequest",
+    "ClusterRequest",
+    "MeasureSpec",
+    "MeasureBuilder",
+    "ExecutionMode",
+    "ExecutionPolicy",
+    "ResultSet",
+    "QueryResult",
+    "SearchHit",
+    "ExecutionDiagnostics",
+    # data model and repository
     "WorkflowRepository",
-    "SimilaritySearchEngine",
     "WorkflowBuilder",
     "Module",
     "Workflow",

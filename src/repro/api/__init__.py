@@ -1,0 +1,48 @@
+"""Public service facade: declarative requests, policies, unified results.
+
+This package is the advertised way to use the library::
+
+    from repro.api import SimilarityService, SearchRequest, ExecutionPolicy
+
+    service = SimilarityService.open("corpus.json")
+    result = service.search(SearchRequest(measure="MS_ip_te_pll", k=10))
+    for query_result in result:
+        print(query_result.query_id, query_result.identifiers())
+    print(result.diagnostics.path, result.diagnostics.prune)
+
+Requests are plain, JSON-serializable values; execution strategy is a
+policy (``auto`` by default — the service routes to the fastest
+bit-identical path itself); responses are :class:`ResultSet` objects
+carrying scores, ranks, timing and prune/cache diagnostics.  Services
+are long-lived and their repositories mutable in place via
+``add_workflows``/``remove_workflows`` with precise cache invalidation.
+"""
+
+from .requests import (
+    ClusterRequest,
+    ExecutionMode,
+    ExecutionPolicy,
+    MeasureBuilder,
+    MeasureSpec,
+    PairwiseRequest,
+    SearchRequest,
+    request_from_dict,
+)
+from .results import ExecutionDiagnostics, QueryResult, ResultSet, SearchHit
+from .service import SimilarityService
+
+__all__ = [
+    "SimilarityService",
+    "SearchRequest",
+    "PairwiseRequest",
+    "ClusterRequest",
+    "MeasureSpec",
+    "MeasureBuilder",
+    "ExecutionMode",
+    "ExecutionPolicy",
+    "ResultSet",
+    "QueryResult",
+    "SearchHit",
+    "ExecutionDiagnostics",
+    "request_from_dict",
+]

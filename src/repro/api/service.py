@@ -1,0 +1,354 @@
+"""The :class:`SimilarityService` facade — the package's public surface.
+
+One service is opened over one :class:`WorkflowRepository` and answers
+declarative requests (:class:`SearchRequest`, :class:`PairwiseRequest`,
+:class:`ClusterRequest`) with unified :class:`ResultSet` responses.  The
+caller never chooses between ``search`` and ``search_batch`` or manages
+an :class:`~repro.perf.engine.AccelerationContext`: the service owns the
+context (bound to the repository's profile store) and routes every
+request to the fastest path that is bit-identical to the sequential
+reference scan — frontier-pruned top-k for ``MS`` measures, cached full
+scans otherwise, a process pool when the policy grants workers.  The
+:class:`~repro.api.results.ExecutionDiagnostics` attached to every
+response records which path actually ran.
+
+Long-lived services keep their repositories *mutable*:
+:meth:`SimilarityService.add_workflows` and
+:meth:`SimilarityService.remove_workflows` update the corpus in place
+with precise invalidation — only the profiles and fingerprint memos of
+the affected workflows are dropped, while the value-keyed module-pair
+score caches (the expensive part) survive and keep serving the remaining
+corpus.  Results after any mutation sequence are bit-identical to a
+fresh service over the same corpus; the API tests pin this.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..core.framework import SimilarityFramework
+from ..core.registry import all_configuration_names
+from ..perf.engine import AccelerationContext, supports_pruned_top_k
+from ..repository.repository import RepositoryStatistics, WorkflowRepository
+from ..repository.search import SearchResultList, SimilaritySearchEngine
+from ..workflow.model import Workflow
+from .requests import (
+    ClusterRequest,
+    ExecutionMode,
+    PairwiseRequest,
+    SearchRequest,
+)
+from .results import ExecutionDiagnostics, QueryResult, ResultSet, SearchHit
+
+__all__ = ["SimilarityService"]
+
+
+class SimilarityService:
+    """Declarative similarity operations over one workflow repository."""
+
+    def __init__(
+        self,
+        repository: WorkflowRepository,
+        *,
+        framework: SimilarityFramework | None = None,
+    ) -> None:
+        self.repository = repository
+        #: The execution layer.  Internal: requests should go through the
+        #: service methods, which add routing, diagnostics and precise
+        #: invalidation on top.
+        self.engine = SimilaritySearchEngine(repository, framework)
+        #: Summary of the most recent :meth:`remove_workflows` call.
+        self.last_invalidation: dict[str, int] | None = None
+
+    @classmethod
+    def open(
+        cls,
+        source: "WorkflowRepository | str | Path",
+        *,
+        framework: SimilarityFramework | None = None,
+    ) -> "SimilarityService":
+        """Open a service over a repository object or a corpus file."""
+        if isinstance(source, WorkflowRepository):
+            return cls(source, framework=framework)
+        return cls(WorkflowRepository.load(source), framework=framework)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def context(self) -> AccelerationContext:
+        """The acceleration context whose lifecycle this service owns."""
+        return self.engine.context
+
+    def measures(self) -> list[str]:
+        """All measure names of the paper's configuration sweep."""
+        return all_configuration_names()
+
+    def statistics(self) -> RepositoryStatistics:
+        return self.repository.statistics()
+
+    def warm(self) -> int:
+        """Precompute every workflow profile; returns the module count."""
+        return self.repository.profile_store.warm(self.repository.workflows())
+
+    def __len__(self) -> int:
+        return len(self.repository)
+
+    def __contains__(self, identifier: str) -> bool:
+        return identifier in self.repository
+
+    # -- incremental repository mutation -------------------------------------
+
+    def add_workflows(
+        self, workflows: Iterable[Workflow], *, replace: bool = False
+    ) -> int:
+        """Add workflows to the live corpus; returns the number added.
+
+        New workflows are profiled lazily on first use — no cache rebuild
+        happens.  With ``replace=True`` an existing workflow of the same
+        identifier is removed first (with precise invalidation), so a
+        *changed* workflow object can never be served stale derived data.
+        """
+        added = 0
+        for workflow in workflows:
+            if replace and workflow.identifier in self.repository:
+                self.remove_workflows([workflow.identifier])
+            self.repository.add(workflow)
+            added += 1
+        return added
+
+    def remove_workflows(self, identifiers: Iterable[str]) -> dict[str, int]:
+        """Remove workflows and precisely invalidate their derived state.
+
+        Drops the workflow/module profiles (including profiles of
+        preprocessed projections) and the per-profile fingerprint memos;
+        the value-keyed pair-score caches are kept, so subsequent
+        requests stay warm.  Raises ``KeyError`` before touching anything
+        if any identifier is unknown.  Returns invalidation counters
+        (also kept on :attr:`last_invalidation`).
+        """
+        # Dedupe while keeping order: a repeated identifier must not pass
+        # the membership check and then fail (non-atomically) mid-loop.
+        removal = list(dict.fromkeys(str(identifier) for identifier in identifiers))
+        missing = [identifier for identifier in removal if identifier not in self.repository]
+        if missing:
+            raise KeyError(
+                f"no workflow(s) {missing!r} in repository {self.repository.name!r}"
+            )
+        for identifier in removal:
+            self.repository.remove(identifier)
+        summary = self.context.invalidate_workflows(removal)
+        self.last_invalidation = summary
+        return summary
+
+    # -- request execution ---------------------------------------------------
+
+    def search(self, request: "SearchRequest | Mapping[str, Any] | str") -> ResultSet:
+        """Execute a top-``k`` search request; see :class:`SearchRequest`."""
+        request = _coerce(request, SearchRequest)
+        started = time.perf_counter()
+        query_list = self._resolve(request.queries)
+        candidates = (
+            self._resolve(request.candidates) if request.candidates is not None else None
+        )
+        policy = request.policy
+        mode = policy.mode
+        measure_name = request.measure.name
+        notes: list[str] = []
+        results: list[SearchResultList] | None = None
+        path = "sequential"
+        workers_used: int | None = None
+        prune_stats: dict[str, int] | None = None
+
+        if mode is ExecutionMode.SEQUENTIAL:
+            results = [
+                self.engine.search(query, measure_name, k=request.k, candidates=candidates)
+                for query in query_list
+            ]
+        else:
+            wants_pool = mode is ExecutionMode.PARALLEL or (
+                mode is ExecutionMode.AUTO and policy.workers and policy.workers > 1
+            )
+            if wants_pool:
+                if candidates is None and len(query_list) > 1:
+                    workers = policy.workers or 2
+                    results = self.engine.parallel_batch(
+                        query_list,
+                        measure_name,
+                        k=request.k,
+                        prune=policy.prune,
+                        workers=workers,
+                        chunk_size=policy.chunk_size,
+                    )
+                    if results is not None:
+                        path = "parallel"
+                        workers_used = workers
+                    else:
+                        notes.append(
+                            "process pool unavailable; fell back to the in-process batch"
+                        )
+                elif mode is ExecutionMode.PARALLEL:
+                    notes.append(
+                        "request not pool-eligible (needs >1 query and no candidate "
+                        "restriction); used the in-process batch"
+                    )
+            if results is None:
+                prune = policy.prune or mode is ExecutionMode.PRUNED
+                results = self.engine.serial_batch(
+                    query_list, measure_name, k=request.k, candidates=candidates, prune=prune
+                )
+                instance = self.engine._accelerated_measure(measure_name)
+                if prune and supports_pruned_top_k(instance):
+                    path = "pruned"
+                else:
+                    path = "cached"
+                    if mode is ExecutionMode.PRUNED:
+                        notes.append(
+                            f"measure {instance.name!r} does not support frontier "
+                            "pruning; used the cached full scan"
+                        )
+                stats = self.engine.last_batch_stats
+                if stats is not None:
+                    prune_stats = stats.as_dict()
+
+        diagnostics = ExecutionDiagnostics(
+            path=path,
+            requested_mode=mode.value,
+            seconds=time.perf_counter() - started,
+            workers=workers_used,
+            prune=prune_stats,
+            caches=self.context.cache_stats() if path != "sequential" else [],
+            notes=tuple(notes),
+        )
+        return ResultSet(
+            kind="search",
+            queries=tuple(_query_result(result) for result in results),
+            diagnostics=diagnostics,
+        )
+
+    def pairwise(self, request: "PairwiseRequest | Mapping[str, Any] | str") -> ResultSet:
+        """Score every unordered pair; see :class:`PairwiseRequest`."""
+        request = _coerce(request, PairwiseRequest)
+        started = time.perf_counter()
+        pool = self._resolve(request.workflows)
+        policy = request.policy
+        mode = policy.mode
+        measure_name = request.measure.name
+        notes: list[str] = []
+        path = "cached"
+        workers_used: int | None = None
+
+        if mode is ExecutionMode.SEQUENTIAL:
+            similarities = self.engine.pairwise_similarity(
+                measure_name, workflows=pool, accelerate=False
+            )
+            path = "sequential"
+        else:
+            similarities = None
+            wants_pool = mode is ExecutionMode.PARALLEL or (
+                mode is ExecutionMode.AUTO and policy.workers and policy.workers > 1
+            )
+            if wants_pool:
+                if request.workflows is None:
+                    workers = policy.workers or 2
+                    similarities = self.engine.parallel_pairwise_scores(
+                        pool, measure_name, workers=workers, chunk_size=policy.chunk_size
+                    )
+                    if similarities is not None:
+                        path = "parallel"
+                        workers_used = workers
+                    else:
+                        notes.append(
+                            "process pool unavailable; fell back to the in-process scan"
+                        )
+                elif mode is ExecutionMode.PARALLEL:
+                    notes.append(
+                        "pairwise pooling requires the whole repository; "
+                        "used the in-process cached scan"
+                    )
+            if similarities is None:
+                similarities = self.engine.pairwise_similarity(
+                    measure_name, workflows=pool, workers=None
+                )
+
+        pairs = tuple(
+            (first.identifier, second.identifier, similarities[(first.identifier, second.identifier)])
+            for i, first in enumerate(pool)
+            for second in pool[i + 1:]
+        )
+        diagnostics = ExecutionDiagnostics(
+            path=path,
+            requested_mode=mode.value,
+            seconds=time.perf_counter() - started,
+            workers=workers_used,
+            caches=self.context.cache_stats() if path != "sequential" else [],
+            notes=tuple(notes),
+        )
+        return ResultSet(kind="pairwise", pairs=pairs, diagnostics=diagnostics)
+
+    def cluster(self, request: "ClusterRequest | Mapping[str, Any] | str") -> ResultSet:
+        """Cluster the similarity graph; see :class:`ClusterRequest`."""
+        request = _coerce(request, ClusterRequest)
+        started = time.perf_counter()
+        from ..repository.clustering import agglomerative_clusters, threshold_clusters
+
+        pairwise = self.pairwise(
+            PairwiseRequest(
+                measure=request.measure,
+                workflows=request.workflows,
+                policy=request.policy,
+            )
+        )
+        pool = self._resolve(request.workflows)
+        similarities = pairwise.pair_scores()
+        # With similarities precomputed the clustering helpers never
+        # invoke the measure; resolve it only to satisfy their signature.
+        instance = self.engine.framework.measure(request.measure.name)
+        if request.linkage == "average":
+            clusters = agglomerative_clusters(
+                pool, instance, threshold=request.threshold, similarities=similarities
+            )
+        else:
+            clusters = threshold_clusters(
+                pool, instance, threshold=request.threshold, similarities=similarities
+            )
+        diagnostics = pairwise.diagnostics
+        assert diagnostics is not None
+        diagnostics.seconds = time.perf_counter() - started
+        return ResultSet(
+            kind="cluster",
+            clusters=tuple(tuple(sorted(cluster)) for cluster in clusters),
+            diagnostics=diagnostics,
+        )
+
+    # -- helpers -------------------------------------------------------------
+
+    def _resolve(self, identifiers: Sequence[str] | None) -> list[Workflow]:
+        if identifiers is None:
+            return self.repository.workflows()
+        return [self.repository.get(identifier) for identifier in identifiers]
+
+
+def _query_result(result: SearchResultList) -> QueryResult:
+    return QueryResult(
+        query_id=result.query_id,
+        measure=result.measure,
+        hits=tuple(
+            SearchHit(workflow_id=hit.workflow_id, similarity=hit.similarity, rank=hit.rank)
+            for hit in result.results
+        ),
+    )
+
+
+def _coerce(request, request_class):
+    if isinstance(request, request_class):
+        return request
+    if isinstance(request, str):
+        return request_class.from_json(request)
+    if isinstance(request, Mapping):
+        return request_class.from_dict(request)
+    raise TypeError(
+        f"expected {request_class.__name__}, a mapping, or a JSON string; "
+        f"got {type(request).__name__}"
+    )

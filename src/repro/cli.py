@@ -6,10 +6,16 @@ library without writing Python:
 * ``repro compare A B --measure MS_ip_te_pll`` — similarity of two
   workflow files (internal JSON, SCUFL-like XML or Galaxy ``.ga``);
 * ``repro search CORPUS QUERY_ID --measure BW+MS_ip_te_pll -k 10`` —
-  top-k similarity search over a corpus file;
+  top-k similarity search over a corpus file (``--json`` emits a
+  machine-readable ``ResultSet`` with execution diagnostics);
 * ``repro search-batch CORPUS --measure MS_ip_te_pll -k 10 --workers 4``
-  — batch top-k search for many (default: all) queries on the
-  repository-scale fast path, optionally on a process pool;
+  — batch top-k search for many (default: all) queries, optionally on a
+  process pool;
+
+Both search commands route through the :class:`repro.api.SimilarityService`
+facade: the execution strategy (sequential / pruned / cached / parallel)
+is chosen by the service's ``ExecutionPolicy`` routing, and the path that
+actually ran is reported in the diagnostics.
 * ``repro generate-corpus OUT.json --workflows 500`` — write a synthetic
   myExperiment-style (or Galaxy-style) corpus to disk;
 * ``repro stats CORPUS`` — corpus statistics (size, annotations, module
@@ -26,12 +32,12 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
+from .api import ExecutionPolicy, SearchRequest, SimilarityService
 from .core.framework import SimilarityFramework
 from .core.registry import all_configuration_names
 from .corpus.galaxy import GalaxyCorpusSpec, generate_galaxy_corpus
 from .corpus.generator import CorpusSpec, generate_myexperiment_corpus
 from .repository.repository import WorkflowRepository
-from .repository.search import SimilaritySearchEngine
 from .workflow.galaxy import parse_galaxy_file
 from .workflow.model import Workflow
 from .workflow.preprocess import prepare_workflow
@@ -75,71 +81,69 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
-    repository = WorkflowRepository.load(args.corpus)
-    engine = SimilaritySearchEngine(
-        repository, SimilarityFramework(ged_timeout=args.ged_timeout)
+    service = SimilarityService.open(
+        args.corpus, framework=SimilarityFramework(ged_timeout=args.ged_timeout)
     )
-    if args.query not in repository:
+    if args.query not in service:
         print(f"error: query workflow {args.query!r} not found in corpus", file=sys.stderr)
         return 2
-    results = engine.search(args.query, args.measure, k=args.top_k)
+    result_set = service.search(
+        SearchRequest(measure=args.measure, queries=[args.query], k=args.top_k)
+    )
+    if args.json:
+        print(result_set.to_json(indent=2))
+        return 0
     print(f"top-{args.top_k} results for query {args.query} under {args.measure}:")
-    for hit in results:
-        title = repository.get(hit.workflow_id).annotations.title
+    for hit in result_set.for_query(args.query):
+        title = service.repository.get(hit.workflow_id).annotations.title
         print(f"{hit.rank:>3}  {hit.workflow_id:<16} {hit.similarity:.4f}  {title}")
     return 0
 
 
 def _cmd_search_batch(args: argparse.Namespace) -> int:
     import json
-    import time
 
-    repository = WorkflowRepository.load(args.corpus)
-    engine = SimilaritySearchEngine(
-        repository, SimilarityFramework(ged_timeout=args.ged_timeout)
+    service = SimilarityService.open(
+        args.corpus, framework=SimilarityFramework(ged_timeout=args.ged_timeout)
     )
     if args.queries is not None:
         if not args.queries:
             print("error: --queries given but no identifiers listed", file=sys.stderr)
             return 2
-        missing = [query for query in args.queries if query not in repository]
+        missing = [query for query in args.queries if query not in service]
         if missing:
             print(f"error: query workflows not in corpus: {missing}", file=sys.stderr)
             return 2
         queries = args.queries
     else:
         queries = None  # every repository workflow queries itself against the rest
-    started = time.perf_counter()
-    results = engine.search_batch(
-        queries,
-        args.measure,
-        k=args.top_k,
-        prune=not args.no_prune,
-        workers=args.workers,
+    policy = ExecutionPolicy.auto(workers=args.workers, prune=not args.no_prune)
+    result_set = service.search(
+        SearchRequest(measure=args.measure, queries=queries, k=args.top_k, policy=policy)
     )
-    elapsed = time.perf_counter() - started
+    diagnostics = result_set.diagnostics
+    elapsed = diagnostics.seconds if diagnostics is not None else 0.0
     if args.output:
         payload = {
             "measure": args.measure,
             "k": args.top_k,
             "seconds": elapsed,
             "results": {
-                result.query_id: [
-                    {"workflow_id": hit.workflow_id, "similarity": hit.similarity, "rank": hit.rank}
-                    for hit in result
-                ]
-                for result in results
+                result.query_id: [hit.to_dict() for hit in result]
+                for result in result_set
             },
+            "diagnostics": diagnostics.to_dict() if diagnostics is not None else None,
         }
         Path(args.output).write_text(json.dumps(payload, indent=2))
-        print(f"wrote {len(results)} result lists to {args.output} ({elapsed:.2f}s)")
+        print(f"wrote {len(result_set)} result lists to {args.output} ({elapsed:.2f}s)")
     else:
-        for result in results:
+        for result in result_set:
             hits = ", ".join(f"{hit.workflow_id}:{hit.similarity:.3f}" for hit in result)
             print(f"{result.query_id}\t{hits}")
+        path = diagnostics.path if diagnostics is not None else "unknown"
         print(
-            f"# {len(results)} queries under {args.measure} in {elapsed:.2f}s"
-            + (f" ({args.workers} workers)" if args.workers else ""),
+            f"# {len(result_set)} queries under {args.measure} in {elapsed:.2f}s "
+            f"({path} path)",
             file=sys.stderr,
         )
     return 0
@@ -212,6 +216,11 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("query", help="identifier of the query workflow inside the corpus")
     search.add_argument("--measure", default="BW+MS_ip_te_pll")
     search.add_argument("-k", "--top-k", type=int, default=10)
+    search.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable ResultSet (scores, ranks, execution diagnostics)",
+    )
     search.add_argument("--ged-timeout", type=float, default=5.0)
     search.set_defaults(func=_cmd_search)
 

@@ -26,7 +26,7 @@ the number of distances ever computed.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Iterable
 
 from ..core.comparators import SYMMETRIC_COMPARATORS, prefix_match
 from ..core.module_similarity import ModuleComparisonConfig
@@ -358,6 +358,24 @@ class ModulePairScoreCache:
             "hit_rate": self.hit_rate,
             "symmetric": self.symmetric,
         }
+
+    def invalidate_profiles(self, profiles: "Iterable[ModuleProfile]") -> int:
+        """Release the fingerprint memos of retired module profiles.
+
+        Called when workflows leave a repository: the memo table holds a
+        strong reference per profile, so without this hook a long-lived
+        service would leak one entry per removed module.  The score and
+        bound tables are left untouched — they are keyed by attribute
+        values and remain exact for any workflow still (or later) in the
+        corpus.  Returns the number of memos released.
+        """
+        released = 0
+        for profile in profiles:
+            entry = self._fingerprints.get(id(profile))
+            if entry is not None and entry[0] is profile:
+                del self._fingerprints[id(profile)]
+                released += 1
+        return released
 
     def clear(self) -> None:
         self._scores.clear()

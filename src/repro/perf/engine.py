@@ -79,6 +79,29 @@ class AccelerationContext:
     def cache_stats(self) -> list[dict[str, float | int | str]]:
         return [cache.stats() for cache in self._pair_caches.values()]
 
+    def invalidate_workflows(self, identifiers: Sequence[str]) -> dict[str, int]:
+        """Precisely release the derived state of removed workflows.
+
+        Drops the workflow/module profiles of every identifier (including
+        profiles of preprocessed copies) and the per-profile fingerprint
+        memos of every pair cache.  Memoised pair *scores* survive: they
+        are keyed by attribute values, so they stay exact and keep
+        serving any workflow remaining in — or later added to — the
+        corpus.  Returns counters for diagnostics.
+        """
+        dropped_modules = []
+        for identifier in identifiers:
+            dropped_modules.extend(self.profiles.invalidate_workflow(identifier))
+        released = sum(
+            cache.invalidate_profiles(dropped_modules)
+            for cache in self._pair_caches.values()
+        )
+        return {
+            "workflows": len(identifiers),
+            "module_profiles": len(dropped_modules),
+            "fingerprint_memos": released,
+        }
+
     def clear(self) -> None:
         self.profiles.clear()
         for cache in self._pair_caches.values():

@@ -189,6 +189,38 @@ class ProfileStore:
             total += self.workflow_profile(workflow).size
         return total
 
+    def invalidate_workflow(self, identifier: str) -> list[ModuleProfile]:
+        """Drop every profile derived from the workflow ``identifier``.
+
+        Removes the workflow profiles of the raw workflow *and* of any
+        preprocessed copies sharing its identifier (the ``ip`` projection
+        registers projected `Workflow` objects under the same id), then
+        drops the module profiles those workflow profiles reference.
+        Returns the dropped module profiles so pair caches can release
+        their fingerprint memos as well.  Scores already memoised from
+        these profiles stay valid — they are keyed by attribute *values*,
+        not by corpus membership.
+        """
+        dropped_workflows = [
+            key
+            for key, profile in self._workflows.items()
+            if profile.workflow.identifier == identifier
+        ]
+        dropped_modules: list[ModuleProfile] = []
+        seen: set[int] = set()
+        for key in dropped_workflows:
+            workflow_profile = self._workflows.pop(key)
+            for module_profile in workflow_profile.modules:
+                module_key = id(module_profile.module)
+                if module_key in seen:
+                    continue
+                seen.add(module_key)
+                registered = self._modules.get(module_key)
+                if registered is module_profile:
+                    del self._modules[module_key]
+                    dropped_modules.append(module_profile)
+        return dropped_modules
+
     def clear(self) -> None:
         self._modules.clear()
         self._workflows.clear()

@@ -124,31 +124,37 @@ def cluster_repository(
 ) -> list[set[str]]:
     """Cluster a whole repository on the batch similarity fast path.
 
-    Computes the all-pairs similarity matrix through
-    :meth:`SimilaritySearchEngine.pairwise_similarity
-    <repro.repository.search.SimilaritySearchEngine.pairwise_similarity>`
-    (precomputed profiles, cross-query score caches, optional process
-    pool via ``workers``) and feeds it to the requested flat clustering:
-    ``linkage="single"`` for connected components above the threshold,
-    ``linkage="average"`` for average-link agglomeration.
+    Thin delegating shim over the :class:`repro.api.SimilarityService`
+    facade (kept for callers of the pre-facade API): builds a one-shot
+    service, issues a :class:`repro.api.ClusterRequest` and unpacks the
+    :class:`repro.api.ResultSet` into the classic list-of-sets shape.
+    New code should hold a long-lived service and call
+    :meth:`~repro.api.service.SimilarityService.cluster` directly — it
+    reuses the acceleration caches across requests and reports execution
+    diagnostics.
     """
-    from .search import SimilaritySearchEngine
+    from ..api import ClusterRequest, ExecutionPolicy, SimilarityService
 
-    if linkage not in ("single", "average"):
-        raise ValueError(f"unknown linkage {linkage!r}; use 'single' or 'average'")
-    engine = SimilaritySearchEngine(repository, framework)
-    similarities = engine.pairwise_similarity(measure, workers=workers)
-    workflows = repository.workflows()
-    # With similarities precomputed the clustering helpers never invoke
-    # the measure; resolve it only to satisfy their signature.
-    instance = engine.framework.measure(measure)
-    if linkage == "average":
-        return agglomerative_clusters(
-            workflows, instance, threshold=threshold, similarities=similarities
+    if not isinstance(measure, str):
+        # Measure instances cannot ride a declarative request; score the
+        # pairs directly and reuse the clustering helpers.  (Matches the
+        # pre-facade behaviour: instance comparators are never swapped,
+        # and the pool path requires a named measure.)
+        if linkage not in ("single", "average"):
+            raise ValueError(f"unknown linkage {linkage!r}; use 'single' or 'average'")
+        similarities = pairwise_similarities(repository.workflows(), measure)
+        cluster_fn = agglomerative_clusters if linkage == "average" else threshold_clusters
+        return cluster_fn(
+            repository.workflows(), measure, threshold=threshold, similarities=similarities
         )
-    return threshold_clusters(
-        workflows, instance, threshold=threshold, similarities=similarities
+    service = SimilarityService(repository, framework=framework)
+    policy = (
+        ExecutionPolicy.parallel(workers) if workers and workers > 1 else ExecutionPolicy.auto()
     )
+    result = service.cluster(
+        ClusterRequest(measure=measure, threshold=threshold, linkage=linkage, policy=policy)
+    )
+    return result.cluster_sets()
 
 
 def agglomerative_clusters(

@@ -20,6 +20,14 @@ Two execution paths coexist:
   module profiles, cross-query score caches, frontier-pruned top-k for
   ``MS`` measures and an optional process-pool backend.  Results are
   bit-identical to the reference path; only the work per query shrinks.
+
+.. deprecated::
+    As a *public* entry point this engine is superseded by the
+    :class:`repro.api.SimilarityService` facade, which routes declarative
+    requests to the fastest bit-identical path itself (no caller-visible
+    ``search`` vs ``search_batch`` choice) and keeps repositories mutable
+    with precise cache invalidation.  The engine remains the execution
+    layer underneath the facade and is kept stable for that purpose.
 """
 
 from __future__ import annotations
@@ -225,8 +233,6 @@ class SimilaritySearchEngine:
             self.repository.get(query) if isinstance(query, str) else query
             for query in (queries if queries is not None else self.repository.workflows())
         ]
-        stats = PruneStats()
-        self.last_batch_stats = stats
 
         if (
             workers
@@ -235,38 +241,78 @@ class SimilaritySearchEngine:
             and candidates is None
             and len(query_list) > 1
         ):
-            by_id = parallel_search_batch(
-                self.repository.workflows(),
-                [query.identifier for query in query_list],
-                measure,
-                k=k,
-                workers=workers,
-                chunk_size=chunk_size,
-                ged_timeout=self.framework.ged_timeout,
-                prune=prune,
+            parallel = self.parallel_batch(
+                query_list, measure, k=k, prune=prune, workers=workers, chunk_size=chunk_size
             )
-            if by_id is not None:
-                # Workers report hits under the instance's canonical name
-                # (e.g. the default mapping code is omitted), matching
-                # what the serial paths produce.
-                canonical = self._accelerated_measure(measure).name
-                return [
-                    SearchResultList(
-                        query_id=query.identifier,
-                        measure=canonical,
-                        results=tuple(
-                            SearchResult(
-                                workflow_id=workflow_id,
-                                similarity=similarity,
-                                rank=rank,
-                                measure=canonical,
-                            )
-                            for workflow_id, similarity, rank in by_id[query.identifier]
-                        ),
-                    )
-                    for query in query_list
-                ]
+            if parallel is not None:
+                self.last_batch_stats = PruneStats()
+                return parallel
 
+        return self.serial_batch(
+            query_list, measure, k=k, candidates=candidates, prune=prune
+        )
+
+    def parallel_batch(
+        self,
+        query_list: Sequence[Workflow],
+        measure: str,
+        *,
+        k: int,
+        prune: bool,
+        workers: int,
+        chunk_size: int = 16,
+    ) -> list[SearchResultList] | None:
+        """Attempt the process-pool batch; ``None`` when no pool exists.
+
+        Exposed separately so callers that need to *know* whether the
+        pool ran (the :class:`repro.api.SimilarityService` diagnostics)
+        can attempt it themselves and fall back explicitly.
+        """
+        by_id = parallel_search_batch(
+            self.repository.workflows(),
+            [query.identifier for query in query_list],
+            measure,
+            k=k,
+            workers=workers,
+            chunk_size=chunk_size,
+            ged_timeout=self.framework.ged_timeout,
+            prune=prune,
+        )
+        if by_id is None:
+            return None
+        # Workers report hits under the instance's canonical name
+        # (e.g. the default mapping code is omitted), matching
+        # what the serial paths produce.
+        canonical = self._accelerated_measure(measure).name
+        return [
+            SearchResultList(
+                query_id=query.identifier,
+                measure=canonical,
+                results=tuple(
+                    SearchResult(
+                        workflow_id=workflow_id,
+                        similarity=similarity,
+                        rank=rank,
+                        measure=canonical,
+                    )
+                    for workflow_id, similarity, rank in by_id[query.identifier]
+                ),
+            )
+            for query in query_list
+        ]
+
+    def serial_batch(
+        self,
+        query_list: Sequence[Workflow],
+        measure: str | WorkflowSimilarityMeasure,
+        *,
+        k: int,
+        candidates: Sequence[Workflow] | None = None,
+        prune: bool = True,
+    ) -> list[SearchResultList]:
+        """The in-process batch path (cached comparators, pruned top-k)."""
+        stats = PruneStats()
+        self.last_batch_stats = stats
         instance = self._accelerated_measure(measure)
         pool = list(candidates) if candidates is not None else self.repository.workflows()
         use_pruned = prune and supports_pruned_top_k(instance)
@@ -341,22 +387,11 @@ class SimilaritySearchEngine:
             and isinstance(measure, str)
             and workflows is None
         ):
-            parallel = parallel_pairwise(
-                pool,
-                measure,
-                workers=workers,
-                chunk_size=chunk_size,
-                ged_timeout=self.framework.ged_timeout,
+            parallel = self.parallel_pairwise_scores(
+                pool, measure, workers=workers, chunk_size=chunk_size
             )
             if parallel is not None:
-                # Re-emit in the deterministic (i, j) pool order.
-                return {
-                    (first.identifier, second.identifier): parallel[
-                        (first.identifier, second.identifier)
-                    ]
-                    for i, first in enumerate(pool)
-                    for second in pool[i + 1:]
-                }
+                return parallel
         instance = (
             self._accelerated_measure(measure) if accelerate else self.framework.measure(measure)
         )
@@ -366,3 +401,36 @@ class SimilaritySearchEngine:
                 key = (first.identifier, second.identifier)
                 similarities[key] = instance.similarity(first, second)
         return similarities
+
+    def parallel_pairwise_scores(
+        self,
+        pool: Sequence[Workflow],
+        measure: str,
+        *,
+        workers: int,
+        chunk_size: int = 64,
+    ) -> dict[tuple[str, str], float] | None:
+        """Attempt the all-pairs process pool; ``None`` when unavailable.
+
+        Like :meth:`parallel_batch`, exposed so the service facade can
+        report in its diagnostics whether the pool actually ran.  ``pool``
+        must be the whole repository in its iteration order — workers
+        rebuild the repository from that pool and score all of it.
+        """
+        parallel = parallel_pairwise(
+            list(pool),
+            measure,
+            workers=workers,
+            chunk_size=chunk_size,
+            ged_timeout=self.framework.ged_timeout,
+        )
+        if parallel is None:
+            return None
+        # Re-emit in the deterministic (i, j) pool order.
+        return {
+            (first.identifier, second.identifier): parallel[
+                (first.identifier, second.identifier)
+            ]
+            for i, first in enumerate(pool)
+            for second in pool[i + 1:]
+        }

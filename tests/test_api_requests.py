@@ -1,0 +1,168 @@
+"""Request objects: validation, fluent builder, JSON round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    ClusterRequest,
+    ExecutionMode,
+    ExecutionPolicy,
+    MeasureSpec,
+    PairwiseRequest,
+    SearchRequest,
+    request_from_dict,
+)
+
+
+class TestMeasureSpec:
+    def test_accepts_paper_names(self):
+        for name in ("MS_ip_te_pll", "BW", "GE_np_ta_plm_nonorm", "MS_np_ta_pw3_greedy"):
+            assert MeasureSpec(name).name == name
+
+    def test_accepts_ensembles(self):
+        spec = MeasureSpec("BW+MS_ip_te_pll")
+        assert spec.is_ensemble
+
+    def test_ensemble_constructor(self):
+        spec = MeasureSpec.ensemble("BW", MeasureSpec("MS_ip_te_pll"))
+        assert spec.name == "BW+MS_ip_te_pll"
+        with pytest.raises(ValueError):
+            MeasureSpec.ensemble("BW")
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "XX_ip_te_pll", "MS_xx_te_pll", "MS_ip_xx_pll", "MS_ip_te_xxx",
+         "MS_ip_te", "MS_ip_te_pll_bogus", "BW+XX_ip_te_pll"],
+    )
+    def test_rejects_malformed_names(self, bad):
+        with pytest.raises(ValueError):
+            MeasureSpec(bad)
+
+    def test_of_coerces_strings(self):
+        assert MeasureSpec.of("BW") == MeasureSpec("BW")
+        spec = MeasureSpec("BT")
+        assert MeasureSpec.of(spec) is spec
+
+    def test_round_trip(self):
+        spec = MeasureSpec("MS_ip_te_pll")
+        assert MeasureSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestMeasureBuilder:
+    def test_paper_best_configuration(self):
+        spec = (
+            MeasureSpec.build()
+            .module_sets()
+            .importance_projection()
+            .type_equivalence()
+            .label_levenshtein()
+            .spec()
+        )
+        assert spec.name == "MS_ip_te_pll"
+
+    def test_defaults_are_baseline(self):
+        assert MeasureSpec.build().spec().name == "MS_np_ta_pw0"
+
+    def test_mapping_and_normalization_suffixes(self):
+        spec = (
+            MeasureSpec.build()
+            .graph_edit()
+            .all_pairs()
+            .label_match()
+            .greedy_mapping()
+            .unnormalized()
+            .spec()
+        )
+        assert spec.name == "GE_np_ta_plm_greedy_nonorm"
+
+    def test_tuned_weights_and_strict_types(self):
+        spec = (
+            MeasureSpec.build()
+            .path_sets()
+            .strict_type_match()
+            .weighted_attributes(tuned=True)
+            .spec()
+        )
+        assert spec.name == "PS_np_tm_pw3"
+
+    def test_builder_output_is_creatable(self):
+        from repro.core.registry import create_measure
+
+        spec = MeasureSpec.build().module_sets().type_equivalence().label_levenshtein().spec()
+        assert create_measure(spec.name).name == spec.name
+
+
+class TestExecutionPolicy:
+    def test_mode_coercion_from_string(self):
+        assert ExecutionPolicy(mode="pruned").mode is ExecutionMode.PRUNED
+
+    def test_constructors(self):
+        assert ExecutionPolicy.sequential().mode is ExecutionMode.SEQUENTIAL
+        parallel = ExecutionPolicy.parallel(4, chunk_size=8)
+        assert (parallel.workers, parallel.chunk_size) == (4, 8)
+        assert ExecutionPolicy.auto(prune=False).prune is False
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExecutionPolicy(workers=0)
+        with pytest.raises(ValueError):
+            ExecutionPolicy(chunk_size=0)
+        with pytest.raises(ValueError):
+            ExecutionPolicy(mode="warp-speed")
+
+    def test_round_trip(self):
+        policy = ExecutionPolicy.parallel(3, prune=False)
+        assert ExecutionPolicy.from_dict(policy.to_dict()) == policy
+
+
+class TestRequestRoundTrips:
+    def test_search_request(self):
+        request = SearchRequest(
+            measure="MS_ip_te_pll",
+            queries=["wf-1", "wf-2"],
+            k=5,
+            candidates=["wf-3"],
+            policy=ExecutionPolicy.pruned(),
+        )
+        assert SearchRequest.from_json(request.to_json()) == request
+        assert request.measure == MeasureSpec("MS_ip_te_pll")
+        assert request.queries == ("wf-1", "wf-2")
+
+    def test_search_request_defaults(self):
+        request = SearchRequest.from_json(SearchRequest(measure="BW").to_json())
+        assert request.queries is None
+        assert request.k == 10
+        assert request.policy.mode is ExecutionMode.AUTO
+
+    def test_search_request_validation(self):
+        with pytest.raises(ValueError):
+            SearchRequest(measure="BW", k=0)
+        with pytest.raises(ValueError):
+            SearchRequest(measure="BW", queries=[])
+
+    def test_pairwise_request(self):
+        request = PairwiseRequest(measure="BW+MS_ip_te_pll", workflows=["a", "b"])
+        assert PairwiseRequest.from_json(request.to_json()) == request
+
+    def test_cluster_request(self):
+        request = ClusterRequest(
+            measure="MS_ip_te_pll", threshold=0.6, linkage="average", workflows=["a", "b", "c"]
+        )
+        assert ClusterRequest.from_json(request.to_json()) == request
+
+    def test_cluster_request_validation(self):
+        with pytest.raises(ValueError):
+            ClusterRequest(measure="BW", linkage="complete")
+        with pytest.raises(ValueError):
+            ClusterRequest(measure="BW", threshold=-0.1)
+        # Unnormalized measures score above 1; such thresholds are valid.
+        assert ClusterRequest(measure="MS_ip_te_pll_nonorm", threshold=2.0).threshold == 2.0
+
+    def test_request_from_dict_dispatches_on_kind(self):
+        search = SearchRequest(measure="BW", k=3)
+        cluster = ClusterRequest(measure="BW", threshold=0.5)
+        assert request_from_dict(search.to_dict()) == search
+        assert request_from_dict(cluster.to_dict()) == cluster
+        with pytest.raises(ValueError):
+            request_from_dict({"kind": "teleport"})

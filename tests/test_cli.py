@@ -84,6 +84,26 @@ class TestCommands:
         assert "top-5 results" in output
         assert query_id in output.splitlines()[0]
 
+    def test_search_json_emits_result_set_with_diagnostics(
+        self, corpus_file, small_corpus, capsys
+    ):
+        query_id = small_corpus.repository.identifiers()[0]
+        exit_code = main(
+            ["search", str(corpus_file), query_id, "--measure", "MS_ip_te_pll",
+             "-k", "4", "--json"]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "search"
+        assert payload["queries"][0]["query_id"] == query_id
+        assert len(payload["queries"][0]["hits"]) == 4
+        assert payload["diagnostics"]["path"] == "pruned"
+
+        from repro.api import ResultSet
+
+        restored = ResultSet.from_json(json.dumps(payload))
+        assert restored.for_query(query_id).hits[0].rank == 1
+
     def test_search_unknown_query_fails(self, corpus_file, capsys):
         exit_code = main(["search", str(corpus_file), "ghost", "--measure", "BW"])
         assert exit_code == 2
