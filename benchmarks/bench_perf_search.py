@@ -25,7 +25,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import shutil
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -102,6 +104,79 @@ def run_benchmark(args: argparse.Namespace) -> dict:
     speedup = seed_seconds / fast_seconds if fast_seconds else float("inf")
     print(f"  speedup: {speedup:.1f}x  identical results: {identical}")
 
+    # -- warm start: persist, "restart", reopen from disk --------------------
+    # The fast service's caches (plus snapshot and inverted index) go to
+    # a store directory; a brand-new service opened over that directory
+    # stands in for a restarted process.  Cold = the first fast run
+    # above (empty caches); warm = the same request served from the
+    # persisted scores.
+    cache_dir = Path(tempfile.mkdtemp(prefix="repro-bench-store-"))
+    try:
+        persist_started = time.perf_counter()
+        fast_service.attach_cache_dir(cache_dir)
+        fast_service.build_index()
+        persist_summary = fast_service.persist()
+        persist_seconds = time.perf_counter() - persist_started
+        fast_service.close()
+
+        open_started = time.perf_counter()
+        warm_service = SimilarityService.open(
+            cache_dir=cache_dir, framework=SimilarityFramework()
+        )
+        warm_open_seconds = time.perf_counter() - open_started
+        warm_set = warm_service.search(fast_request)
+        warm_seconds = warm_set.diagnostics.seconds
+        warm_identical = warm_set == seed_set
+        warm_speedup = fast_seconds / warm_seconds if warm_seconds else float("inf")
+        print(
+            f"  warm start: persist {persist_seconds:.2f}s "
+            f"({persist_summary['pair_scores']} pair scores), reopen "
+            f"{warm_open_seconds:.2f}s, search {warm_seconds:.2f}s "
+            f"(cold {fast_seconds:.2f}s, {warm_speedup:.1f}x, "
+            f"{warm_set.diagnostics.cache_warm_hits} warm hits, "
+            f"identical: {warm_identical})"
+        )
+
+        # Annotation preselection over the persisted inverted index.
+        bw_request = SearchRequest(measure="BW", queries=query_ids, k=args.k)
+        bw_indexed_set = warm_service.search(bw_request)
+        bw_sequential_set = warm_service.search(
+            SearchRequest(
+                measure="BW",
+                queries=query_ids,
+                k=args.k,
+                policy=ExecutionPolicy.sequential(),
+            )
+        )
+        bw_identical = bw_indexed_set == bw_sequential_set
+        print(
+            f"  indexed BW: {bw_indexed_set.diagnostics.seconds:.2f}s "
+            f"({bw_indexed_set.diagnostics.path} path, "
+            f"{bw_indexed_set.diagnostics.index_candidates} candidates over "
+            f"{len(query_ids)} queries x {len(repository)} workflows, "
+            f"identical: {bw_identical})"
+        )
+        warm_report = {
+            "persist_seconds": persist_seconds,
+            "persisted_pair_scores": persist_summary["pair_scores"],
+            "persisted_postings": persist_summary["postings"],
+            "open_seconds": warm_open_seconds,
+            "cold_seconds": fast_seconds,
+            "warm_seconds": warm_seconds,
+            "speedup": warm_speedup,
+            "cache_warm_hits": warm_set.diagnostics.cache_warm_hits,
+            "identical": warm_identical,
+            "indexed_bw": {
+                "seconds": bw_indexed_set.diagnostics.seconds,
+                "path": bw_indexed_set.diagnostics.path,
+                "index_candidates": bw_indexed_set.diagnostics.index_candidates,
+                "scanned_pairs": len(query_ids) * len(repository),
+                "identical": bw_identical,
+            },
+        }
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
     # -- all-pairs (clustering) section -------------------------------------
     pairwise_ids = repository.identifiers()[: args.pairwise_workflows]
     levenshtein_similarity.cache_clear()
@@ -155,6 +230,7 @@ def run_benchmark(args: argparse.Namespace) -> dict:
             "identical": pairwise_identical,
             "path": pairwise_fast_set.diagnostics.path,
         },
+        "warm_start": warm_report,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
     }
 
@@ -193,6 +269,16 @@ def main(argv=None) -> int:
 
     if not report["search"]["identical"] or not report["pairwise"]["identical"]:
         print("FAIL: fast path results differ from the reference path", file=sys.stderr)
+        return 2
+    warm_start = report["warm_start"]
+    if not warm_start["identical"] or not warm_start["indexed_bw"]["identical"]:
+        print(
+            "FAIL: warm-started/indexed results differ from the reference path",
+            file=sys.stderr,
+        )
+        return 2
+    if warm_start["cache_warm_hits"] <= 0:
+        print("FAIL: warm-started service served no hits from the store", file=sys.stderr)
         return 2
     if args.min_speedup and report["search"]["speedup"] < args.min_speedup:
         print(

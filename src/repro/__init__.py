@@ -23,7 +23,8 @@ The paper-structured subpackages remain importable for research use:
 :mod:`repro.workflow` (model and parsers), :mod:`repro.core` (the
 similarity framework), :mod:`repro.repository`, :mod:`repro.corpus`,
 :mod:`repro.goldstandard`, :mod:`repro.evaluation`, :mod:`repro.text`,
-:mod:`repro.graphs`, :mod:`repro.perf`.  The package ships a
+:mod:`repro.graphs`, :mod:`repro.perf`, :mod:`repro.store` (persistent
+warm-start store + inverted annotation index).  The package ships a
 ``py.typed`` marker; all public types are annotated inline.
 """
 
@@ -45,6 +46,7 @@ from .core.framework import SimilarityFramework
 from .core.registry import create_measure
 from .repository.repository import WorkflowRepository
 from .repository.search import SimilaritySearchEngine
+from .store import InvertedAnnotationIndex, WorkflowStore
 from .workflow.builder import WorkflowBuilder
 from .workflow.model import Module, Workflow, WorkflowAnnotations
 
@@ -69,6 +71,9 @@ __all__ = [
     "QueryResult",
     "SearchHit",
     "ExecutionDiagnostics",
+    # persistence
+    "WorkflowStore",
+    "InvertedAnnotationIndex",
     # data model and repository
     "WorkflowRepository",
     "WorkflowBuilder",

@@ -61,12 +61,22 @@ class ExecutionPolicy:
     paths.  ``AUTO`` routes to the pool when workers are granted and the
     request is pool-eligible, otherwise to the pruned/cached in-process
     batch — never to the slow sequential scan.
+
+    Two knobs drive the persistent layer (:mod:`repro.store`):
+    ``cache_dir`` names a warm-start store directory — the service
+    attaches it on first use, so even a service opened without one can
+    be warmed per request; ``preselect`` toggles the inverted-index
+    candidate preselection that ``AUTO`` applies to annotation measures
+    whenever an index is loaded (bit-identical by construction — the
+    admission bound is score-safe).
     """
 
     mode: ExecutionMode = ExecutionMode.AUTO
     workers: int | None = None
     chunk_size: int = 16
     prune: bool = True
+    cache_dir: str | None = None
+    preselect: bool = True
 
     def __post_init__(self) -> None:
         if not isinstance(self.mode, ExecutionMode):
@@ -75,12 +85,27 @@ class ExecutionPolicy:
             raise ValueError(f"workers must be positive, got {self.workers}")
         if self.chunk_size < 1:
             raise ValueError(f"chunk_size must be positive, got {self.chunk_size}")
+        if self.cache_dir is not None:
+            object.__setattr__(self, "cache_dir", str(self.cache_dir))
 
     # -- constructors --------------------------------------------------------
 
     @classmethod
-    def auto(cls, *, workers: int | None = None, prune: bool = True) -> "ExecutionPolicy":
-        return cls(mode=ExecutionMode.AUTO, workers=workers, prune=prune)
+    def auto(
+        cls,
+        *,
+        workers: int | None = None,
+        prune: bool = True,
+        cache_dir: str | None = None,
+        preselect: bool = True,
+    ) -> "ExecutionPolicy":
+        return cls(
+            mode=ExecutionMode.AUTO,
+            workers=workers,
+            prune=prune,
+            cache_dir=cache_dir,
+            preselect=preselect,
+        )
 
     @classmethod
     def sequential(cls) -> "ExecutionPolicy":
@@ -104,15 +129,20 @@ class ExecutionPolicy:
             "workers": self.workers,
             "chunk_size": self.chunk_size,
             "prune": self.prune,
+            "cache_dir": self.cache_dir,
+            "preselect": self.preselect,
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ExecutionPolicy":
+        cache_dir = data.get("cache_dir")
         return cls(
             mode=ExecutionMode(data.get("mode", "auto")),
             workers=data.get("workers"),
             chunk_size=int(data.get("chunk_size", 16)),
             prune=bool(data.get("prune", True)),
+            cache_dir=str(cache_dir) if cache_dir is not None else None,
+            preselect=bool(data.get("preselect", True)),
         )
 
 

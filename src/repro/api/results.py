@@ -98,9 +98,19 @@ class ExecutionDiagnostics:
 
     ``path`` is the path that actually ran: ``"sequential"`` (reference
     per-query scan), ``"pruned"`` (frontier-pruned top-k), ``"cached"``
-    (accelerated full scan), or ``"parallel"`` (process pool).
-    ``requested_mode`` echoes the policy; when the two differ, ``notes``
-    says why (e.g. the pool was unavailable and the service fell back).
+    (accelerated full scan), ``"indexed"`` (inverted-index candidate
+    preselection for annotation measures), or ``"parallel"`` (process
+    pool).  ``requested_mode`` echoes the policy; when the two differ,
+    ``notes`` says why (e.g. the pool was unavailable and the service
+    fell back).
+
+    ``index_candidates`` counts the candidates admitted by the inverted
+    index across the request's queries (``None`` off the indexed path);
+    on a preselected search it is strictly below ``queries × corpus``.
+    ``cache_warm_hits`` counts pair-score lookups served from entries
+    loaded out of a persistent :class:`~repro.store.WorkflowStore`
+    during *this* request — a warm-started service shows a positive
+    number where a cold one recomputes.
     """
 
     path: str
@@ -110,6 +120,8 @@ class ExecutionDiagnostics:
     prune: dict[str, int] | None = None
     caches: list[dict[str, Any]] = field(default_factory=list)
     invalidations: dict[str, int] | None = None
+    index_candidates: int | None = None
+    cache_warm_hits: int | None = None
     notes: tuple[str, ...] = ()
 
     def to_dict(self) -> dict[str, Any]:
@@ -121,11 +133,15 @@ class ExecutionDiagnostics:
             "prune": dict(self.prune) if self.prune is not None else None,
             "caches": [dict(entry) for entry in self.caches],
             "invalidations": dict(self.invalidations) if self.invalidations is not None else None,
+            "index_candidates": self.index_candidates,
+            "cache_warm_hits": self.cache_warm_hits,
             "notes": list(self.notes),
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ExecutionDiagnostics":
+        index_candidates = data.get("index_candidates")
+        cache_warm_hits = data.get("cache_warm_hits")
         return cls(
             path=str(data.get("path", "unknown")),
             requested_mode=str(data.get("requested_mode", "auto")),
@@ -134,6 +150,8 @@ class ExecutionDiagnostics:
             prune=data.get("prune"),
             caches=list(data.get("caches", [])),
             invalidations=data.get("invalidations"),
+            index_candidates=int(index_candidates) if index_candidates is not None else None,
+            cache_warm_hits=int(cache_warm_hits) if cache_warm_hits is not None else None,
             notes=tuple(data.get("notes", ())),
         )
 

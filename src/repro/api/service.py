@@ -20,6 +20,15 @@ the affected workflows are dropped, while the value-keyed module-pair
 score caches (the expensive part) survive and keep serving the remaining
 corpus.  Results after any mutation sequence are bit-identical to a
 fresh service over the same corpus; the API tests pin this.
+
+State also outlives the process: a service opened with a ``cache_dir``
+attaches a :class:`~repro.store.WorkflowStore`, warm-starting its
+module-pair score caches (and, when the persisted snapshot matches the
+corpus, the inverted annotation index) from disk.
+:meth:`SimilarityService.persist` writes the snapshot, scores and index
+back; ``SimilarityService.open(cache_dir=...)`` with no corpus source
+reopens the persisted snapshot directly and returns bit-identical
+results to the service that wrote it — the warm-start tests pin this.
 """
 
 from __future__ import annotations
@@ -28,11 +37,12 @@ import time
 from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence
 
-from ..core.framework import SimilarityFramework
+from ..core.framework import RankedWorkflow, SimilarityFramework
 from ..core.registry import all_configuration_names
 from ..perf.engine import AccelerationContext, supports_pruned_top_k
 from ..repository.repository import RepositoryStatistics, WorkflowRepository
 from ..repository.search import SearchResultList, SimilaritySearchEngine
+from ..store import InvertedAnnotationIndex, WorkflowStore, corpus_fingerprint
 from ..workflow.model import Workflow
 from .requests import (
     ClusterRequest,
@@ -53,6 +63,7 @@ class SimilarityService:
         repository: WorkflowRepository,
         *,
         framework: SimilarityFramework | None = None,
+        cache_dir: "str | Path | None" = None,
     ) -> None:
         self.repository = repository
         #: The execution layer.  Internal: requests should go through the
@@ -61,18 +72,51 @@ class SimilarityService:
         self.engine = SimilaritySearchEngine(repository, framework)
         #: Summary of the most recent :meth:`remove_workflows` call.
         self.last_invalidation: dict[str, int] | None = None
+        #: The attached persistent store, if any (see :meth:`attach_cache_dir`).
+        self.store: WorkflowStore | None = None
+        #: The inverted annotation index, once built or loaded.
+        self.index: InvertedAnnotationIndex | None = None
+        self._store_trusted = False
+        if cache_dir is not None:
+            self.attach_cache_dir(cache_dir)
 
     @classmethod
     def open(
         cls,
-        source: "WorkflowRepository | str | Path",
+        source: "WorkflowRepository | str | Path | None" = None,
         *,
         framework: SimilarityFramework | None = None,
+        cache_dir: "str | Path | None" = None,
     ) -> "SimilarityService":
-        """Open a service over a repository object or a corpus file."""
-        if isinstance(source, WorkflowRepository):
-            return cls(source, framework=framework)
-        return cls(WorkflowRepository.load(source), framework=framework)
+        """Open a service over a repository, a corpus file, or a cache dir.
+
+        With only ``source``, behaves as before.  With only
+        ``cache_dir``, the corpus is the persisted snapshot of that
+        directory's :class:`~repro.store.WorkflowStore` — the warm-start
+        path, bit-identical to the service that called
+        :meth:`persist`.  With both, the corpus comes from ``source``
+        and the store is attached for its caches (the persisted index is
+        only trusted when the snapshot fingerprint matches the corpus).
+        """
+        if source is None:
+            if cache_dir is None:
+                raise ValueError("open() needs a corpus source, a cache_dir, or both")
+            store = WorkflowStore(cache_dir)
+            repository = store.load_repository()
+            if repository is None:
+                raise ValueError(
+                    f"no persisted repository snapshot in {str(cache_dir)!r}; "
+                    "pass a corpus source or run persist()/`repro index build` first"
+                )
+            service = cls(repository, framework=framework)
+            service._adopt_store(store, trusted=True)
+            return service
+        repository = (
+            source
+            if isinstance(source, WorkflowRepository)
+            else WorkflowRepository.load(source)
+        )
+        return cls(repository, framework=framework, cache_dir=cache_dir)
 
     # -- introspection -------------------------------------------------------
 
@@ -98,6 +142,103 @@ class SimilarityService:
     def __contains__(self, identifier: str) -> bool:
         return identifier in self.repository
 
+    # -- persistence ---------------------------------------------------------
+
+    def attach_cache_dir(self, cache_dir: "str | Path") -> None:
+        """Attach a persistent warm-start store to this service.
+
+        The store's persisted pair scores are loaded into the score
+        caches immediately (always safe: entries are keyed by attribute
+        values, not corpus membership).  The persisted inverted index is
+        loaded only when the store's snapshot fingerprint matches the
+        live corpus — a preselection over a *different* corpus would not
+        be score-safe.
+        """
+        store = WorkflowStore(cache_dir)
+        trusted = store.fingerprint() == corpus_fingerprint(self.repository)
+        self._adopt_store(store, trusted=trusted)
+
+    @property
+    def store_trusted(self) -> bool:
+        """Whether the attached store's snapshot matches the live corpus.
+
+        Only a trusted store receives incremental write-through on
+        corpus mutation and may serve its persisted index; an untrusted
+        one still contributes its (value-keyed, always-safe) pair
+        scores.  :meth:`persist` establishes trust by rewriting the
+        snapshot.
+        """
+        return self.store is not None and self._store_trusted
+
+    def _adopt_store(self, store: WorkflowStore, *, trusted: bool) -> None:
+        if self.store is not None and self.store is not store:
+            # Entries warm-loaded from the old store are not on the new
+            # store's disk; re-mark them as new before switching.
+            self.context.reset_warm_markers()
+            self.store.close()
+        self.store = store
+        self._store_trusted = trusted
+        self.context.attach_store(store)
+        if trusted and self.index is None:
+            self.index = store.load_index()
+
+    def build_index(self) -> dict[str, int]:
+        """(Re)build the inverted annotation index over the live corpus.
+
+        Once built, ``AUTO`` requests for annotation measures route
+        through the index's score-safe candidate preselection, and the
+        index mutates in step with ``add_workflows``/``remove_workflows``.
+        Returns the index size counters.
+        """
+        self.index = InvertedAnnotationIndex.build(self.repository.workflows())
+        return self.index.stats()
+
+    def persist(self) -> dict[str, int]:
+        """Write the corpus snapshot, pair scores and index to the store.
+
+        Requires an attached ``cache_dir``.  A service later opened via
+        ``SimilarityService.open(cache_dir=...)`` warm-starts from this
+        state and returns bit-identical results.  Returns counters of
+        what was written.
+        """
+        if self.store is None:
+            raise ValueError(
+                "no cache_dir attached; open the service with cache_dir=... "
+                "or call attach_cache_dir() first"
+            )
+        # Skip the snapshot rewrite when it is already current (the
+        # common repeated-persist case would otherwise delete and
+        # reinsert every row per call).
+        if self.store.fingerprint() != corpus_fingerprint(self.repository):
+            self.store.save_repository(self.repository)
+        pair_scores = self.context.persist_scores(self.store)
+        # Without a live index any previously persisted postings would
+        # describe the *old* snapshot — drop them rather than let a
+        # future warm start preselect over a stale index.
+        postings = (
+            self.store.save_index(self.index)
+            if self.index is not None
+            else self.store.clear_postings()
+        )
+        self._store_trusted = True
+        return {
+            "workflows": len(self.repository),
+            "pair_scores": pair_scores,
+            "postings": postings,
+        }
+
+    def close(self) -> None:
+        """Release the persistent store's connection (if attached).
+
+        The acceleration context stops consulting the store too —
+        later requests simply run with whatever is already cached.
+        """
+        if self.store is not None:
+            self.context.detach_store()
+            self.store.close()
+            self.store = None
+            self._store_trusted = False
+
     # -- incremental repository mutation -------------------------------------
 
     def add_workflows(
@@ -109,38 +250,56 @@ class SimilarityService:
         happens.  With ``replace=True`` an existing workflow of the same
         identifier is removed first (with precise invalidation), so a
         *changed* workflow object can never be served stale derived data.
+        A *trusted* attached store (see :attr:`store_trusted`) and a
+        built index follow the mutation row by row — snapshot and
+        postings stay in sync while value-keyed pair scores are
+        untouched.  An untrusted store is never written through: its
+        snapshot describes some other corpus, and upserting rows into it
+        would persist a corpus that never existed.
         """
         added = 0
+        write_through = self.store_trusted
         for workflow in workflows:
             if replace and workflow.identifier in self.repository:
                 self.remove_workflows([workflow.identifier])
             self.repository.add(workflow)
+            if self.index is not None:
+                self.index.add_workflow(workflow)
+            if write_through:
+                self.store.add_workflow(workflow)
             added += 1
         return added
 
-    def remove_workflows(self, identifiers: Iterable[str]) -> dict[str, int]:
+    def remove_workflows(self, identifiers: Iterable[str]) -> list[str]:
         """Remove workflows and precisely invalidate their derived state.
 
         Drops the workflow/module profiles (including profiles of
         preprocessed projections) and the per-profile fingerprint memos;
         the value-keyed pair-score caches are kept, so subsequent
-        requests stay warm.  Raises ``KeyError`` before touching anything
-        if any identifier is unknown.  Returns invalidation counters
-        (also kept on :attr:`last_invalidation`).
+        requests stay warm.  A *trusted* attached store and a built
+        index drop the same rows (see :meth:`add_workflows` on why an
+        untrusted store is left alone).
+
+        Identifiers not present in the repository are silently ignored —
+        removal is idempotent, so replayed or queued removal requests
+        cannot fail halfway.  Returns the identifiers *actually removed*
+        in request order (an empty list when none matched); the
+        invalidation counters of the removal are kept on
+        :attr:`last_invalidation`.
         """
-        # Dedupe while keeping order: a repeated identifier must not pass
-        # the membership check and then fail (non-atomically) mid-loop.
-        removal = list(dict.fromkeys(str(identifier) for identifier in identifiers))
-        missing = [identifier for identifier in removal if identifier not in self.repository]
-        if missing:
-            raise KeyError(
-                f"no workflow(s) {missing!r} in repository {self.repository.name!r}"
-            )
-        for identifier in removal:
+        requested = dict.fromkeys(str(identifier) for identifier in identifiers)
+        removed = [identifier for identifier in requested if identifier in self.repository]
+        write_through = self.store_trusted
+        for identifier in removed:
             self.repository.remove(identifier)
-        summary = self.context.invalidate_workflows(removal)
+            if self.index is not None:
+                self.index.remove_workflow(identifier)
+            if write_through:
+                self.store.remove_workflow(identifier)
+        summary = self.context.invalidate_workflows(removed)
+        summary["requested"] = len(requested)
         self.last_invalidation = summary
-        return summary
+        return removed
 
     # -- request execution ---------------------------------------------------
 
@@ -153,6 +312,8 @@ class SimilarityService:
             self._resolve(request.candidates) if request.candidates is not None else None
         )
         policy = request.policy
+        self._ensure_policy_store(policy)
+        warm_hits_before = self.context.warm_hits_total()
         mode = policy.mode
         measure_name = request.measure.name
         notes: list[str] = []
@@ -160,6 +321,7 @@ class SimilarityService:
         path = "sequential"
         workers_used: int | None = None
         prune_stats: dict[str, int] | None = None
+        index_candidates: int | None = None
 
         if mode is ExecutionMode.SEQUENTIAL:
             results = [
@@ -167,8 +329,24 @@ class SimilarityService:
                 for query in query_list
             ]
         else:
-            wants_pool = mode is ExecutionMode.PARALLEL or (
-                mode is ExecutionMode.AUTO and policy.workers and policy.workers > 1
+            index_field = (
+                InvertedAnnotationIndex.measure_field(measure_name)
+                if self.index is not None
+                else None
+            )
+            if (
+                mode is ExecutionMode.AUTO
+                and policy.preselect
+                and index_field is not None
+                and candidates is None
+            ):
+                results, index_candidates = self._indexed_search(
+                    query_list, measure_name, index_field, request.k
+                )
+                path = "indexed"
+            wants_pool = results is None and (
+                mode is ExecutionMode.PARALLEL
+                or (mode is ExecutionMode.AUTO and policy.workers and policy.workers > 1)
             )
             if wants_pool:
                 if candidates is None and len(query_list) > 1:
@@ -218,7 +396,12 @@ class SimilarityService:
             seconds=time.perf_counter() - started,
             workers=workers_used,
             prune=prune_stats,
-            caches=self.context.cache_stats() if path != "sequential" else [],
+            # Cache counters are attached on every path (including the
+            # sequential reference scan, which does not consult them but
+            # whose diagnostics should still show the caches' state).
+            caches=self.context.cache_stats(),
+            index_candidates=index_candidates,
+            cache_warm_hits=self.context.warm_hits_total() - warm_hits_before,
             notes=tuple(notes),
         )
         return ResultSet(
@@ -233,6 +416,8 @@ class SimilarityService:
         started = time.perf_counter()
         pool = self._resolve(request.workflows)
         policy = request.policy
+        self._ensure_policy_store(policy)
+        warm_hits_before = self.context.warm_hits_total()
         mode = policy.mode
         measure_name = request.measure.name
         notes: list[str] = []
@@ -282,7 +467,8 @@ class SimilarityService:
             requested_mode=mode.value,
             seconds=time.perf_counter() - started,
             workers=workers_used,
-            caches=self.context.cache_stats() if path != "sequential" else [],
+            caches=self.context.cache_stats(),
+            cache_warm_hits=self.context.warm_hits_total() - warm_hits_before,
             notes=tuple(notes),
         )
         return ResultSet(kind="pairwise", pairs=pairs, diagnostics=diagnostics)
@@ -328,6 +514,66 @@ class SimilarityService:
         if identifiers is None:
             return self.repository.workflows()
         return [self.repository.get(identifier) for identifier in identifiers]
+
+    def _ensure_policy_store(self, policy) -> None:
+        """Attach the policy's ``cache_dir`` when the service has none yet."""
+        if policy.cache_dir is not None and self.store is None:
+            self.attach_cache_dir(policy.cache_dir)
+
+    def _indexed_search(
+        self,
+        query_list: Sequence[Workflow],
+        measure_name: str,
+        field: str,
+        k: int,
+    ) -> tuple[list[SearchResultList], int]:
+        """Top-``k`` annotation search via inverted-index preselection.
+
+        Admission is score-safe: a bag-overlap similarity is positive
+        exactly when the two token sets intersect, so every workflow
+        outside the union of the query tokens' postings scores ``0.0``.
+        Admitted candidates are scored by the measure itself (the same
+        float operations as the reference scan); non-admitted workflows
+        enter as zeros in pool order, of which only the first ``k`` can
+        ever rank.  Sorting by ``(-score, position)`` then reproduces
+        :meth:`SimilarityFramework.rank`'s ordering — scores, ranks and
+        tie-breaks — bit for bit, while only the admitted candidates pay
+        for a comparison.
+        """
+        measure = self.engine._accelerated_measure(measure_name)
+        pool = self.repository.workflows()
+        results: list[SearchResultList] = []
+        total_admitted = 0
+        for query in query_list:
+            tokens = self.index.workflow_tokens(field, query)
+            admitted = self.index.candidates(field, tokens)
+            admitted.discard(query.identifier)
+            total_admitted += len(admitted)
+            scored: list[tuple[float, int, Workflow]] = []
+            zero_budget = k
+            for position, candidate in enumerate(pool):
+                if candidate.identifier == query.identifier:
+                    continue
+                if candidate.identifier in admitted:
+                    scored.append(
+                        (measure.similarity(query, candidate), position, candidate)
+                    )
+                elif zero_budget > 0:
+                    scored.append((0.0, position, candidate))
+                    zero_budget -= 1
+            # Same ordering as SimilarityFramework.rank: descending
+            # score, then pool position.
+            scored.sort(key=lambda item: (-item[0], item[1]))
+            ranked = [
+                RankedWorkflow(workflow=workflow, similarity=similarity, rank=rank)
+                for rank, (similarity, _position, workflow) in enumerate(
+                    scored[:k], start=1
+                )
+            ]
+            results.append(
+                self.engine._result_list(query.identifier, measure.name, ranked)
+            )
+        return results, total_admitted
 
 
 def _query_result(result: SearchResultList) -> QueryResult:

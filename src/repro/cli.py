@@ -11,11 +11,18 @@ library without writing Python:
 * ``repro search-batch CORPUS --measure MS_ip_te_pll -k 10 --workers 4``
   — batch top-k search for many (default: all) queries, optionally on a
   process pool;
+* ``repro index build CORPUS --cache-dir DIR`` — persist the corpus
+  snapshot, the inverted annotation index, and (with ``--warm-measure``)
+  pre-computed module-pair scores into a warm-start store directory;
+  ``repro index stats --cache-dir DIR`` inspects it;
 
 Both search commands route through the :class:`repro.api.SimilarityService`
-facade: the execution strategy (sequential / pruned / cached / parallel)
-is chosen by the service's ``ExecutionPolicy`` routing, and the path that
-actually ran is reported in the diagnostics.
+facade: the execution strategy (sequential / pruned / cached / indexed /
+parallel) is chosen by the service's ``ExecutionPolicy`` routing, and the
+path that actually ran is reported in the diagnostics.  Passing
+``--cache-dir`` to a search command attaches the persistent store, so
+repeated invocations warm-start from each other's scores instead of
+recomputing them.
 * ``repro generate-corpus OUT.json --workflows 500`` — write a synthetic
   myExperiment-style (or Galaxy-style) corpus to disk;
 * ``repro stats CORPUS`` — corpus statistics (size, annotations, module
@@ -70,6 +77,28 @@ def load_workflow_file(path: str | Path) -> Workflow:
     return prepare_workflow(workflow)
 
 
+def _persist_search_store(service: SimilarityService) -> None:
+    """Accumulate a search invocation's scores into its ``--cache-dir``.
+
+    Persists only when safe: a fresh (empty) store is seeded, a store
+    whose snapshot matches the searched corpus is extended — but a store
+    built from a *different* corpus is left untouched (its warm scores
+    were still used; rebuilding is ``repro index build``'s job).
+    """
+    store = service.store
+    if store is None:
+        return
+    if service.store_trusted or not store.has_snapshot():
+        service.persist()
+    else:
+        print(
+            "warning: --cache-dir store was built from a different corpus; "
+            "reused its scores but did not persist (run 'repro index build' "
+            "to rebuild it for this corpus)",
+            file=sys.stderr,
+        )
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     first = load_workflow_file(args.first)
     second = load_workflow_file(args.second)
@@ -82,7 +111,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def _cmd_search(args: argparse.Namespace) -> int:
     service = SimilarityService.open(
-        args.corpus, framework=SimilarityFramework(ged_timeout=args.ged_timeout)
+        args.corpus,
+        framework=SimilarityFramework(ged_timeout=args.ged_timeout),
+        cache_dir=args.cache_dir,
     )
     if args.query not in service:
         print(f"error: query workflow {args.query!r} not found in corpus", file=sys.stderr)
@@ -90,6 +121,9 @@ def _cmd_search(args: argparse.Namespace) -> int:
     result_set = service.search(
         SearchRequest(measure=args.measure, queries=[args.query], k=args.top_k)
     )
+    if args.cache_dir:
+        # Accumulate this invocation's scores so the next one warm-starts.
+        _persist_search_store(service)
     if args.json:
         print(result_set.to_json(indent=2))
         return 0
@@ -104,7 +138,9 @@ def _cmd_search_batch(args: argparse.Namespace) -> int:
     import json
 
     service = SimilarityService.open(
-        args.corpus, framework=SimilarityFramework(ged_timeout=args.ged_timeout)
+        args.corpus,
+        framework=SimilarityFramework(ged_timeout=args.ged_timeout),
+        cache_dir=args.cache_dir,
     )
     if args.queries is not None:
         if not args.queries:
@@ -121,6 +157,8 @@ def _cmd_search_batch(args: argparse.Namespace) -> int:
     result_set = service.search(
         SearchRequest(measure=args.measure, queries=queries, k=args.top_k, policy=policy)
     )
+    if args.cache_dir:
+        _persist_search_store(service)
     diagnostics = result_set.diagnostics
     elapsed = diagnostics.seconds if diagnostics is not None else 0.0
     if args.output:
@@ -191,6 +229,44 @@ def _cmd_measures(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_index_build(args: argparse.Namespace) -> int:
+    service = SimilarityService.open(
+        args.corpus,
+        framework=SimilarityFramework(ged_timeout=args.ged_timeout),
+        cache_dir=args.cache_dir,
+    )
+    index_stats = service.build_index()
+    for measure in args.warm_measure or ():
+        # An all-queries batch fills the pair-score caches under this
+        # measure, so the persisted store warm-starts future searches.
+        result = service.search(SearchRequest(measure=measure, k=args.top_k))
+        diagnostics = result.diagnostics
+        print(
+            f"warmed {measure}: {len(result)} queries in "
+            f"{diagnostics.seconds:.2f}s ({diagnostics.path} path)"
+        )
+    summary = service.persist()
+    print(
+        f"persisted {summary['workflows']} workflows, "
+        f"{summary['pair_scores']} pair scores, "
+        f"{summary['postings']} index postings "
+        f"({index_stats['documents']} documents) to {args.cache_dir}"
+    )
+    return 0
+
+
+def _cmd_index_stats(args: argparse.Namespace) -> int:
+    from .store import WorkflowStore
+
+    store = WorkflowStore(args.cache_dir)
+    try:
+        for key, value in store.stats().items():
+            print(f"{key:<20} {value}")
+    finally:
+        store.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -222,6 +298,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the machine-readable ResultSet (scores, ranks, execution diagnostics)",
     )
     search.add_argument("--ged-timeout", type=float, default=5.0)
+    search.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent warm-start store directory (scores computed here are "
+        "persisted and reused by later invocations)",
+    )
     search.set_defaults(func=_cmd_search)
 
     search_batch = subparsers.add_parser(
@@ -250,7 +332,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     search_batch.add_argument("--output", help="write results as JSON instead of printing")
     search_batch.add_argument("--ged-timeout", type=float, default=5.0)
+    search_batch.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent warm-start store directory (see 'repro index build')",
+    )
     search_batch.set_defaults(func=_cmd_search_batch)
+
+    index = subparsers.add_parser(
+        "index", help="manage the persistent warm-start store (src/repro/store)"
+    )
+    index_sub = index.add_subparsers(dest="index_command", required=True)
+    index_build = index_sub.add_parser(
+        "build",
+        help="persist a corpus snapshot + inverted annotation index into a cache dir",
+    )
+    index_build.add_argument("corpus", help="corpus JSON file")
+    index_build.add_argument("--cache-dir", required=True, help="store directory to write")
+    index_build.add_argument(
+        "--warm-measure",
+        action="append",
+        default=None,
+        help="run an all-queries batch under this measure first so its "
+        "module-pair scores are persisted too (repeatable)",
+    )
+    index_build.add_argument("-k", "--top-k", type=int, default=10)
+    index_build.add_argument("--ged-timeout", type=float, default=5.0)
+    index_build.set_defaults(func=_cmd_index_build)
+    index_stats = index_sub.add_parser("stats", help="print the contents of a cache dir")
+    index_stats.add_argument("--cache-dir", required=True)
+    index_stats.set_defaults(func=_cmd_index_stats)
 
     generate = subparsers.add_parser("generate-corpus", help="write a synthetic corpus to disk")
     generate.add_argument("output", help="output JSON file")

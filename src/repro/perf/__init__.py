@@ -25,7 +25,7 @@ The user-facing entry points are
 ``BENCH_search.json``.
 """
 
-from .cache import ModulePairScoreCache
+from .cache import ModulePairScoreCache, config_signature
 from .engine import (
     AccelerationContext,
     CachedModuleComparator,
@@ -47,6 +47,7 @@ __all__ = [
     "PruneStats",
     "WorkflowProfile",
     "accelerate_measure",
+    "config_signature",
     "module_set_top_k",
     "parallel_pairwise",
     "parallel_search_batch",

@@ -26,6 +26,8 @@ the number of distances ever computed.
 
 from __future__ import annotations
 
+import json
+from sys import intern
 from typing import Callable, Iterable
 
 from ..core.comparators import SYMMETRIC_COMPARATORS, prefix_match
@@ -33,7 +35,7 @@ from ..core.module_similarity import ModuleComparisonConfig
 from ..text.levenshtein import bitparallel_levenshtein_distance
 from .profiles import ModuleProfile
 
-__all__ = ["ModulePairScoreCache", "LevenshteinRule"]
+__all__ = ["ModulePairScoreCache", "LevenshteinRule", "config_signature"]
 
 # Internal rule kinds with specialised, profile-aware evaluation.
 _KIND_EXACT = 0
@@ -54,6 +56,30 @@ _KIND_BY_NAME = {
     "label_token_jaccard": _KIND_LABEL_TOKEN_JACCARD,
     "prefix": _KIND_PREFIX,
 }
+
+def config_signature(config: ModuleComparisonConfig) -> str | None:
+    """A process-independent identity string of a comparison configuration.
+
+    Persisted pair scores are only valid for the exact configuration
+    that produced them, so the persistence key captures everything that
+    feeds the weighted mean: the configuration name and every rule's
+    attribute, comparator name, weight and skip semantics.  Returns
+    ``None`` for configurations using comparators outside the built-in
+    rule kinds — a custom comparator registered under the same name
+    could behave differently in another process, so such caches are
+    never persisted.
+    """
+    if any(rule.comparator not in _KIND_BY_NAME for rule in config.rules):
+        return None
+    payload = [
+        config.name,
+        [
+            [rule.attribute, rule.comparator, rule.weight, rule.skip_if_both_empty]
+            for rule in config.rules
+        ],
+    ]
+    return json.dumps(payload, separators=(",", ":"))
+
 
 class LevenshteinRule:
     """Description of a single-Levenshtein-rule configuration.
@@ -104,11 +130,13 @@ class ModulePairScoreCache:
         "single_levenshtein",
         "hits",
         "misses",
+        "warm_hits",
         "_attributes",
         "_rules",
         "_scores",
         "_bounds",
         "_fingerprints",
+        "_warm",
     )
 
     def __init__(self, config: ModuleComparisonConfig) -> None:
@@ -135,8 +163,12 @@ class ModulePairScoreCache:
         # pass.  Exact scores always shadow these (checked first).
         self._bounds: dict[tuple[tuple[str, ...], tuple[str, ...]], float] = {}
         self._fingerprints: dict[int, tuple[ModuleProfile, tuple[str, ...]]] = {}
+        # Keys loaded from a persistent store; hits against them are
+        # counted separately so diagnostics can show warm-start reuse.
+        self._warm: set[tuple[tuple[str, ...], tuple[str, ...]]] = set()
         self.hits = 0
         self.misses = 0
+        self.warm_hits = 0
 
     # -- keys ----------------------------------------------------------------
 
@@ -168,6 +200,8 @@ class ModulePairScoreCache:
         value = self._scores.get(key)
         if value is not None:
             self.hits += 1
+            if self._warm and key in self._warm:
+                self.warm_hits += 1
             return value
         self.misses += 1
         value = self._compute(profile_a, profile_b)
@@ -256,6 +290,8 @@ class ModulePairScoreCache:
         value = self._scores.get(key)
         if value is not None:
             self.hits += 1
+            if self._warm and key in self._warm:
+                self.warm_hits += 1
             return value, True
         value = self._bounds.get(key)
         if value is not None:
@@ -338,6 +374,73 @@ class ModulePairScoreCache:
                 self._scores[key] = value
         return value
 
+    # -- persistence ---------------------------------------------------------
+
+    @property
+    def signature(self) -> str | None:
+        """The persistence key of this cache (see :func:`config_signature`)."""
+        return config_signature(self.config)
+
+    @property
+    def persistable(self) -> bool:
+        return self.signature is not None
+
+    def entries(self) -> "Iterable[tuple[tuple[str, ...], tuple[str, ...], float]]":
+        """Every exact score as ``(fingerprint_a, fingerprint_b, score)``.
+
+        Only the exact-score table is exported; the upper-bound memos
+        are cheap to rebuild and not score-bearing.
+        """
+        for (fingerprint_a, fingerprint_b), value in self._scores.items():
+            yield fingerprint_a, fingerprint_b, value
+
+    def new_entries(self) -> "Iterable[tuple[tuple[str, ...], tuple[str, ...], float]]":
+        """Like :meth:`entries`, but excluding warm-loaded keys.
+
+        Warm entries came out of the attached store, so writing them
+        back is pure write amplification; persistence only needs what
+        this process computed.
+        """
+        warm = self._warm
+        for key, value in self._scores.items():
+            if key not in warm:
+                yield key[0], key[1], value
+
+    def reset_warm(self) -> None:
+        """Forget which entries were warm-loaded (scores are kept).
+
+        Called when the cache is re-pointed at a *different* store:
+        entries loaded from the old store are not on the new store's
+        disk, so they must count as new for the next persist.  The
+        cumulative :attr:`warm_hits` counter is preserved.
+        """
+        self._warm.clear()
+
+    def load_entries(
+        self, entries: "Iterable[tuple[tuple[str, ...], tuple[str, ...], float]]"
+    ) -> int:
+        """Warm-start the score table from persisted entries.
+
+        Entries must come from a cache with the same
+        :attr:`signature` — their keys are already canonical for this
+        configuration's symmetry.  Values already computed in this
+        process are never overwritten (they are bit-identical anyway).
+        Returns the number of entries loaded; hits served from them are
+        counted on :attr:`warm_hits`.
+        """
+        loaded = 0
+        scores = self._scores
+        for fingerprint_a, fingerprint_b, value in entries:
+            key = (
+                tuple(intern(part) for part in fingerprint_a),
+                tuple(intern(part) for part in fingerprint_b),
+            )
+            if key not in scores:
+                scores[key] = value
+                self._warm.add(key)
+                loaded += 1
+        return loaded
+
     # -- bookkeeping ---------------------------------------------------------
 
     @property
@@ -357,6 +460,8 @@ class ModulePairScoreCache:
             "misses": self.misses,
             "hit_rate": self.hit_rate,
             "symmetric": self.symmetric,
+            "warm_entries": len(self._warm),
+            "warm_hits": self.warm_hits,
         }
 
     def invalidate_profiles(self, profiles: "Iterable[ModuleProfile]") -> int:
@@ -381,5 +486,7 @@ class ModulePairScoreCache:
         self._scores.clear()
         self._bounds.clear()
         self._fingerprints.clear()
+        self._warm.clear()
         self.hits = 0
         self.misses = 0
+        self.warm_hits = 0

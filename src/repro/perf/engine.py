@@ -67,6 +67,11 @@ class AccelerationContext:
     def __init__(self, profiles: ProfileStore | None = None) -> None:
         self.profiles = profiles if profiles is not None else ProfileStore()
         self._pair_caches: dict[object, ModulePairScoreCache] = {}
+        #: Optional persistent backend (a :class:`repro.store.WorkflowStore`,
+        #: held duck-typed so the perf layer stays import-independent of
+        #: the store package).  When set, newly created pair caches are
+        #: warm-started from its persisted scores.
+        self._store = None
 
     def pair_cache(self, config: ModuleComparisonConfig) -> ModulePairScoreCache:
         key = (config.name, config.rules)
@@ -74,10 +79,68 @@ class AccelerationContext:
         if cache is None:
             cache = ModulePairScoreCache(config)
             self._pair_caches[key] = cache
+            self._warm_cache(cache)
         return cache
 
     def cache_stats(self) -> list[dict[str, float | int | str]]:
         return [cache.stats() for cache in self._pair_caches.values()]
+
+    # -- persistence ---------------------------------------------------------
+
+    def attach_store(self, store) -> int:
+        """Warm-start pair caches from a persistent score store.
+
+        Safe regardless of corpus: scores are keyed by attribute-value
+        fingerprints, so a persisted entry is exact for *any* module
+        pair with those values.  Caches created after attachment load
+        lazily on first use.  Returns the number of entries loaded into
+        the already-existing caches.
+
+        Warm markers always describe the *currently attached* store
+        (they are what :meth:`persist_scores` skips); switch stores via
+        :meth:`reset_warm_markers` first, or through
+        :meth:`SimilarityService.attach_cache_dir
+        <repro.api.service.SimilarityService.attach_cache_dir>`, which
+        does so.
+        """
+        self._store = store
+        return sum(self._warm_cache(cache) for cache in self._pair_caches.values())
+
+    def detach_store(self) -> None:
+        """Stop consulting the store (e.g. before its connection closes)."""
+        self._store = None
+
+    def reset_warm_markers(self) -> None:
+        """Re-mark every warm entry as new (see :meth:`ModulePairScoreCache.reset_warm`)."""
+        for cache in self._pair_caches.values():
+            cache.reset_warm()
+
+    def _warm_cache(self, cache: ModulePairScoreCache) -> int:
+        if self._store is None:
+            return 0
+        signature = cache.signature
+        if signature is None:
+            return 0
+        return cache.load_entries(self._store.load_pair_scores(signature))
+
+    def persist_scores(self, store) -> int:
+        """Write every persistable cache's *new* exact scores to ``store``.
+
+        Warm-loaded entries already live on that store's disk and are
+        skipped.  Returns the number of rows written.  Caches with
+        custom comparators have no stable cross-process signature and
+        are skipped entirely (see :func:`repro.perf.cache.config_signature`).
+        """
+        written = 0
+        for cache in self._pair_caches.values():
+            signature = cache.signature
+            if signature is not None:
+                written += store.save_pair_scores(signature, cache.new_entries())
+        return written
+
+    def warm_hits_total(self) -> int:
+        """Total hits served from persisted (warm-started) entries."""
+        return sum(cache.warm_hits for cache in self._pair_caches.values())
 
     def invalidate_workflows(self, identifiers: Sequence[str]) -> dict[str, int]:
         """Precisely release the derived state of removed workflows.

@@ -206,5 +206,17 @@ class WorkflowRepository:
         data = json.loads(Path(path).read_text())
         if isinstance(data, list):
             return cls(load_workflows(path), name=Path(path).stem)
-        workflows = [workflow_from_dict(entry) for entry in data.get("workflows", [])]
-        return cls(workflows, name=data.get("name", Path(path).stem))
+        return cls.from_dicts(data.get("workflows", []), name=data.get("name", Path(path).stem))
+
+    @classmethod
+    def from_dicts(
+        cls, payloads: Iterable[dict], *, name: str = "repository"
+    ) -> "WorkflowRepository":
+        """Build a repository from serialized workflow dictionaries.
+
+        Payload order becomes the repository's iteration (pool) order —
+        which matters, because ranking tie-breaks follow it.  Used by
+        :meth:`load` and by :class:`repro.store.WorkflowStore` when
+        rebuilding a persisted snapshot.
+        """
+        return cls((workflow_from_dict(entry) for entry in payloads), name=name)

@@ -1,0 +1,31 @@
+"""Persistent warm-start store and inverted annotation index.
+
+The two durable structures behind :class:`repro.api.SimilarityService`'s
+``cache_dir`` support:
+
+* :class:`WorkflowStore` — a SQLite file persisting the corpus snapshot
+  (in pool order), the value-fingerprint-keyed module-pair score caches
+  of :mod:`repro.perf`, and the inverted index, so a service reopened
+  over the same directory warm-starts bit-identically to the process
+  that wrote it;
+* :class:`InvertedAnnotationIndex` — token → workflow postings over
+  annotations and module labels, giving the bag-overlap measures
+  (``BW``/``BT``) a provably score-safe sublinear candidate
+  preselection.
+
+Typical lifecycle::
+
+    service = SimilarityService.open("corpus.json", cache_dir="cache/")
+    service.build_index()
+    service.search(SearchRequest(measure="MS_ip_te_pll", k=10))
+    service.persist()          # snapshot + pair scores + index to disk
+
+    # later, in a fresh process:
+    warm = SimilarityService.open(cache_dir="cache/")
+    warm.search(...)           # bit-identical results, warm caches
+"""
+
+from .inverted_index import InvertedAnnotationIndex
+from .workflow_store import WorkflowStore, corpus_fingerprint
+
+__all__ = ["InvertedAnnotationIndex", "WorkflowStore", "corpus_fingerprint"]

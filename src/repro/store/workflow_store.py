@@ -1,0 +1,317 @@
+"""SQLite-backed persistence for repositories, score caches and the index.
+
+A :class:`WorkflowStore` is the durable half of the acceleration layer:
+everything the in-process caches learn — module-pair scores keyed by
+attribute-value fingerprints, the inverted annotation index, and the
+corpus snapshot they were derived from — survives a process restart, so
+a :class:`~repro.api.service.SimilarityService` reopened over the same
+``cache_dir`` warm-starts bit-identically instead of paying the full
+cold-start cost again.
+
+One store is one SQLite file (``repro_store.sqlite``) inside the cache
+directory, holding four tables:
+
+* ``meta`` — schema version and repository name;
+* ``workflows`` — the corpus snapshot, one JSON payload per workflow
+  with an explicit ``position`` column.  Iteration order is part of a
+  corpus' identity (ranking tie-breaks follow pool order), so the
+  snapshot preserves it exactly;
+* ``pair_scores`` — the value-fingerprint-keyed module-pair scores of
+  :class:`~repro.perf.cache.ModulePairScoreCache`, one row per
+  ``(configuration signature, fingerprint_a, fingerprint_b)``.  SQLite
+  ``REAL`` is an IEEE-754 double, so scores round-trip bit-exactly;
+* ``postings`` — the flat rows of an
+  :class:`~repro.store.inverted_index.InvertedAnnotationIndex`.
+
+Invalidation is precise and value-safe: removing or adding a workflow
+touches only its snapshot row and its posting rows, while pair scores
+are *never* invalidated by corpus churn — they are keyed by attribute
+values, not by corpus membership, and stay exact for any workflow still
+(or later) in the corpus.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+from pathlib import Path
+from typing import Iterable
+
+from ..repository.repository import WorkflowRepository
+from ..workflow.serialization import workflow_from_dict, workflow_to_dict
+from .inverted_index import InvertedAnnotationIndex
+
+__all__ = ["WorkflowStore", "corpus_fingerprint"]
+
+SCHEMA_VERSION = 1
+STORE_FILENAME = "repro_store.sqlite"
+
+
+def _workflow_payload(workflow) -> str:
+    """The canonical snapshot payload of one workflow.
+
+    ``sort_keys`` makes the byte string deterministic, which is what the
+    corpus fingerprint hashes — the stored payloads and live objects
+    must produce identical bytes.
+    """
+    return json.dumps(workflow_to_dict(workflow), sort_keys=True, separators=(",", ":"))
+
+
+def _fingerprint_of_payloads(payloads: Iterable[str]) -> str:
+    digest = hashlib.sha256()
+    for payload in payloads:
+        digest.update(payload.encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def corpus_fingerprint(repository: WorkflowRepository) -> str:
+    """Order-sensitive content hash of a repository.
+
+    Two corpora are interchangeable for similarity search only if they
+    hold the same workflows *in the same iteration order* (ranking
+    tie-breaks follow pool order), so the order is part of the hash.
+    """
+    return _fingerprint_of_payloads(_workflow_payload(workflow) for workflow in repository)
+
+
+class WorkflowStore:
+    """One cache directory's persistent snapshot, scores and index."""
+
+    def __init__(self, cache_dir: str | Path, *, filename: str = STORE_FILENAME) -> None:
+        self.directory = Path(cache_dir)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / filename
+        self._connection = sqlite3.connect(str(self.path))
+        self._init_schema()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _init_schema(self) -> None:
+        cursor = self._connection.cursor()
+        cursor.execute("CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT NOT NULL)")
+        cursor.execute(
+            "CREATE TABLE IF NOT EXISTS workflows ("
+            " identifier TEXT PRIMARY KEY,"
+            " position INTEGER NOT NULL,"
+            " payload TEXT NOT NULL)"
+        )
+        cursor.execute(
+            "CREATE TABLE IF NOT EXISTS pair_scores ("
+            " config TEXT NOT NULL,"
+            " fp_a TEXT NOT NULL,"
+            " fp_b TEXT NOT NULL,"
+            " score REAL NOT NULL,"
+            " PRIMARY KEY (config, fp_a, fp_b))"
+        )
+        cursor.execute(
+            "CREATE TABLE IF NOT EXISTS postings ("
+            " field TEXT NOT NULL,"
+            " token TEXT NOT NULL,"
+            " workflow_id TEXT NOT NULL,"
+            " PRIMARY KEY (field, token, workflow_id))"
+        )
+        cursor.execute(
+            "CREATE INDEX IF NOT EXISTS postings_by_workflow ON postings (workflow_id)"
+        )
+        row = cursor.execute("SELECT value FROM meta WHERE key = 'schema_version'").fetchone()
+        if row is None:
+            cursor.execute(
+                "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
+                (str(SCHEMA_VERSION),),
+            )
+        elif int(row[0]) != SCHEMA_VERSION:
+            raise ValueError(
+                f"store {self.path} has schema version {row[0]}, "
+                f"this build expects {SCHEMA_VERSION}"
+            )
+        self._connection.commit()
+
+    def close(self) -> None:
+        self._connection.close()
+
+    def __enter__(self) -> "WorkflowStore":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- repository snapshot -------------------------------------------------
+
+    def has_snapshot(self) -> bool:
+        row = self._connection.execute("SELECT EXISTS(SELECT 1 FROM workflows)").fetchone()
+        return bool(row[0])
+
+    def save_repository(self, repository: WorkflowRepository) -> int:
+        """Replace the snapshot with the current corpus; returns its size."""
+        rows = [
+            (workflow.identifier, position, _workflow_payload(workflow))
+            for position, workflow in enumerate(repository)
+        ]
+        cursor = self._connection.cursor()
+        cursor.execute("DELETE FROM workflows")
+        cursor.executemany(
+            "INSERT INTO workflows (identifier, position, payload) VALUES (?, ?, ?)", rows
+        )
+        cursor.execute(
+            "INSERT OR REPLACE INTO meta (key, value) VALUES ('repository_name', ?)",
+            (repository.name,),
+        )
+        self._connection.commit()
+        return len(rows)
+
+    def load_repository(self) -> WorkflowRepository | None:
+        """Rebuild the snapshot corpus in its original iteration order."""
+        rows = self._connection.execute(
+            "SELECT payload FROM workflows ORDER BY position"
+        ).fetchall()
+        if not rows:
+            return None
+        name_row = self._connection.execute(
+            "SELECT value FROM meta WHERE key = 'repository_name'"
+        ).fetchone()
+        return WorkflowRepository.from_dicts(
+            (json.loads(payload) for (payload,) in rows),
+            name=name_row[0] if name_row else "repository",
+        )
+
+    def fingerprint(self) -> str | None:
+        """The snapshot's corpus fingerprint (``None`` without a snapshot).
+
+        Always derived from the stored payloads, so it can never go
+        stale under incremental :meth:`add_workflow` /
+        :meth:`remove_workflow` churn.
+        """
+        rows = self._connection.execute(
+            "SELECT payload FROM workflows ORDER BY position"
+        ).fetchall()
+        if not rows:
+            return None
+        return _fingerprint_of_payloads(payload for (payload,) in rows)
+
+    def add_workflow(self, workflow) -> None:
+        """Upsert one snapshot row (appended at the end of the pool order).
+
+        When an index has been persisted, the workflow's posting rows
+        are refreshed in the same transaction so the stored index can
+        never drift from the stored corpus.
+        """
+        cursor = self._connection.cursor()
+        indexed = bool(cursor.execute("SELECT EXISTS(SELECT 1 FROM postings)").fetchone()[0])
+        position_row = cursor.execute("SELECT COALESCE(MAX(position), -1) FROM workflows").fetchone()
+        cursor.execute(
+            "INSERT OR REPLACE INTO workflows (identifier, position, payload) VALUES (?, ?, ?)",
+            (workflow.identifier, position_row[0] + 1, _workflow_payload(workflow)),
+        )
+        cursor.execute("DELETE FROM postings WHERE workflow_id = ?", (workflow.identifier,))
+        if indexed:
+            cursor.executemany(
+                "INSERT OR REPLACE INTO postings (field, token, workflow_id) VALUES (?, ?, ?)",
+                [
+                    (field, token, workflow.identifier)
+                    for field in InvertedAnnotationIndex.FIELDS
+                    for token in InvertedAnnotationIndex.workflow_tokens(field, workflow)
+                ],
+            )
+        self._connection.commit()
+
+    def remove_workflow(self, identifier: str) -> bool:
+        """Delete one snapshot row and its postings; returns whether it existed.
+
+        Pair scores are deliberately untouched — value-keyed entries
+        remain exact for every workflow still in (or later added to)
+        the corpus.
+        """
+        cursor = self._connection.cursor()
+        cursor.execute("DELETE FROM workflows WHERE identifier = ?", (identifier,))
+        existed = cursor.rowcount > 0
+        cursor.execute("DELETE FROM postings WHERE workflow_id = ?", (identifier,))
+        self._connection.commit()
+        return existed
+
+    # -- module-pair scores --------------------------------------------------
+
+    def save_pair_scores(
+        self,
+        config_signature: str,
+        entries: Iterable[tuple[tuple[str, ...], tuple[str, ...], float]],
+    ) -> int:
+        """Upsert the scores of one configuration; returns the row count."""
+        rows = [
+            (config_signature, json.dumps(list(fp_a)), json.dumps(list(fp_b)), score)
+            for fp_a, fp_b, score in entries
+        ]
+        cursor = self._connection.cursor()
+        cursor.executemany(
+            "INSERT OR REPLACE INTO pair_scores (config, fp_a, fp_b, score) VALUES (?, ?, ?, ?)",
+            rows,
+        )
+        self._connection.commit()
+        return len(rows)
+
+    def load_pair_scores(
+        self, config_signature: str
+    ) -> list[tuple[tuple[str, ...], tuple[str, ...], float]]:
+        """Every persisted score of one configuration."""
+        rows = self._connection.execute(
+            "SELECT fp_a, fp_b, score FROM pair_scores WHERE config = ?",
+            (config_signature,),
+        ).fetchall()
+        return [
+            (tuple(json.loads(fp_a)), tuple(json.loads(fp_b)), score)
+            for fp_a, fp_b, score in rows
+        ]
+
+    def pair_score_count(self) -> int:
+        return self._connection.execute("SELECT COUNT(*) FROM pair_scores").fetchone()[0]
+
+    # -- inverted index ------------------------------------------------------
+
+    def save_index(self, index: InvertedAnnotationIndex) -> int:
+        """Replace the persisted postings; returns the row count."""
+        rows = list(index.rows())
+        cursor = self._connection.cursor()
+        cursor.execute("DELETE FROM postings")
+        cursor.executemany(
+            "INSERT INTO postings (field, token, workflow_id) VALUES (?, ?, ?)", rows
+        )
+        self._connection.commit()
+        return len(rows)
+
+    def clear_postings(self) -> int:
+        """Drop the persisted index (used when a snapshot is replaced
+        without a live index — stale postings must not survive)."""
+        cursor = self._connection.cursor()
+        cursor.execute("DELETE FROM postings")
+        self._connection.commit()
+        return 0
+
+    def load_index(self) -> InvertedAnnotationIndex | None:
+        """Rebuild the persisted index (``None`` when none was saved)."""
+        rows = self._connection.execute(
+            "SELECT field, token, workflow_id FROM postings"
+        ).fetchall()
+        if not rows:
+            return None
+        return InvertedAnnotationIndex.from_rows(rows)
+
+    # -- diagnostics ---------------------------------------------------------
+
+    def stats(self) -> dict[str, int | str]:
+        """Row counts of every table (for ``repro index stats``)."""
+        connection = self._connection
+        name_row = connection.execute(
+            "SELECT value FROM meta WHERE key = 'repository_name'"
+        ).fetchone()
+        configs = connection.execute(
+            "SELECT COUNT(DISTINCT config) FROM pair_scores"
+        ).fetchone()[0]
+        return {
+            "path": str(self.path),
+            "repository_name": name_row[0] if name_row else "",
+            "workflows": connection.execute("SELECT COUNT(*) FROM workflows").fetchone()[0],
+            "pair_scores": self.pair_score_count(),
+            "pair_score_configs": configs,
+            "postings": connection.execute("SELECT COUNT(*) FROM postings").fetchone()[0],
+        }

@@ -126,6 +126,30 @@ class TestAutoRouting:
         assert result.diagnostics.path == "parallel"
         assert result.diagnostics.workers == 2
 
+    def test_sequential_path_reports_cache_counters(self, small_corpus):
+        # Satellite: cache hit/miss counters are attached on every path,
+        # including the sequential reference scan (which does not consult
+        # the caches but should still surface their state).
+        service = SimilarityService(
+            fresh_repository(small_corpus.repository.workflows()[:15])
+        )
+        ids = service.repository.identifiers()[:2]
+        service.search(SearchRequest(measure="MS_ip_te_pll", queries=ids, k=5))
+        sequential = service.search(
+            SearchRequest(
+                measure="MS_ip_te_pll",
+                queries=ids,
+                k=5,
+                policy=ExecutionPolicy.sequential(),
+            )
+        )
+        assert sequential.diagnostics.path == "sequential"
+        assert sequential.diagnostics.caches
+        assert all(
+            {"hits", "misses", "warm_hits"} <= set(entry)
+            for entry in sequential.diagnostics.caches
+        )
+
     def test_sequential_is_reported(self, service, small_corpus):
         result = service.search(
             SearchRequest(
@@ -300,10 +324,10 @@ class TestIncrementalRepository:
 
         service = SimilarityService(fresh_repository(workflows, name="mutable"))
         service.search(self._request(query_ids))  # warm the caches first
-        summary = service.remove_workflows(victims)
-        assert summary["workflows"] == len(victims)
-        assert summary["module_profiles"] > 0
-        assert service.last_invalidation == summary
+        removed = service.remove_workflows(victims)
+        assert removed == victims
+        assert service.last_invalidation["workflows"] == len(victims)
+        assert service.last_invalidation["module_profiles"] > 0
 
         fresh = SimilarityService(fresh_repository(workflows[:30], name="fresh"))
         assert service.search(self._request(query_ids)) == fresh.search(
@@ -352,19 +376,23 @@ class TestIncrementalRepository:
             self._request(query_ids)
         )
 
-    def test_remove_unknown_identifier_is_atomic(self, small_corpus):
+    def test_remove_unknown_identifiers_are_ignored(self, small_corpus):
+        # Removal is idempotent: unknown ids are skipped, and the return
+        # value names exactly what was removed.
         workflows = small_corpus.repository.workflows()[:10]
         service = SimilarityService(fresh_repository(workflows, name="mutable"))
-        with pytest.raises(KeyError):
-            service.remove_workflows([workflows[0].identifier, "ghost"])
-        assert len(service) == 10  # nothing was removed
+        removed = service.remove_workflows([workflows[0].identifier, "ghost"])
+        assert removed == [workflows[0].identifier]
+        assert service.last_invalidation["requested"] == 2
+        assert len(service) == 9
+        assert service.remove_workflows(["ghost"]) == []
+        assert len(service) == 9
 
     def test_remove_tolerates_duplicate_identifiers(self, small_corpus):
         workflows = small_corpus.repository.workflows()[:10]
         service = SimilarityService(fresh_repository(workflows, name="mutable"))
         victim = workflows[-1].identifier
-        summary = service.remove_workflows([victim, victim])
-        assert summary["workflows"] == 1
+        assert service.remove_workflows([victim, victim]) == [victim]
         assert len(service) == 9
 
     def test_add_duplicate_identifier_raises(self, small_corpus):

@@ -165,3 +165,49 @@ class TestCommands:
         assert "BW" in output
         assert "MS_ip_te_pll" in output
         assert len(output) == 74
+
+
+class TestIndexCommands:
+    def test_index_build_and_stats(self, corpus_file, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        exit_code = main(
+            [
+                "index", "build", str(corpus_file), "--cache-dir", str(cache_dir),
+                "--warm-measure", "MS_ip_te_pll", "-k", "3",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "warmed MS_ip_te_pll" in output
+        assert "persisted" in output
+        assert (cache_dir / "repro_store.sqlite").exists()
+
+        assert main(["index", "stats", "--cache-dir", str(cache_dir)]) == 0
+        stats_output = capsys.readouterr().out
+        assert "workflows" in stats_output
+        assert "pair_scores" in stats_output
+        assert "postings" in stats_output
+
+    def test_search_with_cache_dir_warm_starts(
+        self, corpus_file, small_corpus, tmp_path, capsys
+    ):
+        cache_dir = tmp_path / "cache"
+        query_id = small_corpus.repository.identifiers()[0]
+        assert main(
+            [
+                "index", "build", str(corpus_file), "--cache-dir", str(cache_dir),
+                "--warm-measure", "MS_ip_te_pll", "-k", "4",
+            ]
+        ) == 0
+        capsys.readouterr()
+        # A separate invocation (fresh service) over the same cache dir
+        # must serve pair scores from the persisted store.
+        exit_code = main(
+            [
+                "search", str(corpus_file), query_id, "--measure", "MS_ip_te_pll",
+                "-k", "4", "--cache-dir", str(cache_dir), "--json",
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["diagnostics"]["cache_warm_hits"] > 0

@@ -1,0 +1,234 @@
+"""Inverted annotation index: admission soundness and indexed routing.
+
+The index's contract is *score-safety*: preselection may never change a
+result.  Every test here compares the indexed path against the
+sequential reference scan bit for bit, across corpus churn and edge
+cases (empty token sets, fewer candidates than ``k``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import ExecutionPolicy, SearchRequest, SimilarityService
+from repro.core.annotations import BagOfTagsSimilarity, BagOfWordsSimilarity
+from repro.repository import WorkflowRepository
+from repro.store import InvertedAnnotationIndex
+
+
+def fresh_repository(workflows, name="fresh"):
+    return WorkflowRepository(list(workflows), name=name)
+
+
+@pytest.fixture()
+def indexed_service(small_corpus):
+    service = SimilarityService(
+        fresh_repository(small_corpus.repository.workflows()[:40])
+    )
+    service.build_index()
+    return service
+
+
+class TestTokenPipelines:
+    """The index must tokenise exactly as the measures do — any drift
+    would break the admission bound."""
+
+    def test_text_tokens_match_bag_of_words(self, small_corpus):
+        measure = BagOfWordsSimilarity()
+        for workflow in small_corpus.repository.workflows()[:25]:
+            assert InvertedAnnotationIndex.workflow_tokens("text", workflow) == measure.tokens(
+                workflow
+            )
+
+    def test_tag_tokens_match_bag_of_tags(self, small_corpus):
+        measure = BagOfTagsSimilarity()
+        for workflow in small_corpus.repository.workflows()[:25]:
+            assert InvertedAnnotationIndex.workflow_tokens("tags", workflow) == measure.tags(
+                workflow
+            )
+
+    def test_unknown_field_rejected(self, kegg_workflow):
+        with pytest.raises(ValueError):
+            InvertedAnnotationIndex.workflow_tokens("scripts", kegg_workflow)
+
+
+class TestAdmissionBound:
+    def test_every_positive_scoring_pair_is_admitted(self, small_corpus):
+        """Score-safety: similarity > 0 implies index admission, for both
+        bag-overlap measures."""
+        workflows = small_corpus.repository.workflows()[:30]
+        index = InvertedAnnotationIndex.build(workflows)
+        pairs = [(measure, field) for measure, field in
+                 ((BagOfWordsSimilarity(), "text"), (BagOfTagsSimilarity(), "tags"))]
+        for measure, field in pairs:
+            for query in workflows[:10]:
+                tokens = index.workflow_tokens(field, query)
+                admitted = index.candidates(field, tokens)
+                for candidate in workflows:
+                    if candidate.identifier == query.identifier:
+                        continue
+                    if measure.similarity(query, candidate) > 0.0:
+                        assert candidate.identifier in admitted
+
+    def test_measure_field_only_covers_bag_overlap_measures(self):
+        assert InvertedAnnotationIndex.measure_field("BW") == "text"
+        assert InvertedAnnotationIndex.measure_field("BT") == "tags"
+        assert InvertedAnnotationIndex.measure_field("MS_ip_te_pll") is None
+        assert InvertedAnnotationIndex.measure_field("BW+MS_ip_te_pll") is None
+
+
+class TestIndexedRouting:
+    """AUTO routes annotation measures through the index, bit-identically."""
+
+    @pytest.mark.parametrize("measure", ["BW", "BT"])
+    def test_indexed_matches_sequential_all_queries(self, indexed_service, measure):
+        request = SearchRequest(measure=measure, k=10)
+        auto = indexed_service.search(request)
+        sequential = indexed_service.search(
+            SearchRequest(measure=measure, k=10, policy=ExecutionPolicy.sequential())
+        )
+        assert auto == sequential
+        assert auto.result_tuples() == sequential.result_tuples()
+        assert auto.diagnostics.path == "indexed"
+        corpus_size = len(indexed_service)
+        assert auto.diagnostics.index_candidates < corpus_size * corpus_size
+
+    def test_single_query_preselects_below_corpus_size(self, indexed_service):
+        query_id = indexed_service.repository.identifiers()[0]
+        result = indexed_service.search(
+            SearchRequest(measure="BW", queries=[query_id], k=10)
+        )
+        assert result.diagnostics.path == "indexed"
+        assert result.diagnostics.index_candidates < len(indexed_service)
+
+    def test_preselect_false_bypasses_index(self, indexed_service):
+        query_id = indexed_service.repository.identifiers()[0]
+        result = indexed_service.search(
+            SearchRequest(
+                measure="BW",
+                queries=[query_id],
+                k=5,
+                policy=ExecutionPolicy.auto(preselect=False),
+            )
+        )
+        assert result.diagnostics.path == "cached"
+        assert result.diagnostics.index_candidates is None
+
+    def test_without_index_auto_uses_cached_scan(self, small_corpus):
+        service = SimilarityService(
+            fresh_repository(small_corpus.repository.workflows()[:15])
+        )
+        result = service.search(
+            SearchRequest(measure="BW", queries=[service.repository.identifiers()[0]], k=5)
+        )
+        assert result.diagnostics.path == "cached"
+
+    def test_candidate_restriction_bypasses_index(self, indexed_service):
+        ids = indexed_service.repository.identifiers()
+        restricted = indexed_service.search(
+            SearchRequest(measure="BW", queries=[ids[0]], k=5, candidates=ids[1:8])
+        )
+        assert restricted.diagnostics.path != "indexed"
+        sequential = indexed_service.search(
+            SearchRequest(
+                measure="BW",
+                queries=[ids[0]],
+                k=5,
+                candidates=ids[1:8],
+                policy=ExecutionPolicy.sequential(),
+            )
+        )
+        assert restricted == sequential
+
+    def test_ensembles_never_use_the_index(self, indexed_service):
+        query_id = indexed_service.repository.identifiers()[0]
+        request = SearchRequest(measure="BW+MS_ip_te_pll", queries=[query_id], k=5)
+        result = indexed_service.search(request)
+        assert result.diagnostics.path != "indexed"
+        sequential = indexed_service.search(
+            SearchRequest(
+                measure="BW+MS_ip_te_pll",
+                queries=[query_id],
+                k=5,
+                policy=ExecutionPolicy.sequential(),
+            )
+        )
+        assert result == sequential
+
+    def test_sparse_query_fills_with_zero_scores(self, small_corpus, untagged_workflow):
+        """A query admitting fewer candidates than ``k`` pads the ranking
+        with zero-score workflows in pool order — exactly like the
+        reference scan."""
+        workflows = small_corpus.repository.workflows()[:20] + [untagged_workflow]
+        service = SimilarityService(fresh_repository(workflows))
+        service.build_index()
+        request = SearchRequest(
+            measure="BT", queries=[untagged_workflow.identifier], k=10
+        )
+        indexed = service.search(request)
+        assert indexed.diagnostics.path == "indexed"
+        assert indexed.diagnostics.index_candidates == 0  # no tags, no overlap
+        sequential = service.search(
+            SearchRequest(
+                measure="BT",
+                queries=[untagged_workflow.identifier],
+                k=10,
+                policy=ExecutionPolicy.sequential(),
+            )
+        )
+        assert indexed == sequential
+        assert all(hit.similarity == 0.0 for hit in indexed.for_query(untagged_workflow.identifier))
+
+
+class TestIndexMutation:
+    def test_index_follows_add_and_remove(self, small_corpus):
+        workflows = small_corpus.repository.workflows()
+        base, extra = workflows[:25], workflows[25:30]
+        service = SimilarityService(fresh_repository(base))
+        service.build_index()
+        service.add_workflows(extra)
+        service.remove_workflows([base[3].identifier, base[7].identifier])
+        query_id = base[0].identifier
+
+        auto = service.search(SearchRequest(measure="BW", queries=[query_id], k=10))
+        assert auto.diagnostics.path == "indexed"
+        fresh = SimilarityService(fresh_repository(service.repository.workflows()))
+        sequential = fresh.search(
+            SearchRequest(
+                measure="BW", queries=[query_id], k=10, policy=ExecutionPolicy.sequential()
+            )
+        )
+        assert auto == sequential
+
+    def test_remove_then_readd_reindexes(self, small_corpus):
+        workflows = small_corpus.repository.workflows()[:10]
+        index = InvertedAnnotationIndex.build(workflows)
+        victim = workflows[4]
+        assert index.remove_workflow(victim.identifier)
+        assert victim.identifier not in index
+        assert not index.remove_workflow(victim.identifier)
+        index.add_workflow(victim)
+        assert victim.identifier in index
+        tokens = index.workflow_tokens("text", victim)
+        if tokens:
+            assert victim.identifier in index.candidates("text", tokens)
+
+
+class TestRowPersistence:
+    def test_rows_round_trip(self, small_corpus):
+        workflows = small_corpus.repository.workflows()[:20]
+        index = InvertedAnnotationIndex.build(workflows)
+        rebuilt = InvertedAnnotationIndex.from_rows(index.rows())
+        for field in InvertedAnnotationIndex.FIELDS:
+            for workflow in workflows:
+                tokens = index.workflow_tokens(field, workflow)
+                assert rebuilt.candidates(field, tokens) == index.candidates(field, tokens)
+
+    def test_stats_counters(self, small_corpus):
+        workflows = small_corpus.repository.workflows()[:10]
+        index = InvertedAnnotationIndex.build(workflows)
+        stats = index.stats()
+        assert stats["documents"] == 10
+        assert stats["postings"] == (
+            stats["text_postings"] + stats["tags_postings"] + stats["label_postings"]
+        )
