@@ -156,6 +156,34 @@ def run_benchmark(args: argparse.Namespace) -> dict:
             f"{len(query_ids)} queries x {len(repository)} workflows, "
             f"identical: {bw_identical})"
         )
+        # Resilience: corrupt the persisted store out-of-band, then time
+        # the full degraded request — open detects the bad checksum,
+        # quarantines the file, rebuilds from the salvaged snapshot, and
+        # still serves the query bit-identically.  This is the price of
+        # a quarantine-and-rebuild, paid once, on the unlucky request.
+        warm_service.close()
+        import sqlite3
+
+        connection = sqlite3.connect(cache_dir / "repro_store.sqlite")
+        connection.execute(
+            "UPDATE pair_scores SET score = score + 0.25 "
+            "WHERE rowid = (SELECT MIN(rowid) FROM pair_scores)"
+        )
+        connection.commit()
+        connection.close()
+        degraded_started = time.perf_counter()
+        degraded_service = SimilarityService.open(
+            cache_dir=cache_dir, framework=SimilarityFramework()
+        )
+        degraded_set = degraded_service.search(fast_request)
+        degraded_seconds = time.perf_counter() - degraded_started
+        degraded_identical = degraded_set == seed_set
+        degraded_flagged = bool(degraded_set.diagnostics.degraded)
+        degraded_service.close()
+        print(
+            f"  degraded search (quarantine + rebuild): {degraded_seconds:.2f}s "
+            f"(flagged: {degraded_flagged}, identical: {degraded_identical})"
+        )
         warm_report = {
             "persist_seconds": persist_seconds,
             "persisted_pair_scores": persist_summary["pair_scores"],
@@ -173,6 +201,9 @@ def run_benchmark(args: argparse.Namespace) -> dict:
                 "scanned_pairs": len(query_ids) * len(repository),
                 "identical": bw_identical,
             },
+            "degraded_search_ms": degraded_seconds * 1000.0,
+            "degraded_identical": degraded_identical,
+            "degraded_flagged": degraded_flagged,
         }
     finally:
         shutil.rmtree(cache_dir, ignore_errors=True)
@@ -279,6 +310,13 @@ def main(argv=None) -> int:
         return 2
     if warm_start["cache_warm_hits"] <= 0:
         print("FAIL: warm-started service served no hits from the store", file=sys.stderr)
+        return 2
+    if not warm_start["degraded_identical"] or not warm_start["degraded_flagged"]:
+        print(
+            "FAIL: quarantine-and-rebuild search was not bit-identical "
+            "or not flagged degraded",
+            file=sys.stderr,
+        )
         return 2
     if args.min_speedup and report["search"]["speedup"] < args.min_speedup:
         print(

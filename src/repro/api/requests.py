@@ -69,6 +69,14 @@ class ExecutionPolicy:
     candidate preselection that ``AUTO`` applies to annotation measures
     whenever an index is loaded (bit-identical by construction — the
     admission bound is score-safe).
+
+    The retry knobs shape the attached store's
+    :class:`~repro.store.resilience.RetryPolicy` for transient
+    ``database is locked`` contention: ``retry_attempts`` total tries
+    (1 = fail fast), backing off exponentially from
+    ``retry_base_delay`` seconds up to ``retry_max_delay`` (with
+    jitter).  They apply when *this policy's* ``cache_dir`` causes the
+    store attachment; a store attached earlier keeps its own policy.
     """
 
     mode: ExecutionMode = ExecutionMode.AUTO
@@ -77,6 +85,9 @@ class ExecutionPolicy:
     prune: bool = True
     cache_dir: str | None = None
     preselect: bool = True
+    retry_attempts: int = 5
+    retry_base_delay: float = 0.02
+    retry_max_delay: float = 0.5
 
     def __post_init__(self) -> None:
         if not isinstance(self.mode, ExecutionMode):
@@ -87,6 +98,20 @@ class ExecutionPolicy:
             raise ValueError(f"chunk_size must be positive, got {self.chunk_size}")
         if self.cache_dir is not None:
             object.__setattr__(self, "cache_dir", str(self.cache_dir))
+        if self.retry_attempts < 1:
+            raise ValueError(f"retry_attempts must be >= 1, got {self.retry_attempts}")
+        if self.retry_base_delay < 0 or self.retry_max_delay < 0:
+            raise ValueError("retry delays must be non-negative")
+
+    def retry_policy(self):
+        """The :class:`~repro.store.resilience.RetryPolicy` these knobs describe."""
+        from ..store.resilience import RetryPolicy
+
+        return RetryPolicy(
+            attempts=self.retry_attempts,
+            base_delay=self.retry_base_delay,
+            max_delay=self.retry_max_delay,
+        )
 
     # -- constructors --------------------------------------------------------
 
@@ -131,6 +156,9 @@ class ExecutionPolicy:
             "prune": self.prune,
             "cache_dir": self.cache_dir,
             "preselect": self.preselect,
+            "retry_attempts": self.retry_attempts,
+            "retry_base_delay": self.retry_base_delay,
+            "retry_max_delay": self.retry_max_delay,
         }
 
     @classmethod
@@ -143,6 +171,9 @@ class ExecutionPolicy:
             prune=bool(data.get("prune", True)),
             cache_dir=str(cache_dir) if cache_dir is not None else None,
             preselect=bool(data.get("preselect", True)),
+            retry_attempts=int(data.get("retry_attempts", 5)),
+            retry_base_delay=float(data.get("retry_base_delay", 0.02)),
+            retry_max_delay=float(data.get("retry_max_delay", 0.5)),
         )
 
 

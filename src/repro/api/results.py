@@ -111,6 +111,17 @@ class ExecutionDiagnostics:
     loaded out of a persistent :class:`~repro.store.WorkflowStore`
     during *this* request — a warm-started service shows a positive
     number where a cold one recomputes.
+
+    Three fields tell the resilience story.  ``degraded`` is ``True``
+    when any acceleration tier (store warm-start, inverted index,
+    process pool) faulted during the request and the service fell back
+    down the ladder — the *answer is still exact* (every fallback tier
+    is bit-identical to the sequential seed path), only slower.
+    ``degradation_reason`` names the first fault that forced the
+    fallback (including store quarantines that happened while serving
+    this request); ``retry_attempts`` counts the transient
+    ``database is locked`` retries the attached store performed for
+    this request under its :class:`~repro.store.resilience.RetryPolicy`.
     """
 
     path: str
@@ -122,6 +133,9 @@ class ExecutionDiagnostics:
     invalidations: dict[str, int] | None = None
     index_candidates: int | None = None
     cache_warm_hits: int | None = None
+    degraded: bool = False
+    degradation_reason: str | None = None
+    retry_attempts: int = 0
     notes: tuple[str, ...] = ()
 
     def to_dict(self) -> dict[str, Any]:
@@ -135,6 +149,9 @@ class ExecutionDiagnostics:
             "invalidations": dict(self.invalidations) if self.invalidations is not None else None,
             "index_candidates": self.index_candidates,
             "cache_warm_hits": self.cache_warm_hits,
+            "degraded": self.degraded,
+            "degradation_reason": self.degradation_reason,
+            "retry_attempts": self.retry_attempts,
             "notes": list(self.notes),
         }
 
@@ -142,6 +159,7 @@ class ExecutionDiagnostics:
     def from_dict(cls, data: Mapping[str, Any]) -> "ExecutionDiagnostics":
         index_candidates = data.get("index_candidates")
         cache_warm_hits = data.get("cache_warm_hits")
+        reason = data.get("degradation_reason")
         return cls(
             path=str(data.get("path", "unknown")),
             requested_mode=str(data.get("requested_mode", "auto")),
@@ -152,6 +170,9 @@ class ExecutionDiagnostics:
             invalidations=data.get("invalidations"),
             index_candidates=int(index_candidates) if index_candidates is not None else None,
             cache_warm_hits=int(cache_warm_hits) if cache_warm_hits is not None else None,
+            degraded=bool(data.get("degraded", False)),
+            degradation_reason=str(reason) if reason is not None else None,
+            retry_attempts=int(data.get("retry_attempts", 0)),
             notes=tuple(data.get("notes", ())),
         )
 

@@ -29,10 +29,23 @@ corpus, the inverted annotation index) from disk.
 back; ``SimilarityService.open(cache_dir=...)`` with no corpus source
 reopens the persisted snapshot directly and returns bit-identical
 results to the service that wrote it — the warm-start tests pin this.
+
+**Resilience.**  Every acceleration tier is optional: when the store,
+the inverted index or the process pool faults mid-request, the service
+falls back tier by tier — indexed → parallel → accelerated batch →
+sequential exact scan — and still answers, bit-identically, because
+every tier is pinned equivalent to the sequential seed path.  A store
+that fails verification (on open or mid-query) is *quarantined* to
+``<cache_dir>/quarantine/<timestamp>/`` and rebuilt cold from the live
+repository — corrupted state is never silently trusted and never fatal.
+The :class:`~repro.api.results.ExecutionDiagnostics` of the affected
+request records ``degraded``, ``degradation_reason`` and the
+``retry_attempts`` spent on transient lock contention.
 """
 
 from __future__ import annotations
 
+import sqlite3
 import time
 from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence
@@ -42,7 +55,16 @@ from ..core.registry import all_configuration_names
 from ..perf.engine import AccelerationContext, supports_pruned_top_k
 from ..repository.repository import RepositoryStatistics, WorkflowRepository
 from ..repository.search import SearchResultList, SimilaritySearchEngine
-from ..store import InvertedAnnotationIndex, WorkflowStore, corpus_fingerprint
+from ..store import (
+    InvertedAnnotationIndex,
+    RetryPolicy,
+    StoreCorruptionError,
+    WorkflowStore,
+    corpus_fingerprint,
+    quarantine_store,
+)
+from ..store.resilience import is_locked_error
+from ..store.workflow_store import STORE_FILENAME
 from ..workflow.model import Workflow
 from .requests import (
     ClusterRequest,
@@ -77,6 +99,18 @@ class SimilarityService:
         #: The inverted annotation index, once built or loaded.
         self.index: InvertedAnnotationIndex | None = None
         self._store_trusted = False
+        #: Every quarantine/rebuild/degradation event of this service's
+        #: lifetime, oldest first (dicts with at least an ``"event"`` key).
+        self.degradation_log: list[dict[str, str]] = []
+        #: Degradation events that happened outside a request (open-time
+        #: recovery, persist-time recovery); drained into the *next*
+        #: request's diagnostics so callers always see them.
+        self._pending_degradations: list[str] = []
+        #: Lock retries of stores that have since been closed/replaced
+        #: (keeps :attr:`ExecutionDiagnostics.retry_attempts` monotonic
+        #: across a mid-request store swap).
+        self._retired_retries = 0
+        self._fault_injector = None
         if cache_dir is not None:
             self.attach_cache_dir(cache_dir)
 
@@ -97,19 +131,73 @@ class SimilarityService:
         :meth:`persist`.  With both, the corpus comes from ``source``
         and the store is attached for its caches (the persisted index is
         only trusted when the snapshot fingerprint matches the corpus).
+
+        The store is verified before it is trusted.  A corrupted store
+        is quarantined; when its snapshot table is still intact the
+        corpus is salvaged from it and the store rebuilt (the first
+        request's diagnostics report the degradation), otherwise a
+        :exc:`~repro.store.StoreCorruptionError` explains how to rebuild
+        from a corpus source.
         """
         if source is None:
             if cache_dir is None:
                 raise ValueError("open() needs a corpus source, a cache_dir, or both")
-            store = WorkflowStore(cache_dir)
-            repository = store.load_repository()
-            if repository is None:
-                raise ValueError(
-                    f"no persisted repository snapshot in {str(cache_dir)!r}; "
-                    "pass a corpus source or run persist()/`repro index build` first"
+            store: WorkflowStore | None = None
+            report = None
+            reason = ""
+            try:
+                store = WorkflowStore(cache_dir)
+                report = store.verify()
+            except (sqlite3.DatabaseError, ValueError) as error:
+                if is_locked_error(error):
+                    raise
+                reason = str(error)
+            if report is not None and report.ok:
+                repository = store.load_repository()
+                if repository is None:
+                    raise ValueError(
+                        f"no persisted repository snapshot in {str(cache_dir)!r}; "
+                        "pass a corpus source or run persist()/`repro index build` first"
+                    )
+                service = cls(repository, framework=framework)
+                service._adopt_store(store, trusted=True)
+                return service
+            # Corruption: quarantine, then salvage the snapshot if its
+            # table (checksum + full payload decode) verified clean.
+            if report is not None:
+                reason = report.summary()
+            salvaged = None
+            if report is not None and report.table_ok("workflows"):
+                try:
+                    salvaged = store.load_repository()
+                except Exception:
+                    salvaged = None
+            if store is not None:
+                store.close()
+            quarantine_dir = quarantine_store(
+                Path(cache_dir) / STORE_FILENAME, reason=reason
+            )
+            if salvaged is None:
+                raise StoreCorruptionError(
+                    f"persisted store in {str(cache_dir)!r} is corrupted ({reason}) "
+                    "and its snapshot could not be salvaged; the damaged files were "
+                    f"moved to {quarantine_dir}; rebuild by reopening with a corpus "
+                    "source (SimilarityService.open(corpus, cache_dir=...)) or "
+                    "'repro index build'",
+                    report=report,
                 )
-            service = cls(repository, framework=framework)
-            service._adopt_store(store, trusted=True)
+            service = cls(salvaged, framework=framework)
+            service.build_index()
+            rebuilt = WorkflowStore.rebuild(cache_dir, salvaged, index=service.index)
+            service._adopt_store(rebuilt, trusted=True)
+            event = (
+                f"persisted store failed verification ({reason}); snapshot salvaged, "
+                f"damaged files quarantined to {quarantine_dir}, store rebuilt"
+            )
+            service.degradation_log.append(
+                {"event": event, "quarantine": str(quarantine_dir)}
+            )
+            service._pending_degradations.append(event)
             return service
         repository = (
             source
@@ -144,7 +232,9 @@ class SimilarityService:
 
     # -- persistence ---------------------------------------------------------
 
-    def attach_cache_dir(self, cache_dir: "str | Path") -> None:
+    def attach_cache_dir(
+        self, cache_dir: "str | Path", *, retry: "RetryPolicy | None" = None
+    ) -> None:
         """Attach a persistent warm-start store to this service.
 
         The store's persisted pair scores are loaded into the score
@@ -153,10 +243,53 @@ class SimilarityService:
         loaded only when the store's snapshot fingerprint matches the
         live corpus — a preselection over a *different* corpus would not
         be score-safe.
+
+        The store is verified first; one that fails verification is
+        quarantined and rebuilt cold from the live repository (recorded
+        in :attr:`degradation_log` and the next request's diagnostics) —
+        a corrupted cache can slow this service down but never poison
+        it.  ``retry`` overrides the store's lock-retry schedule.
         """
-        store = WorkflowStore(cache_dir)
+        store = self._open_store_resilient(cache_dir, retry)
         trusted = store.fingerprint() == corpus_fingerprint(self.repository)
         self._adopt_store(store, trusted=trusted)
+
+    def _open_store_resilient(
+        self, cache_dir: "str | Path", retry: "RetryPolicy | None"
+    ) -> WorkflowStore:
+        """Open + verify a store; quarantine and rebuild it on corruption.
+
+        Only callable with a live repository (the rebuild source).
+        Transient lock errors propagate — they are contention, not
+        corruption, and quarantining a healthy store over one would
+        throw away good caches.
+        """
+        reason = ""
+        try:
+            store = WorkflowStore(cache_dir, retry=retry)
+        except (sqlite3.DatabaseError, ValueError) as error:
+            if is_locked_error(error):
+                raise
+            reason = str(error)
+        else:
+            report = store.verify()
+            if report.ok:
+                return store
+            reason = report.summary()
+            store.close()
+        quarantine_dir = quarantine_store(
+            Path(cache_dir) / STORE_FILENAME, reason=reason
+        )
+        store = WorkflowStore.rebuild(
+            cache_dir, self.repository, index=self.index, retry=retry
+        )
+        event = (
+            f"persisted store failed verification ({reason}); damaged files "
+            f"quarantined to {quarantine_dir}, store rebuilt from the live corpus"
+        )
+        self.degradation_log.append({"event": event, "quarantine": str(quarantine_dir)})
+        self._pending_degradations.append(event)
+        return store
 
     @property
     def store_trusted(self) -> bool:
@@ -175,12 +308,23 @@ class SimilarityService:
             # Entries warm-loaded from the old store are not on the new
             # store's disk; re-mark them as new before switching.
             self.context.reset_warm_markers()
+            self._retired_retries += self.store.retry_count
             self.store.close()
         self.store = store
         self._store_trusted = trusted
+        store.fault_injector = self._fault_injector
         self.context.attach_store(store)
         if trusted and self.index is None:
-            self.index = store.load_index()
+            try:
+                self.index = store.load_index()
+            except Exception as error:
+                # A verified store should always decode; treat a failure
+                # here as a (recoverable) degradation, not a hard error.
+                self.index = None
+                self._pending_degradations.append(
+                    f"persisted index failed to load ({error}); "
+                    "continuing without candidate preselection"
+                )
 
     def build_index(self) -> dict[str, int]:
         """(Re)build the inverted annotation index over the live corpus.
@@ -206,6 +350,23 @@ class SimilarityService:
                 "no cache_dir attached; open the service with cache_dir=... "
                 "or call attach_cache_dir() first"
             )
+        try:
+            return self._persist_once()
+        except sqlite3.DatabaseError as error:
+            if is_locked_error(error):
+                # Contention, not corruption: the transaction already
+                # rolled back and retried under the store's RetryPolicy;
+                # exhausting it is the caller's signal to back off.
+                raise
+            # Corruption mid-persist: quarantine + rebuild, then persist
+            # onto the fresh store (the in-memory caches are the source
+            # of truth, so nothing is lost).
+            self._pending_degradations.append(self._recover_store(error))
+            if self.store is None:
+                raise
+            return self._persist_once()
+
+    def _persist_once(self) -> dict[str, int]:
         # Skip the snapshot rewrite when it is already current (the
         # common repeated-persist case would otherwise delete and
         # reinsert every row per call).
@@ -230,10 +391,14 @@ class SimilarityService:
     def close(self) -> None:
         """Release the persistent store's connection (if attached).
 
-        The acceleration context stops consulting the store too —
-        later requests simply run with whatever is already cached.
+        Idempotent — safe to call any number of times, including after a
+        failed persist (the store's transactions roll back in a
+        ``finally``, so no file lock can be left behind).  The
+        acceleration context stops consulting the store too — later
+        requests simply run with whatever is already cached.
         """
         if self.store is not None:
+            self._retired_retries += self.store.retry_count
             self.context.detach_store()
             self.store.close()
             self.store = None
@@ -314,6 +479,7 @@ class SimilarityService:
         policy = request.policy
         self._ensure_policy_store(policy)
         warm_hits_before = self.context.warm_hits_total()
+        retry_before = self._retry_total()
         mode = policy.mode
         measure_name = request.measure.name
         notes: list[str] = []
@@ -322,13 +488,16 @@ class SimilarityService:
         workers_used: int | None = None
         prune_stats: dict[str, int] | None = None
         index_candidates: int | None = None
+        degraded = False
+        degradation_reason: str | None = None
 
-        if mode is ExecutionMode.SEQUENTIAL:
-            results = [
-                self.engine.search(query, measure_name, k=request.k, candidates=candidates)
-                for query in query_list
-            ]
-        else:
+        # The degradation ladder: indexed → parallel → accelerated batch
+        # → sequential exact scan.  Each tier is bit-identical to the
+        # next, so a faulting tier costs time, never correctness; a
+        # request under SEQUENTIAL mode (or one whose every acceleration
+        # tier faulted) lands on the reference scan, which touches no
+        # store, no index and no pool.
+        if mode is not ExecutionMode.SEQUENTIAL:
             index_field = (
                 InvertedAnnotationIndex.measure_field(measure_name)
                 if self.index is not None
@@ -340,10 +509,26 @@ class SimilarityService:
                 and index_field is not None
                 and candidates is None
             ):
-                results, index_candidates = self._indexed_search(
-                    query_list, measure_name, index_field, request.k
-                )
-                path = "indexed"
+                try:
+                    self._fire_fault("indexed")
+                    results, index_candidates = self._indexed_search(
+                        query_list, measure_name, index_field, request.k
+                    )
+                    path = "indexed"
+                except Exception as error:
+                    degraded = True
+                    degradation_reason = (
+                        f"indexed tier failed ({type(error).__name__}: {error})"
+                    )
+                    notes.append(
+                        "inverted-index preselection faulted; "
+                        "fell back to the accelerated batch"
+                    )
+                    # A faulting index is no longer trusted for any
+                    # later request either.
+                    self.index = None
+                    results = None
+                    index_candidates = None
             wants_pool = results is None and (
                 mode is ExecutionMode.PARALLEL
                 or (mode is ExecutionMode.AUTO and policy.workers and policy.workers > 1)
@@ -351,21 +536,35 @@ class SimilarityService:
             if wants_pool:
                 if candidates is None and len(query_list) > 1:
                     workers = policy.workers or 2
-                    results = self.engine.parallel_batch(
-                        query_list,
-                        measure_name,
-                        k=request.k,
-                        prune=policy.prune,
-                        workers=workers,
-                        chunk_size=policy.chunk_size,
-                    )
-                    if results is not None:
-                        path = "parallel"
-                        workers_used = workers
-                    else:
-                        notes.append(
-                            "process pool unavailable; fell back to the in-process batch"
+                    try:
+                        self._fire_fault("parallel")
+                        results = self.engine.parallel_batch(
+                            query_list,
+                            measure_name,
+                            k=request.k,
+                            prune=policy.prune,
+                            workers=workers,
+                            chunk_size=policy.chunk_size,
                         )
+                    except Exception as error:
+                        degraded = True
+                        if degradation_reason is None:
+                            degradation_reason = (
+                                f"parallel tier failed ({type(error).__name__}: {error})"
+                            )
+                        notes.append(
+                            "process pool faulted mid-run; "
+                            "fell back to the in-process batch"
+                        )
+                        results = None
+                    else:
+                        if results is not None:
+                            path = "parallel"
+                            workers_used = workers
+                        else:
+                            notes.append(
+                                "process pool unavailable; fell back to the in-process batch"
+                            )
                 elif mode is ExecutionMode.PARALLEL:
                     notes.append(
                         "request not pool-eligible (needs >1 query and no candidate "
@@ -373,23 +572,48 @@ class SimilarityService:
                     )
             if results is None:
                 prune = policy.prune or mode is ExecutionMode.PRUNED
-                results = self.engine.serial_batch(
-                    query_list, measure_name, k=request.k, candidates=candidates, prune=prune
-                )
-                instance = self.engine._accelerated_measure(measure_name)
-                if prune and supports_pruned_top_k(instance):
-                    path = "pruned"
-                else:
-                    path = "cached"
-                    if mode is ExecutionMode.PRUNED:
-                        notes.append(
-                            f"measure {instance.name!r} does not support frontier "
-                            "pruning; used the cached full scan"
+                try:
+                    batch = self.engine.serial_batch(
+                        query_list, measure_name, k=request.k, candidates=candidates, prune=prune
+                    )
+                except Exception as error:
+                    # Real configuration errors (unknown measure, bad k)
+                    # re-raise identically from the sequential tier
+                    # below; only acceleration-layer faults degrade.
+                    degraded = True
+                    if degradation_reason is None:
+                        degradation_reason = (
+                            f"accelerated batch failed ({type(error).__name__}: {error})"
                         )
-                stats = self.engine.last_batch_stats
-                if stats is not None:
-                    prune_stats = stats.as_dict()
+                    notes.append(
+                        "accelerated batch faulted; degraded to the sequential exact path"
+                    )
+                else:
+                    results = batch
+                    instance = self.engine._accelerated_measure(measure_name)
+                    if prune and supports_pruned_top_k(instance):
+                        path = "pruned"
+                    else:
+                        path = "cached"
+                        if mode is ExecutionMode.PRUNED:
+                            notes.append(
+                                f"measure {instance.name!r} does not support frontier "
+                                "pruning; used the cached full scan"
+                            )
+                    stats = self.engine.last_batch_stats
+                    if stats is not None:
+                        prune_stats = stats.as_dict()
+        if results is None:
+            results = [
+                self.engine.search(query, measure_name, k=request.k, candidates=candidates)
+                for query in query_list
+            ]
+            path = "sequential"
 
+        epilogue_degraded, epilogue_reason = self._resilience_epilogue(notes)
+        degraded = degraded or epilogue_degraded
+        if degradation_reason is None:
+            degradation_reason = epilogue_reason
         diagnostics = ExecutionDiagnostics(
             path=path,
             requested_mode=mode.value,
@@ -402,6 +626,9 @@ class SimilarityService:
             caches=self.context.cache_stats(),
             index_candidates=index_candidates,
             cache_warm_hits=self.context.warm_hits_total() - warm_hits_before,
+            degraded=degraded,
+            degradation_reason=degradation_reason,
+            retry_attempts=max(0, self._retry_total() - retry_before),
             notes=tuple(notes),
         )
         return ResultSet(
@@ -418,45 +645,78 @@ class SimilarityService:
         policy = request.policy
         self._ensure_policy_store(policy)
         warm_hits_before = self.context.warm_hits_total()
+        retry_before = self._retry_total()
         mode = policy.mode
         measure_name = request.measure.name
         notes: list[str] = []
         path = "cached"
         workers_used: int | None = None
+        similarities = None
+        degraded = False
+        degradation_reason: str | None = None
 
-        if mode is ExecutionMode.SEQUENTIAL:
-            similarities = self.engine.pairwise_similarity(
-                measure_name, workflows=pool, accelerate=False
-            )
-            path = "sequential"
-        else:
-            similarities = None
+        # Same degradation ladder as search(): parallel → accelerated
+        # scan → sequential exact scan, every rung bit-identical.
+        if mode is not ExecutionMode.SEQUENTIAL:
             wants_pool = mode is ExecutionMode.PARALLEL or (
                 mode is ExecutionMode.AUTO and policy.workers and policy.workers > 1
             )
             if wants_pool:
                 if request.workflows is None:
                     workers = policy.workers or 2
-                    similarities = self.engine.parallel_pairwise_scores(
-                        pool, measure_name, workers=workers, chunk_size=policy.chunk_size
-                    )
-                    if similarities is not None:
-                        path = "parallel"
-                        workers_used = workers
-                    else:
-                        notes.append(
-                            "process pool unavailable; fell back to the in-process scan"
+                    try:
+                        self._fire_fault("parallel")
+                        similarities = self.engine.parallel_pairwise_scores(
+                            pool, measure_name, workers=workers, chunk_size=policy.chunk_size
                         )
+                    except Exception as error:
+                        degraded = True
+                        degradation_reason = (
+                            f"parallel tier failed ({type(error).__name__}: {error})"
+                        )
+                        notes.append(
+                            "process pool faulted mid-run; "
+                            "fell back to the in-process scan"
+                        )
+                        similarities = None
+                    else:
+                        if similarities is not None:
+                            path = "parallel"
+                            workers_used = workers
+                        else:
+                            notes.append(
+                                "process pool unavailable; fell back to the in-process scan"
+                            )
                 elif mode is ExecutionMode.PARALLEL:
                     notes.append(
                         "pairwise pooling requires the whole repository; "
                         "used the in-process cached scan"
                     )
             if similarities is None:
-                similarities = self.engine.pairwise_similarity(
-                    measure_name, workflows=pool, workers=None
-                )
+                try:
+                    similarities = self.engine.pairwise_similarity(
+                        measure_name, workflows=pool, workers=None
+                    )
+                except Exception as error:
+                    degraded = True
+                    if degradation_reason is None:
+                        degradation_reason = (
+                            f"accelerated scan failed ({type(error).__name__}: {error})"
+                        )
+                    notes.append(
+                        "accelerated scan faulted; degraded to the sequential exact path"
+                    )
+                    similarities = None
+        if similarities is None:
+            similarities = self.engine.pairwise_similarity(
+                measure_name, workflows=pool, accelerate=False
+            )
+            path = "sequential"
 
+        epilogue_degraded, epilogue_reason = self._resilience_epilogue(notes)
+        degraded = degraded or epilogue_degraded
+        if degradation_reason is None:
+            degradation_reason = epilogue_reason
         pairs = tuple(
             (first.identifier, second.identifier, similarities[(first.identifier, second.identifier)])
             for i, first in enumerate(pool)
@@ -469,6 +729,9 @@ class SimilarityService:
             workers=workers_used,
             caches=self.context.cache_stats(),
             cache_warm_hits=self.context.warm_hits_total() - warm_hits_before,
+            degraded=degraded,
+            degradation_reason=degradation_reason,
+            retry_attempts=max(0, self._retry_total() - retry_before),
             notes=tuple(notes),
         )
         return ResultSet(kind="pairwise", pairs=pairs, diagnostics=diagnostics)
@@ -518,7 +781,131 @@ class SimilarityService:
     def _ensure_policy_store(self, policy) -> None:
         """Attach the policy's ``cache_dir`` when the service has none yet."""
         if policy.cache_dir is not None and self.store is None:
-            self.attach_cache_dir(policy.cache_dir)
+            self.attach_cache_dir(policy.cache_dir, retry=policy.retry_policy())
+
+    # -- resilience ----------------------------------------------------------
+
+    @property
+    def fault_injector(self):
+        """Optional :class:`~repro.store.FaultInjector` for chaos tests.
+
+        Fired at the ``"indexed"`` and ``"parallel"`` tier seams of this
+        service and propagated to the attached store (which fires it at
+        ``"commit"`` and ``"load"``).  ``None`` in production.
+        """
+        return self._fault_injector
+
+    @fault_injector.setter
+    def fault_injector(self, injector) -> None:
+        self._fault_injector = injector
+        if self.store is not None:
+            self.store.fault_injector = injector
+
+    def _fire_fault(self, event: str) -> None:
+        if self._fault_injector is not None:
+            self._fault_injector.fire(event, service=self)
+
+    def _retry_total(self) -> int:
+        """Lifetime lock-retry count across every store this service had."""
+        total = self._retired_retries
+        if self.store is not None:
+            total += self.store.retry_count
+        return total
+
+    def _resilience_epilogue(self, notes: list[str]) -> tuple[bool, str | None]:
+        """Fold store faults + pending recoveries into this request.
+
+        Runs after the results are computed (they are exact regardless —
+        a faulting store only means colder caches).  A store fault
+        parked by the acceleration context is consumed here: transient
+        lock contention keeps the store; anything else quarantines and
+        rebuilds it.  Open-/persist-time recovery events that have not
+        yet been reported are drained into this request's notes.
+        Returns ``(degraded, first_reason)``.
+        """
+        degraded = False
+        reason: str | None = None
+        fault = self.context.store_fault
+        if fault is not None:
+            self.context.store_fault = None
+            if is_locked_error(fault) and self.store is not None:
+                # Contention is transient: keep the store (the context
+                # detached it when the load faulted) and re-attach.
+                self.context.attach_store(self.store)
+                event = (
+                    f"store read contended ({fault}); "
+                    "request served from in-process caches"
+                )
+                self.degradation_log.append({"event": event, "fault": repr(fault)})
+            else:
+                event = self._recover_store(fault)
+            degraded = True
+            reason = event
+            notes.append(event)
+        for event in self._pending_degradations:
+            degraded = True
+            if reason is None:
+                reason = event
+            notes.append(event)
+        self._pending_degradations.clear()
+        return degraded, reason
+
+    def _recover_store(self, fault: BaseException) -> str:
+        """Quarantine the attached store; rebuild it from the live corpus.
+
+        Never raises — when even the rebuild fails the service simply
+        continues storeless (exact results, cold caches).  Returns the
+        human-readable degradation event, also kept in
+        :attr:`degradation_log`.
+        """
+        if self.store is None:
+            return f"store fault ({fault}); no store attached"
+        store = self.store
+        directory, path, retry = store.directory, store.path, store.retry
+        self._retired_retries += store.retry_count
+        self.context.detach_store()
+        # Warm-loaded entries only exist on the quarantined file's disk;
+        # re-mark them as new so the rebuilt store receives everything
+        # on the next persist().
+        self.context.reset_warm_markers()
+        store.close()
+        self.store = None
+        self._store_trusted = False
+        try:
+            quarantine_dir = quarantine_store(path, reason=str(fault))
+        except OSError as error:
+            event = (
+                f"store fault ({fault}); quarantine failed ({error}); "
+                "continuing without a store"
+            )
+            self.degradation_log.append({"event": event, "fault": repr(fault)})
+            return event
+        try:
+            rebuilt = WorkflowStore.rebuild(
+                directory, self.repository, index=self.index, retry=retry
+            )
+        except Exception as error:
+            event = (
+                f"store fault ({fault}); damaged files quarantined to "
+                f"{quarantine_dir}; rebuild failed ({error}); "
+                "continuing without a store"
+            )
+            self.degradation_log.append(
+                {"event": event, "fault": repr(fault), "quarantine": str(quarantine_dir)}
+            )
+            return event
+        rebuilt.fault_injector = self._fault_injector
+        self.store = rebuilt
+        self._store_trusted = True
+        self.context.attach_store(rebuilt)
+        event = (
+            f"store fault ({fault}); damaged files quarantined to "
+            f"{quarantine_dir}; store rebuilt from the live repository"
+        )
+        self.degradation_log.append(
+            {"event": event, "fault": repr(fault), "quarantine": str(quarantine_dir)}
+        )
+        return event
 
     def _indexed_search(
         self,

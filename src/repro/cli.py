@@ -15,6 +15,12 @@ library without writing Python:
   snapshot, the inverted annotation index, and (with ``--warm-measure``)
   pre-computed module-pair scores into a warm-start store directory;
   ``repro index stats --cache-dir DIR`` inspects it;
+* ``repro store verify --cache-dir DIR`` — run the store's integrity
+  checks (SQLite quick_check, schema version, per-table content
+  checksums, full payload decode); exit 0 when clean, 1 when corrupt,
+  2 when missing.  ``repro store repair --cache-dir DIR [--corpus C]``
+  quarantines a corrupted store and rebuilds it — from its own salvaged
+  snapshot when possible, from ``--corpus`` otherwise;
 
 Both search commands route through the :class:`repro.api.SimilarityService`
 facade: the execution strategy (sequential / pruned / cached / indexed /
@@ -255,15 +261,111 @@ def _cmd_index_build(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_index_stats(args: argparse.Namespace) -> int:
+def _open_existing_store(cache_dir: str):
+    """Open a store read-only-ish for inspection commands.
+
+    Returns ``(store, None)`` on success or ``(None, exit_code)`` after
+    printing a one-line actionable error: exit 2 for a missing/unreadable
+    cache dir, exit 1 for a file SQLite refuses to open as a database.
+    """
+    import sqlite3
+
     from .store import WorkflowStore
 
-    store = WorkflowStore(args.cache_dir)
+    try:
+        return WorkflowStore(cache_dir, create=False), None
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return None, 2
+    except OSError as error:
+        print(f"error: cache dir {cache_dir!r} is unreadable: {error}", file=sys.stderr)
+        return None, 2
+    except (sqlite3.DatabaseError, ValueError) as error:
+        print(
+            f"error: store in {cache_dir!r} cannot be opened ({error}); "
+            "run 'repro store repair' to quarantine and rebuild it",
+            file=sys.stderr,
+        )
+        return None, 1
+
+
+def _cmd_index_stats(args: argparse.Namespace) -> int:
+    store, code = _open_existing_store(args.cache_dir)
+    if store is None:
+        return code
     try:
         for key, value in store.stats().items():
             print(f"{key:<20} {value}")
     finally:
         store.close()
+    return 0
+
+
+def _cmd_store_verify(args: argparse.Namespace) -> int:
+    store, code = _open_existing_store(args.cache_dir)
+    if store is None:
+        return code
+    try:
+        report = store.verify()
+    finally:
+        store.close()
+    for table, status in sorted(report.tables.items()):
+        print(f"{table:<12} {'ok' if status == 'ok' else 'FAIL: ' + status}")
+    if report.ok:
+        print("store verified: all checks passed")
+        return 0
+    print(
+        f"store FAILED verification: {report.summary()} "
+        "(run 'repro store repair' to quarantine and rebuild)",
+        file=sys.stderr,
+    )
+    return 1
+
+
+def _cmd_store_repair(args: argparse.Namespace) -> int:
+    import sqlite3
+
+    from .store import StoreCorruptionError, WorkflowStore
+
+    try:
+        store = WorkflowStore(args.cache_dir, create=False)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"error: cache dir {args.cache_dir!r} is unreadable: {error}", file=sys.stderr)
+        return 2
+    except (sqlite3.DatabaseError, ValueError):
+        store = None  # unopenable: exactly what the rebuild below repairs
+    if store is not None:
+        try:
+            report = store.verify()
+        finally:
+            store.close()
+        if report.ok:
+            print("store verified: all checks passed; nothing to repair")
+            return 0
+    # Corrupt (or unopenable) store: let the service's quarantine-and-
+    # rebuild recovery do the repair, seeded from --corpus when given,
+    # from the store's own salvaged snapshot otherwise.
+    try:
+        if args.corpus is not None:
+            service = SimilarityService.open(args.corpus, cache_dir=args.cache_dir)
+            service.build_index()
+            service.persist()
+        else:
+            service = SimilarityService.open(cache_dir=args.cache_dir)
+    except StoreCorruptionError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    for entry in service.degradation_log:
+        print(entry["event"])
+    verified = service.store.verify()
+    service.close()
+    if not verified.ok:
+        print(f"error: rebuilt store still fails verification: {verified.summary()}", file=sys.stderr)
+        return 1
+    print("store repaired: rebuilt store passes all checks")
     return 0
 
 
@@ -362,6 +464,30 @@ def build_parser() -> argparse.ArgumentParser:
     index_stats = index_sub.add_parser("stats", help="print the contents of a cache dir")
     index_stats.add_argument("--cache-dir", required=True)
     index_stats.set_defaults(func=_cmd_index_stats)
+
+    store = subparsers.add_parser(
+        "store", help="integrity operations on a persistent store directory"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_verify = store_sub.add_parser(
+        "verify",
+        help="run integrity checks (quick_check, checksums, payload decode); "
+        "exit 0 clean / 1 corrupt / 2 missing",
+    )
+    store_verify.add_argument("--cache-dir", required=True)
+    store_verify.set_defaults(func=_cmd_store_verify)
+    store_repair = store_sub.add_parser(
+        "repair",
+        help="quarantine a corrupted store and rebuild it (from its salvaged "
+        "snapshot, or from --corpus)",
+    )
+    store_repair.add_argument("--cache-dir", required=True)
+    store_repair.add_argument(
+        "--corpus",
+        default=None,
+        help="corpus JSON file to rebuild from when the snapshot itself is damaged",
+    )
+    store_repair.set_defaults(func=_cmd_store_repair)
 
     generate = subparsers.add_parser("generate-corpus", help="write a synthetic corpus to disk")
     generate.add_argument("output", help="output JSON file")

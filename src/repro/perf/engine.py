@@ -72,6 +72,12 @@ class AccelerationContext:
         #: the store package).  When set, newly created pair caches are
         #: warm-started from its persisted scores.
         self._store = None
+        #: The exception of the most recent failed store read, if any.
+        #: A store that faults during a warm load is detached on the
+        #: spot — the query proceeds cold (bit-identical, just slower) —
+        #: and the fault is parked here for the owning service to
+        #: observe, quarantine and rebuild after the request completes.
+        self.store_fault: BaseException | None = None
 
     def pair_cache(self, config: ModuleComparisonConfig) -> ModulePairScoreCache:
         key = (config.name, config.rules)
@@ -121,7 +127,16 @@ class AccelerationContext:
         signature = cache.signature
         if signature is None:
             return 0
-        return cache.load_entries(self._store.load_pair_scores(signature))
+        try:
+            entries = self._store.load_pair_scores(signature)
+        except Exception as error:
+            # A corrupted/closed/contended store must slow a query down,
+            # never take it down: drop the store, serve cold, and leave
+            # the fault for the service's recovery pass.
+            self.store_fault = error
+            self._store = None
+            return 0
+        return cache.load_entries(entries)
 
     def persist_scores(self, store) -> int:
         """Write every persistable cache's *new* exact scores to ``store``.

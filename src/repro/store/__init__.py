@@ -25,7 +25,23 @@ Typical lifecycle::
     warm.search(...)           # bit-identical results, warm caches
 """
 
+from .faults import FaultInjector
 from .inverted_index import InvertedAnnotationIndex
+from .resilience import (
+    RetryPolicy,
+    StoreCorruptionError,
+    StoreVerification,
+    quarantine_store,
+)
 from .workflow_store import WorkflowStore, corpus_fingerprint
 
-__all__ = ["InvertedAnnotationIndex", "WorkflowStore", "corpus_fingerprint"]
+__all__ = [
+    "FaultInjector",
+    "InvertedAnnotationIndex",
+    "RetryPolicy",
+    "StoreCorruptionError",
+    "StoreVerification",
+    "WorkflowStore",
+    "corpus_fingerprint",
+    "quarantine_store",
+]

@@ -151,6 +151,10 @@ class InvertedAnnotationIndex:
     def candidates(self, field: str, tokens: Iterable[str]) -> set[str]:
         """Union of the postings of ``tokens`` — every workflow that can
         score above zero against a query carrying exactly these tokens."""
+        if field not in self._postings:
+            raise ValueError(
+                f"unknown index field {field!r}; expected one of {self.FIELDS}"
+            )
         postings = self._postings[field]
         admitted: set[str] = set()
         for token in tokens:
@@ -206,10 +210,23 @@ class InvertedAnnotationIndex:
         Workflows whose every field tokenised to the empty set leave no
         rows and are therefore absent from the rebuilt index — harmless,
         since empty documents can never be admitted as candidates.
+
+        Rows naming an unknown field (a corrupted or foreign postings
+        table) raise :class:`ValueError` rather than silently building a
+        partial index — an index that cannot be trusted must fail loudly
+        so the store layer can quarantine it and the service can fall
+        back to the exact full scan.
         """
         index = cls()
+        known = set(cls.FIELDS)
         collect: dict[str, dict[str, set[str]]] = {field: {} for field in cls.FIELDS}
         for field, token, identifier in rows:
+            if field not in known:
+                raise ValueError(
+                    f"unknown index field {field!r} in persisted postings; "
+                    f"expected one of {cls.FIELDS} — the postings table is "
+                    "corrupt or from an incompatible store"
+                )
             index._postings[field].setdefault(token, set()).add(identifier)
             collect[field].setdefault(identifier, set()).add(token)
         for field, documents in collect.items():

@@ -11,7 +11,8 @@ cold-start cost again.
 One store is one SQLite file (``repro_store.sqlite``) inside the cache
 directory, holding four tables:
 
-* ``meta`` — schema version and repository name;
+* ``meta`` — schema version, repository name, and one content checksum
+  row per data table (see below);
 * ``workflows`` — the corpus snapshot, one JSON payload per workflow
   with an explicit ``position`` column.  Iteration order is part of a
   corpus' identity (ranking tie-breaks follow pool order), so the
@@ -28,24 +29,49 @@ touches only its snapshot row and its posting rows, while pair scores
 are *never* invalidated by corpus churn — they are keyed by attribute
 values, not by corpus membership, and stay exact for any workflow still
 (or later) in the corpus.
+
+**Crash safety.**  Connections open with ``journal_mode=WAL``,
+``busy_timeout`` and ``synchronous=NORMAL`` (the multi-process schema
+discipline of ROADMAP open item 2), so concurrent readers never block a
+writer and a crash mid-write rolls back cleanly.  Every mutating method
+runs as one transaction that also refreshes a per-table content
+checksum row in ``meta`` — :meth:`verify` recomputes the checksums and
+decodes every payload, so torn or out-of-band writes are *detected*
+rather than silently served.  Transient ``database is locked`` errors
+are retried under a configurable
+:class:`~repro.store.resilience.RetryPolicy` (bounded attempts,
+exponential backoff + jitter); corruption is never retried — callers
+quarantine and rebuild (see :func:`~repro.store.resilience.quarantine_store`).
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
 import sqlite3
+import struct
 from pathlib import Path
-from typing import Iterable
+from typing import Callable, Iterable, TypeVar
 
 from ..repository.repository import WorkflowRepository
 from ..workflow.serialization import workflow_from_dict, workflow_to_dict
 from .inverted_index import InvertedAnnotationIndex
+from .resilience import RetryPolicy, StoreVerification, run_with_retry
 
 __all__ = ["WorkflowStore", "corpus_fingerprint"]
 
 SCHEMA_VERSION = 1
 STORE_FILENAME = "repro_store.sqlite"
+
+#: Deterministic full-table scans backing the per-table checksums.
+_CHECKSUM_QUERIES = {
+    "workflows": "SELECT identifier, position, payload FROM workflows ORDER BY position, identifier",
+    "pair_scores": "SELECT config, fp_a, fp_b, score FROM pair_scores ORDER BY config, fp_a, fp_b",
+    "postings": "SELECT field, token, workflow_id FROM postings ORDER BY field, token, workflow_id",
+}
+
+T = TypeVar("T")
 
 
 def _workflow_payload(workflow) -> str:
@@ -79,57 +105,127 @@ def corpus_fingerprint(repository: WorkflowRepository) -> str:
 class WorkflowStore:
     """One cache directory's persistent snapshot, scores and index."""
 
-    def __init__(self, cache_dir: str | Path, *, filename: str = STORE_FILENAME) -> None:
+    def __init__(
+        self,
+        cache_dir: str | Path,
+        *,
+        filename: str = STORE_FILENAME,
+        retry: RetryPolicy | None = None,
+        busy_timeout_ms: int = 5000,
+        create: bool = True,
+    ) -> None:
         self.directory = Path(cache_dir)
-        self.directory.mkdir(parents=True, exist_ok=True)
+        if create:
+            self.directory.mkdir(parents=True, exist_ok=True)
         self.path = self.directory / filename
-        self._connection = sqlite3.connect(str(self.path))
-        self._init_schema()
+        if not create and not self.path.exists():
+            raise FileNotFoundError(
+                f"no store at {self.path} (run 'repro index build' to create one)"
+            )
+        #: Retry schedule for transient ``database is locked`` write errors.
+        self.retry = retry if retry is not None else RetryPolicy()
+        #: Total lock retries performed over this store's lifetime
+        #: (:class:`~repro.api.results.ExecutionDiagnostics` snapshots it
+        #: around each request).
+        self.retry_count = 0
+        #: Optional :class:`~repro.store.faults.FaultInjector` — fired at
+        #: the ``"commit"`` and ``"load"`` seams; ``None`` in production.
+        self.fault_injector = None
+        self._connection: sqlite3.Connection | None = sqlite3.connect(str(self.path))
+        try:
+            self._apply_pragmas(busy_timeout_ms)
+            self._init_schema()
+        except BaseException:
+            # A malformed file must not leak an open connection — the
+            # caller's next move is to quarantine (move) the file.
+            self.close()
+            raise
 
     # -- lifecycle -----------------------------------------------------------
 
+    def _apply_pragmas(self, busy_timeout_ms: int) -> None:
+        """WAL + busy_timeout + synchronous=NORMAL.
+
+        ``journal_mode=WAL`` lets concurrent processes read while one
+        writes; filesystems that cannot do WAL report the mode they fell
+        back to, which is accepted rather than fatal (the store stays
+        correct, only the concurrency story degrades).
+        """
+        connection = self._connection
+        connection.execute(f"PRAGMA busy_timeout={int(busy_timeout_ms)}")
+        connection.execute("PRAGMA journal_mode=WAL")
+        connection.execute("PRAGMA synchronous=NORMAL")
+
+    @property
+    def connection(self) -> sqlite3.Connection:
+        if self._connection is None:
+            raise sqlite3.ProgrammingError("store is closed")
+        return self._connection
+
+    def _fire(self, event: str) -> None:
+        if self.fault_injector is not None:
+            self.fault_injector.fire(event, store=self)
+
     def _init_schema(self) -> None:
-        cursor = self._connection.cursor()
-        cursor.execute("CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT NOT NULL)")
-        cursor.execute(
-            "CREATE TABLE IF NOT EXISTS workflows ("
-            " identifier TEXT PRIMARY KEY,"
-            " position INTEGER NOT NULL,"
-            " payload TEXT NOT NULL)"
-        )
-        cursor.execute(
-            "CREATE TABLE IF NOT EXISTS pair_scores ("
-            " config TEXT NOT NULL,"
-            " fp_a TEXT NOT NULL,"
-            " fp_b TEXT NOT NULL,"
-            " score REAL NOT NULL,"
-            " PRIMARY KEY (config, fp_a, fp_b))"
-        )
-        cursor.execute(
-            "CREATE TABLE IF NOT EXISTS postings ("
-            " field TEXT NOT NULL,"
-            " token TEXT NOT NULL,"
-            " workflow_id TEXT NOT NULL,"
-            " PRIMARY KEY (field, token, workflow_id))"
-        )
-        cursor.execute(
-            "CREATE INDEX IF NOT EXISTS postings_by_workflow ON postings (workflow_id)"
-        )
-        row = cursor.execute("SELECT value FROM meta WHERE key = 'schema_version'").fetchone()
-        if row is None:
+        def initialise(cursor: sqlite3.Cursor) -> None:
+            cursor.execute("CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT NOT NULL)")
             cursor.execute(
-                "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
-                (str(SCHEMA_VERSION),),
+                "CREATE TABLE IF NOT EXISTS workflows ("
+                " identifier TEXT PRIMARY KEY,"
+                " position INTEGER NOT NULL,"
+                " payload TEXT NOT NULL)"
             )
-        elif int(row[0]) != SCHEMA_VERSION:
-            raise ValueError(
-                f"store {self.path} has schema version {row[0]}, "
-                f"this build expects {SCHEMA_VERSION}"
+            cursor.execute(
+                "CREATE TABLE IF NOT EXISTS pair_scores ("
+                " config TEXT NOT NULL,"
+                " fp_a TEXT NOT NULL,"
+                " fp_b TEXT NOT NULL,"
+                " score REAL NOT NULL,"
+                " PRIMARY KEY (config, fp_a, fp_b))"
             )
-        self._connection.commit()
+            cursor.execute(
+                "CREATE TABLE IF NOT EXISTS postings ("
+                " field TEXT NOT NULL,"
+                " token TEXT NOT NULL,"
+                " workflow_id TEXT NOT NULL,"
+                " PRIMARY KEY (field, token, workflow_id))"
+            )
+            cursor.execute(
+                "CREATE INDEX IF NOT EXISTS postings_by_workflow ON postings (workflow_id)"
+            )
+            row = cursor.execute("SELECT value FROM meta WHERE key = 'schema_version'").fetchone()
+            if row is None:
+                cursor.execute(
+                    "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
+                    (str(SCHEMA_VERSION),),
+                )
+            elif int(row[0]) != SCHEMA_VERSION:
+                raise ValueError(
+                    f"store {self.path} has schema version {row[0]}, "
+                    f"this build expects {SCHEMA_VERSION}"
+                )
+            # Backfill checksum rows missing from pre-checksum stores.
+            # Existing rows are left alone: they are the baseline that
+            # verify() compares against, so an out-of-band modification
+            # made while the store was closed stays detectable.
+            for table in _CHECKSUM_QUERIES:
+                present = cursor.execute(
+                    "SELECT 1 FROM meta WHERE key = ?", (f"checksum:{table}",)
+                ).fetchone()
+                if present is None:
+                    self._refresh_checksum(cursor, table)
+
+        self._transaction(initialise)
 
     def close(self) -> None:
-        self._connection.close()
+        """Release the connection; safe to call any number of times."""
+        connection, self._connection = self._connection, None
+        if connection is not None:
+            connection.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._connection is None
 
     def __enter__(self) -> "WorkflowStore":
         return self
@@ -137,38 +233,242 @@ class WorkflowStore:
     def __exit__(self, *_exc) -> None:
         self.close()
 
+    # -- transactions and checksums ------------------------------------------
+
+    def _transaction(
+        self, operation: Callable[[sqlite3.Cursor], T], *, tables: tuple[str, ...] = ()
+    ) -> T:
+        """Run one write operation atomically, with lock retry.
+
+        The operation body, the checksum refresh of every touched table,
+        and the commit form a single transaction — a reader (or a crash)
+        sees either the old state with the old checksums or the new
+        state with the new ones, never a torn mix.  ``database is
+        locked`` rolls back and retries under :attr:`retry`; every other
+        exception rolls back in a ``finally`` and propagates, so a
+        failed persist can never leave the transaction (and the file
+        lock it holds) open behind it.
+        """
+
+        def attempt() -> T:
+            connection = self.connection
+            committed = False
+            try:
+                cursor = connection.cursor()
+                result = operation(cursor)
+                for table in tables:
+                    self._refresh_checksum(cursor, table)
+                self._fire("commit")
+                connection.commit()
+                committed = True
+                return result
+            finally:
+                if not committed:
+                    try:
+                        connection.rollback()
+                    except sqlite3.Error:
+                        pass
+
+        def count_retry(_attempt: int, _error: BaseException) -> None:
+            self.retry_count += 1
+
+        result, _retries = run_with_retry(attempt, self.retry, on_retry=count_retry)
+        return result
+
+    def _refresh_checksum(self, cursor: sqlite3.Cursor, table: str) -> None:
+        cursor.execute(
+            "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+            (f"checksum:{table}", self._table_checksum(cursor, table)),
+        )
+
+    @staticmethod
+    def _table_checksum(cursor: sqlite3.Cursor, table: str) -> str:
+        """Order-independent-of-insertion content hash of one table.
+
+        Floats are hashed as their IEEE-754 bytes, so a score differing
+        in the last ulp still changes the checksum.
+        """
+        digest = hashlib.sha256()
+        for row in cursor.execute(_CHECKSUM_QUERIES[table]):
+            for value in row:
+                if isinstance(value, float):
+                    digest.update(struct.pack("<d", value))
+                else:
+                    digest.update(str(value).encode("utf-8"))
+                digest.update(b"\x1f")
+            digest.update(b"\x1e")
+        return digest.hexdigest()
+
+    def verify(self) -> StoreVerification:
+        """Check the store's integrity without modifying it.
+
+        Four layers of checks, coarsest first: SQLite's own
+        ``quick_check``, the schema version, the per-table content
+        checksums (detects torn/partial/out-of-band writes that SQLite
+        itself considers well-formed), and full payload decoding (every
+        snapshot row parses back into a workflow, every fingerprint
+        decodes, every posting names a known index field).  Returns a
+        :class:`~repro.store.resilience.StoreVerification`; per-table
+        status lets recovery salvage an intact snapshot out of a store
+        whose score or posting tables are damaged.
+        """
+        report = StoreVerification()
+        try:
+            connection = self.connection
+        except sqlite3.ProgrammingError:
+            report.fail("store is closed")
+            return report
+        try:
+            (integrity,) = connection.execute("PRAGMA quick_check").fetchone()
+            if integrity != "ok":
+                report.fail(f"sqlite quick_check: {integrity}")
+        except sqlite3.DatabaseError as error:
+            report.fail(f"sqlite quick_check failed: {error}")
+            for table in _CHECKSUM_QUERIES:
+                report.tables[table] = "unreadable"
+            return report
+        try:
+            row = connection.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()
+            if row is None:
+                report.fail("meta: schema_version row missing")
+            elif int(row[0]) != SCHEMA_VERSION:
+                report.fail(f"meta: schema version {row[0]} != {SCHEMA_VERSION}")
+        except (sqlite3.DatabaseError, ValueError) as error:
+            report.fail(f"meta: {error}")
+        for table in _CHECKSUM_QUERIES:
+            report.tables[table] = "ok"
+            try:
+                stored = connection.execute(
+                    "SELECT value FROM meta WHERE key = ?", (f"checksum:{table}",)
+                ).fetchone()
+                actual = self._table_checksum(connection.cursor(), table)
+            except sqlite3.DatabaseError as error:
+                report.fail(f"{table}: unreadable ({error})", table=table)
+                continue
+            if stored is None:
+                report.fail(f"{table}: checksum row missing", table=table)
+            elif stored[0] != actual:
+                report.fail(f"{table}: content checksum mismatch", table=table)
+        if report.table_ok("workflows"):
+            try:
+                for (identifier, payload) in connection.execute(
+                    "SELECT identifier, payload FROM workflows"
+                ):
+                    workflow = workflow_from_dict(json.loads(payload))
+                    if workflow.identifier != identifier:
+                        raise ValueError(
+                            f"row {identifier!r} decodes to {workflow.identifier!r}"
+                        )
+            except Exception as error:
+                report.fail(f"workflows: undecodable payload ({error})", table="workflows")
+        if report.table_ok("pair_scores"):
+            try:
+                for (fp_a, fp_b) in connection.execute(
+                    "SELECT fp_a, fp_b FROM pair_scores"
+                ):
+                    if not isinstance(json.loads(fp_a), list) or not isinstance(
+                        json.loads(fp_b), list
+                    ):
+                        raise ValueError("fingerprint is not a JSON list")
+            except Exception as error:
+                report.fail(f"pair_scores: undecodable fingerprint ({error})", table="pair_scores")
+        if report.table_ok("postings"):
+            try:
+                known = set(InvertedAnnotationIndex.FIELDS)
+                for (field,) in connection.execute("SELECT DISTINCT field FROM postings"):
+                    if field not in known:
+                        raise ValueError(f"unknown index field {field!r}")
+            except Exception as error:
+                report.fail(f"postings: {error}", table="postings")
+        return report
+
+    # -- atomic full rewrite -------------------------------------------------
+
+    @classmethod
+    def rebuild(
+        cls,
+        cache_dir: str | Path,
+        repository: WorkflowRepository,
+        *,
+        index: InvertedAnnotationIndex | None = None,
+        filename: str = STORE_FILENAME,
+        retry: RetryPolicy | None = None,
+    ) -> "WorkflowStore":
+        """Write a brand-new store and atomically replace any existing one.
+
+        The full rewrite goes write-then-rename: the snapshot (and
+        optional index) is committed into a sibling temp file, fully
+        checkpointed and closed, then ``os.replace``d over the final
+        path — a crash at any point leaves either the complete old store
+        or the complete new one, never a half-written file.  Returns an
+        open store on the final path.
+        """
+        directory = Path(cache_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        final_path = directory / filename
+        temp_name = f"{filename}.rebuild-{os.getpid()}"
+        temp_path = directory / temp_name
+        for stale in (
+            temp_path,
+            directory / f"{temp_name}-wal",
+            directory / f"{temp_name}-shm",
+        ):
+            if stale.exists():
+                stale.unlink()
+        fresh = cls(directory, filename=temp_name, retry=retry)
+        try:
+            fresh.save_repository(repository)
+            if index is not None:
+                fresh.save_index(index)
+        finally:
+            fresh.close()  # checkpoints the WAL into the temp file
+        os.replace(temp_path, final_path)
+        for sidecar in (final_path.parent / f"{filename}-wal", final_path.parent / f"{filename}-shm"):
+            if sidecar.exists():
+                sidecar.unlink()
+        return cls(directory, filename=filename, retry=retry)
+
     # -- repository snapshot -------------------------------------------------
 
     def has_snapshot(self) -> bool:
-        row = self._connection.execute("SELECT EXISTS(SELECT 1 FROM workflows)").fetchone()
+        row = self.connection.execute("SELECT EXISTS(SELECT 1 FROM workflows)").fetchone()
         return bool(row[0])
 
     def save_repository(self, repository: WorkflowRepository) -> int:
-        """Replace the snapshot with the current corpus; returns its size."""
+        """Replace the snapshot with the current corpus; returns its size.
+
+        One transaction: rows, repository name and the snapshot checksum
+        land together or not at all.
+        """
         rows = [
             (workflow.identifier, position, _workflow_payload(workflow))
             for position, workflow in enumerate(repository)
         ]
-        cursor = self._connection.cursor()
-        cursor.execute("DELETE FROM workflows")
-        cursor.executemany(
-            "INSERT INTO workflows (identifier, position, payload) VALUES (?, ?, ?)", rows
-        )
-        cursor.execute(
-            "INSERT OR REPLACE INTO meta (key, value) VALUES ('repository_name', ?)",
-            (repository.name,),
-        )
-        self._connection.commit()
-        return len(rows)
+
+        def operation(cursor: sqlite3.Cursor) -> int:
+            cursor.execute("DELETE FROM workflows")
+            cursor.executemany(
+                "INSERT INTO workflows (identifier, position, payload) VALUES (?, ?, ?)", rows
+            )
+            cursor.execute(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES ('repository_name', ?)",
+                (repository.name,),
+            )
+            return len(rows)
+
+        return self._transaction(operation, tables=("workflows",))
 
     def load_repository(self) -> WorkflowRepository | None:
         """Rebuild the snapshot corpus in its original iteration order."""
-        rows = self._connection.execute(
+        self._fire("load")
+        rows = self.connection.execute(
             "SELECT payload FROM workflows ORDER BY position"
         ).fetchall()
         if not rows:
             return None
-        name_row = self._connection.execute(
+        name_row = self.connection.execute(
             "SELECT value FROM meta WHERE key = 'repository_name'"
         ).fetchone()
         return WorkflowRepository.from_dicts(
@@ -183,7 +483,7 @@ class WorkflowStore:
         stale under incremental :meth:`add_workflow` /
         :meth:`remove_workflow` churn.
         """
-        rows = self._connection.execute(
+        rows = self.connection.execute(
             "SELECT payload FROM workflows ORDER BY position"
         ).fetchall()
         if not rows:
@@ -197,24 +497,26 @@ class WorkflowStore:
         are refreshed in the same transaction so the stored index can
         never drift from the stored corpus.
         """
-        cursor = self._connection.cursor()
-        indexed = bool(cursor.execute("SELECT EXISTS(SELECT 1 FROM postings)").fetchone()[0])
-        position_row = cursor.execute("SELECT COALESCE(MAX(position), -1) FROM workflows").fetchone()
-        cursor.execute(
-            "INSERT OR REPLACE INTO workflows (identifier, position, payload) VALUES (?, ?, ?)",
-            (workflow.identifier, position_row[0] + 1, _workflow_payload(workflow)),
-        )
-        cursor.execute("DELETE FROM postings WHERE workflow_id = ?", (workflow.identifier,))
-        if indexed:
-            cursor.executemany(
-                "INSERT OR REPLACE INTO postings (field, token, workflow_id) VALUES (?, ?, ?)",
-                [
-                    (field, token, workflow.identifier)
-                    for field in InvertedAnnotationIndex.FIELDS
-                    for token in InvertedAnnotationIndex.workflow_tokens(field, workflow)
-                ],
+
+        def operation(cursor: sqlite3.Cursor) -> None:
+            indexed = bool(cursor.execute("SELECT EXISTS(SELECT 1 FROM postings)").fetchone()[0])
+            position_row = cursor.execute("SELECT COALESCE(MAX(position), -1) FROM workflows").fetchone()
+            cursor.execute(
+                "INSERT OR REPLACE INTO workflows (identifier, position, payload) VALUES (?, ?, ?)",
+                (workflow.identifier, position_row[0] + 1, _workflow_payload(workflow)),
             )
-        self._connection.commit()
+            cursor.execute("DELETE FROM postings WHERE workflow_id = ?", (workflow.identifier,))
+            if indexed:
+                cursor.executemany(
+                    "INSERT OR REPLACE INTO postings (field, token, workflow_id) VALUES (?, ?, ?)",
+                    [
+                        (field, token, workflow.identifier)
+                        for field in InvertedAnnotationIndex.FIELDS
+                        for token in InvertedAnnotationIndex.workflow_tokens(field, workflow)
+                    ],
+                )
+
+        self._transaction(operation, tables=("workflows", "postings"))
 
     def remove_workflow(self, identifier: str) -> bool:
         """Delete one snapshot row and its postings; returns whether it existed.
@@ -223,12 +525,14 @@ class WorkflowStore:
         remain exact for every workflow still in (or later added to)
         the corpus.
         """
-        cursor = self._connection.cursor()
-        cursor.execute("DELETE FROM workflows WHERE identifier = ?", (identifier,))
-        existed = cursor.rowcount > 0
-        cursor.execute("DELETE FROM postings WHERE workflow_id = ?", (identifier,))
-        self._connection.commit()
-        return existed
+
+        def operation(cursor: sqlite3.Cursor) -> bool:
+            cursor.execute("DELETE FROM workflows WHERE identifier = ?", (identifier,))
+            existed = cursor.rowcount > 0
+            cursor.execute("DELETE FROM postings WHERE workflow_id = ?", (identifier,))
+            return existed
+
+        return self._transaction(operation, tables=("workflows", "postings"))
 
     # -- module-pair scores --------------------------------------------------
 
@@ -242,19 +546,22 @@ class WorkflowStore:
             (config_signature, json.dumps(list(fp_a)), json.dumps(list(fp_b)), score)
             for fp_a, fp_b, score in entries
         ]
-        cursor = self._connection.cursor()
-        cursor.executemany(
-            "INSERT OR REPLACE INTO pair_scores (config, fp_a, fp_b, score) VALUES (?, ?, ?, ?)",
-            rows,
-        )
-        self._connection.commit()
-        return len(rows)
+
+        def operation(cursor: sqlite3.Cursor) -> int:
+            cursor.executemany(
+                "INSERT OR REPLACE INTO pair_scores (config, fp_a, fp_b, score) VALUES (?, ?, ?, ?)",
+                rows,
+            )
+            return len(rows)
+
+        return self._transaction(operation, tables=("pair_scores",))
 
     def load_pair_scores(
         self, config_signature: str
     ) -> list[tuple[tuple[str, ...], tuple[str, ...], float]]:
         """Every persisted score of one configuration."""
-        rows = self._connection.execute(
+        self._fire("load")
+        rows = self.connection.execute(
             "SELECT fp_a, fp_b, score FROM pair_scores WHERE config = ?",
             (config_signature,),
         ).fetchall()
@@ -264,32 +571,37 @@ class WorkflowStore:
         ]
 
     def pair_score_count(self) -> int:
-        return self._connection.execute("SELECT COUNT(*) FROM pair_scores").fetchone()[0]
+        return self.connection.execute("SELECT COUNT(*) FROM pair_scores").fetchone()[0]
 
     # -- inverted index ------------------------------------------------------
 
     def save_index(self, index: InvertedAnnotationIndex) -> int:
         """Replace the persisted postings; returns the row count."""
         rows = list(index.rows())
-        cursor = self._connection.cursor()
-        cursor.execute("DELETE FROM postings")
-        cursor.executemany(
-            "INSERT INTO postings (field, token, workflow_id) VALUES (?, ?, ?)", rows
-        )
-        self._connection.commit()
-        return len(rows)
+
+        def operation(cursor: sqlite3.Cursor) -> int:
+            cursor.execute("DELETE FROM postings")
+            cursor.executemany(
+                "INSERT INTO postings (field, token, workflow_id) VALUES (?, ?, ?)", rows
+            )
+            return len(rows)
+
+        return self._transaction(operation, tables=("postings",))
 
     def clear_postings(self) -> int:
         """Drop the persisted index (used when a snapshot is replaced
         without a live index — stale postings must not survive)."""
-        cursor = self._connection.cursor()
-        cursor.execute("DELETE FROM postings")
-        self._connection.commit()
-        return 0
+
+        def operation(cursor: sqlite3.Cursor) -> int:
+            cursor.execute("DELETE FROM postings")
+            return 0
+
+        return self._transaction(operation, tables=("postings",))
 
     def load_index(self) -> InvertedAnnotationIndex | None:
         """Rebuild the persisted index (``None`` when none was saved)."""
-        rows = self._connection.execute(
+        self._fire("load")
+        rows = self.connection.execute(
             "SELECT field, token, workflow_id FROM postings"
         ).fetchall()
         if not rows:
@@ -300,18 +612,21 @@ class WorkflowStore:
 
     def stats(self) -> dict[str, int | str]:
         """Row counts of every table (for ``repro index stats``)."""
-        connection = self._connection
+        connection = self.connection
         name_row = connection.execute(
             "SELECT value FROM meta WHERE key = 'repository_name'"
         ).fetchone()
         configs = connection.execute(
             "SELECT COUNT(DISTINCT config) FROM pair_scores"
         ).fetchone()[0]
+        journal_mode = connection.execute("PRAGMA journal_mode").fetchone()[0]
         return {
             "path": str(self.path),
             "repository_name": name_row[0] if name_row else "",
+            "journal_mode": str(journal_mode),
             "workflows": connection.execute("SELECT COUNT(*) FROM workflows").fetchone()[0],
             "pair_scores": self.pair_score_count(),
             "pair_score_configs": configs,
             "postings": connection.execute("SELECT COUNT(*) FROM postings").fetchone()[0],
+            "retries": self.retry_count,
         }

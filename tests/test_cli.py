@@ -211,3 +211,108 @@ class TestIndexCommands:
         assert exit_code == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["diagnostics"]["cache_warm_hits"] > 0
+
+    def test_index_stats_missing_cache_dir_is_actionable(self, tmp_path, capsys):
+        exit_code = main(["index", "stats", "--cache-dir", str(tmp_path / "nope")])
+        assert exit_code == 2
+        error = capsys.readouterr().err
+        assert error.startswith("error:")
+        assert "repro index build" in error
+        # The failed lookup must not have conjured an empty store.
+        assert not (tmp_path / "nope").exists()
+
+
+class TestStoreCommands:
+    @pytest.fixture()
+    def built_cache(self, corpus_file, tmp_path):
+        cache_dir = tmp_path / "cache"
+        assert main(
+            [
+                "index", "build", str(corpus_file), "--cache-dir", str(cache_dir),
+                "--warm-measure", "MS_ip_te_pll", "-k", "3",
+            ]
+        ) == 0
+        return cache_dir
+
+    def corrupt(self, cache_dir):
+        import sqlite3
+
+        connection = sqlite3.connect(cache_dir / "repro_store.sqlite")
+        connection.execute(
+            "UPDATE pair_scores SET score = score + 0.25 "
+            "WHERE rowid = (SELECT MIN(rowid) FROM pair_scores)"
+        )
+        connection.commit()
+        connection.close()
+
+    def test_verify_clean_store(self, built_cache, capsys):
+        assert main(["store", "verify", "--cache-dir", str(built_cache)]) == 0
+        output = capsys.readouterr().out
+        assert "all checks passed" in output
+        assert "workflows" in output and "pair_scores" in output
+
+    def test_verify_missing_cache_dir(self, tmp_path, capsys):
+        exit_code = main(["store", "verify", "--cache-dir", str(tmp_path / "nope")])
+        assert exit_code == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_verify_corrupt_store(self, built_cache, capsys):
+        self.corrupt(built_cache)
+        exit_code = main(["store", "verify", "--cache-dir", str(built_cache)])
+        assert exit_code == 1
+        captured = capsys.readouterr()
+        assert "checksum mismatch" in captured.out + captured.err
+        assert "repro store repair" in captured.err
+
+    def test_repair_clean_store_is_a_no_op(self, built_cache, capsys):
+        assert main(["store", "repair", "--cache-dir", str(built_cache)]) == 0
+        assert "nothing to repair" in capsys.readouterr().out
+        assert not (built_cache / "quarantine").exists()
+
+    def test_repair_salvages_corrupt_store(self, built_cache, capsys):
+        self.corrupt(built_cache)
+        assert main(["store", "repair", "--cache-dir", str(built_cache)]) == 0
+        output = capsys.readouterr().out
+        assert "quarantined" in output
+        assert "store repaired" in output
+        assert any((built_cache / "quarantine").iterdir())
+        # And the rebuilt store verifies clean.
+        assert main(["store", "verify", "--cache-dir", str(built_cache)]) == 0
+
+    def test_repair_damaged_snapshot_needs_corpus(
+        self, built_cache, corpus_file, capsys
+    ):
+        import sqlite3
+
+        def wreck_snapshot():
+            connection = sqlite3.connect(built_cache / "repro_store.sqlite")
+            connection.execute(
+                "UPDATE workflows SET payload = 'not json' "
+                "WHERE rowid = (SELECT MIN(rowid) FROM workflows)"
+            )
+            connection.commit()
+            connection.close()
+
+        wreck_snapshot()
+        exit_code = main(["store", "repair", "--cache-dir", str(built_cache)])
+        assert exit_code == 1
+        assert "corpus source" in capsys.readouterr().err
+        # With --corpus (after index build recreates the file) repair succeeds.
+        assert main(
+            ["index", "build", str(corpus_file), "--cache-dir", str(built_cache)]
+        ) == 0
+        wreck_snapshot()
+        capsys.readouterr()
+        assert main(
+            [
+                "store", "repair", "--cache-dir", str(built_cache),
+                "--corpus", str(corpus_file),
+            ]
+        ) == 0
+        assert "store repaired" in capsys.readouterr().out
+        assert main(["store", "verify", "--cache-dir", str(built_cache)]) == 0
+
+    def test_repair_missing_cache_dir(self, tmp_path, capsys):
+        exit_code = main(["store", "repair", "--cache-dir", str(tmp_path / "nope")])
+        assert exit_code == 2
+        assert capsys.readouterr().err.startswith("error:")

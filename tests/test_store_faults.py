@@ -1,0 +1,272 @@
+"""Chaos tests: deterministic fault injection across every tier.
+
+Every armed fault — commit failures, lock storms, corrupt reads, killed
+workers, a broken index — must leave the service *answering*, with a
+``ResultSet`` bit-identical to the sequential seed path, and must be
+visible in the request's diagnostics (``degraded`` +
+``degradation_reason``).  The :class:`~repro.store.FaultInjector` fires
+at the exact seams production faults surface at, a bounded number of
+times, so each scenario is reproducible.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.api import ExecutionPolicy, PairwiseRequest, SearchRequest, SimilarityService
+from repro.repository import WorkflowRepository
+from repro.store import FaultInjector
+
+MEASURE = "MS_ip_te_pll"
+
+
+def fresh_repository(workflows, name="fresh"):
+    return WorkflowRepository(list(workflows), name=name)
+
+
+@pytest.fixture()
+def cache_dir(tmp_path):
+    return tmp_path / "store"
+
+
+@pytest.fixture()
+def workflows(small_corpus):
+    return small_corpus.repository.workflows()[:30]
+
+
+@pytest.fixture()
+def query_ids(workflows):
+    return [workflow.identifier for workflow in workflows[:4]]
+
+
+@pytest.fixture()
+def reference(workflows, query_ids):
+    """The sequential seed-path answer every fault scenario must match."""
+    service = SimilarityService(fresh_repository(workflows))
+    return service.search(
+        SearchRequest(
+            measure=MEASURE,
+            queries=query_ids,
+            k=10,
+            policy=ExecutionPolicy.sequential(),
+        )
+    )
+
+
+@pytest.fixture()
+def warm_cache(cache_dir, workflows, query_ids):
+    """A persisted store for the mid-query corruption scenarios."""
+    service = SimilarityService(fresh_repository(workflows), cache_dir=cache_dir)
+    service.build_index()
+    service.search(SearchRequest(measure=MEASURE, queries=query_ids, k=10))
+    service.persist()
+    service.close()
+    return cache_dir
+
+
+def auto_request(query_ids, **policy_kwargs):
+    policy = ExecutionPolicy(**policy_kwargs) if policy_kwargs else None
+    kwargs = {"policy": policy} if policy is not None else {}
+    return SearchRequest(measure=MEASURE, queries=query_ids, k=10, **kwargs)
+
+
+class TestStoreFaultsMidQuery:
+    def test_corrupt_load_degrades_quarantines_and_rebuilds(
+        self, warm_cache, query_ids, reference
+    ):
+        service = SimilarityService.open(cache_dir=warm_cache)
+        injector = FaultInjector()
+        injector.corrupt_load(times=1)
+        service.fault_injector = injector
+
+        result = service.search(auto_request(query_ids))
+
+        assert result == reference  # exact answer despite the faulting store
+        assert result.diagnostics.degraded
+        assert "store fault" in result.diagnostics.degradation_reason
+        assert injector.count_fired("corrupt-load") == 1
+        # The corrupt store was quarantined and a clean one rebuilt.
+        assert any((warm_cache / "quarantine").iterdir())
+        assert service.store is not None
+        assert service.store.verify().ok
+        assert service.store_trusted
+        # Recovery is complete: the next request is clean and warm again.
+        follow_up = service.search(auto_request(query_ids))
+        assert follow_up == reference
+        assert not follow_up.diagnostics.degraded
+        service.close()
+
+    def test_locked_load_keeps_the_store(self, warm_cache, query_ids, reference):
+        """Contention on a read degrades the request but is not corruption:
+        the store survives, nothing is quarantined."""
+        service = SimilarityService.open(cache_dir=warm_cache)
+        injector = FaultInjector()
+        injector.arm(
+            "load",
+            lambda _context: (_ for _ in ()).throw(
+                sqlite3.OperationalError("database is locked")
+            ),
+            label="locked-load",
+            times=1,
+        )
+        service.fault_injector = injector
+
+        result = service.search(auto_request(query_ids))
+        assert result == reference
+        assert result.diagnostics.degraded
+        assert "contended" in result.diagnostics.degradation_reason
+        assert not (warm_cache / "quarantine").exists()
+        assert service.store is not None
+        service.close()
+
+    def test_corrupt_commit_during_persist_recovers(self, warm_cache, query_ids):
+        service = SimilarityService.open(cache_dir=warm_cache)
+        service.search(auto_request(query_ids))
+        injector = FaultInjector()
+        injector.fail_commit(times=1, locked=False)  # non-retryable
+        service.fault_injector = injector
+
+        summary = service.persist()  # quarantines, rebuilds, persists again
+
+        assert summary["workflows"] == len(service.repository)
+        assert any((warm_cache / "quarantine").iterdir())
+        assert service.store.verify().ok
+        # The recovery is reported on the next request's diagnostics.
+        diagnostics = service.search(auto_request(query_ids)).diagnostics
+        assert diagnostics.degraded
+        assert "store fault" in diagnostics.degradation_reason
+        service.close()
+
+    def test_locked_commits_during_persist_are_retried(self, warm_cache, query_ids):
+        service = SimilarityService.open(cache_dir=warm_cache)
+        service.search(auto_request(query_ids))
+        injector = FaultInjector()
+        injector.fail_commit(times=2, locked=True)
+        service.fault_injector = injector
+
+        summary = service.persist()
+        assert summary["workflows"] == len(service.repository)
+        assert service.store.retry_count == 2
+        assert not (warm_cache / "quarantine").exists()  # contention != corruption
+        service.close()
+
+
+class TestExecutionTierFaults:
+    def test_killed_worker_falls_back_bit_identically(
+        self, workflows, query_ids, reference
+    ):
+        service = SimilarityService(fresh_repository(workflows))
+        injector = FaultInjector()
+        injector.kill_worker(times=1)
+        service.fault_injector = injector
+
+        result = service.search(auto_request(query_ids, workers=2))
+
+        assert result == reference
+        assert result.diagnostics.degraded
+        assert "parallel tier failed" in result.diagnostics.degradation_reason
+        assert result.diagnostics.path in ("pruned", "cached")
+
+    def test_worker_timeout_falls_back(self, workflows, query_ids, reference):
+        service = SimilarityService(fresh_repository(workflows))
+        injector = FaultInjector()
+        injector.worker_timeout(times=1)
+        service.fault_injector = injector
+
+        result = service.search(auto_request(query_ids, workers=2))
+        assert result == reference
+        assert result.diagnostics.degraded
+
+    def test_broken_index_falls_back(self, workflows, reference_bw=None):
+        query_ids = [workflow.identifier for workflow in workflows[:4]]
+        plain = SimilarityService(fresh_repository(workflows))
+        expected = plain.search(
+            SearchRequest(
+                measure="BW",
+                queries=query_ids,
+                k=10,
+                policy=ExecutionPolicy.sequential(),
+            )
+        )
+        service = SimilarityService(fresh_repository(workflows))
+        service.build_index()
+        injector = FaultInjector()
+        injector.break_index(times=1)
+        service.fault_injector = injector
+
+        result = service.search(SearchRequest(measure="BW", queries=query_ids, k=10))
+
+        assert result == expected
+        assert result.diagnostics.degraded
+        assert "indexed tier failed" in result.diagnostics.degradation_reason
+        assert result.diagnostics.path != "indexed"
+        assert service.index is None  # a faulting index is no longer trusted
+
+    def test_pairwise_pool_fault_falls_back(self, workflows):
+        pool_ids = [workflow.identifier for workflow in workflows[:10]]
+        plain = SimilarityService(fresh_repository(workflows))
+        expected = plain.pairwise(
+            PairwiseRequest(measure=MEASURE, policy=ExecutionPolicy.sequential())
+        )
+        service = SimilarityService(fresh_repository(workflows))
+        injector = FaultInjector()
+        injector.kill_worker(times=1)
+        service.fault_injector = injector
+
+        result = service.pairwise(
+            PairwiseRequest(measure=MEASURE, policy=ExecutionPolicy(workers=2))
+        )
+        assert result == expected
+        assert result.diagnostics.degraded
+        assert "parallel tier failed" in result.diagnostics.degradation_reason
+        assert len(pool_ids) == 10  # (pool fixture sanity)
+
+    def test_every_fault_everywhere_still_bit_identical(
+        self, warm_cache, query_ids, reference
+    ):
+        """The everything-is-on-fire scenario: store reads corrupt, pool
+        broken, index gone — the answer is still exactly the seed's."""
+        service = SimilarityService.open(cache_dir=warm_cache)
+        service.build_index()
+        injector = FaultInjector()
+        injector.corrupt_load(times=1)
+        injector.kill_worker(times=1)
+        injector.break_index(times=1)
+        service.fault_injector = injector
+
+        result = service.search(auto_request(query_ids, workers=2))
+
+        assert result == reference
+        assert result.diagnostics.degraded
+        assert result.diagnostics.degradation_reason is not None
+        assert len(injector.fired) >= 2
+        # And the service healed: clean follow-up, clean store.
+        follow_up = service.search(auto_request(query_ids))
+        assert follow_up == reference
+        assert service.store is None or service.store.verify().ok
+        service.close()
+
+
+class TestDiagnosticsRoundTrip:
+    def test_degradation_fields_survive_serialization(
+        self, warm_cache, query_ids
+    ):
+        service = SimilarityService.open(cache_dir=warm_cache)
+        injector = FaultInjector()
+        injector.corrupt_load(times=1)
+        service.fault_injector = injector
+        result = service.search(auto_request(query_ids))
+        service.close()
+
+        from repro.api.results import ResultSet
+
+        round_tripped = ResultSet.from_json(result.to_json())
+        assert round_tripped == result
+        assert round_tripped.diagnostics.degraded is True
+        assert (
+            round_tripped.diagnostics.degradation_reason
+            == result.diagnostics.degradation_reason
+        )
+        assert round_tripped.diagnostics.retry_attempts == result.diagnostics.retry_attempts
