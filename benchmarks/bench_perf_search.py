@@ -233,6 +233,58 @@ def run_benchmark(args: argparse.Namespace) -> dict:
         f"({pairwise_speedup:.1f}x, identical: {pairwise_identical})"
     )
 
+    # -- certified-bounds section --------------------------------------------
+    # The three routes the unified CertifiedBound layer newly covers:
+    # pruned PS (path-matching bound), a composed ensemble bound, and
+    # the label-char-bag indexed MS prefilter.  Each is timed against
+    # the sequential reference and must stay bit-identical.
+    bounds_report = {}
+    for bench_measure, bench_label, wants_index in (
+        ("PS_ip_te_pll", "pruned_ps", False),
+        ("BW+MS_ip_te_pll", "ensemble", False),
+        ("MS_ip_te_pll", "indexed_ms", True),
+    ):
+        levenshtein_similarity.cache_clear()
+        reference_service = SimilarityService(repository, framework=SimilarityFramework())
+        reference_set = reference_service.search(
+            SearchRequest(
+                measure=bench_measure,
+                queries=query_ids,
+                k=args.k,
+                policy=ExecutionPolicy.sequential(),
+            )
+        )
+        levenshtein_similarity.cache_clear()
+        bound_service = SimilarityService(repository, framework=SimilarityFramework())
+        if wants_index:
+            bound_service.build_index()
+        bound_set = bound_service.search(
+            SearchRequest(measure=bench_measure, queries=query_ids, k=args.k)
+        )
+        bound_seconds = bound_set.diagnostics.seconds
+        bound_identical = bound_set == reference_set
+        bound_speedup = (
+            reference_set.diagnostics.seconds / bound_seconds
+            if bound_seconds
+            else float("inf")
+        )
+        bounds_report[bench_label] = {
+            "measure": bench_measure,
+            "seed_seconds": reference_set.diagnostics.seconds,
+            "fast_seconds": bound_seconds,
+            "speedup": bound_speedup,
+            "identical": bound_identical,
+            "path": bound_set.diagnostics.path,
+            "prune": bound_set.diagnostics.prune,
+            "index_candidates": bound_set.diagnostics.index_candidates,
+        }
+        print(
+            f"  bounds/{bench_label} ({bench_measure}): "
+            f"seed {reference_set.diagnostics.seconds:.2f}s, fast {bound_seconds:.2f}s "
+            f"({bound_speedup:.1f}x, {bound_set.diagnostics.path} path, "
+            f"identical: {bound_identical})"
+        )
+
     return {
         "benchmark": "bench_perf_search",
         "scale": describe_scale(),
@@ -262,6 +314,7 @@ def run_benchmark(args: argparse.Namespace) -> dict:
             "path": pairwise_fast_set.diagnostics.path,
         },
         "warm_start": warm_report,
+        "bounds": bounds_report,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
     }
 
@@ -318,6 +371,14 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         return 2
+    for bench_label, section in report["bounds"].items():
+        if not section["identical"]:
+            print(
+                f"FAIL: bounds/{bench_label} ({section['measure']}) differs "
+                "from the reference path",
+                file=sys.stderr,
+            )
+            return 2
     if args.min_speedup and report["search"]["speedup"] < args.min_speedup:
         print(
             f"FAIL: speedup {report['search']['speedup']:.1f}x below "

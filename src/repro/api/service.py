@@ -7,8 +7,13 @@ caller never chooses between ``search`` and ``search_batch`` or manages
 an :class:`~repro.perf.engine.AccelerationContext`: the service owns the
 context (bound to the repository's profile store) and routes every
 request to the fastest path that is bit-identical to the sequential
-reference scan — frontier-pruned top-k for ``MS`` measures, cached full
-scans otherwise, a process pool when the policy grants workers.  The
+reference scan — postings-admitted candidate preselection where a
+:class:`~repro.perf.bounds.AdmissionBound` certifies the measure
+(``BW``/``BT`` token overlap, single-label-Levenshtein ``MS`` character
+bags), frontier-pruned top-k for every measure with a pruning
+:class:`~repro.perf.bounds.CertifiedBound` (``MS``, ``PS``, fully
+certified ensembles), cached full scans otherwise, a process pool when
+the policy grants workers.  The
 :class:`~repro.api.results.ExecutionDiagnostics` attached to every
 response records which path actually ran.
 
@@ -52,7 +57,18 @@ from typing import Any, Iterable, Mapping, Sequence
 
 from ..core.framework import RankedWorkflow, SimilarityFramework
 from ..core.registry import all_configuration_names
-from ..perf.engine import AccelerationContext, supports_pruned_top_k
+from ..perf.bounds import (
+    AdmissionBound,
+    LabelBagIndex,
+    find_admission,
+    find_frontier_bound,
+)
+from ..perf.engine import (
+    AccelerationContext,
+    PruneStats,
+    bounded_top_k,
+    supports_pruned_top_k,
+)
 from ..repository.repository import RepositoryStatistics, WorkflowRepository
 from ..repository.search import SearchResultList, SimilaritySearchEngine
 from ..store import (
@@ -98,6 +114,9 @@ class SimilarityService:
         self.store: WorkflowStore | None = None
         #: The inverted annotation index, once built or loaded.
         self.index: InvertedAnnotationIndex | None = None
+        #: The label character-bag postings powering the ``MS``
+        #: admission prefilter, once built or loaded.
+        self.label_bags: LabelBagIndex | None = None
         self._store_trusted = False
         #: Every quarantine/rebuild/degradation event of this service's
         #: lifetime, oldest first (dicts with at least an ``"event"`` key).
@@ -325,17 +344,35 @@ class SimilarityService:
                     f"persisted index failed to load ({error}); "
                     "continuing without candidate preselection"
                 )
+        if trusted and self.label_bags is None:
+            try:
+                # None for stores written before label bags existed —
+                # those simply keep the pruned (non-indexed) MS path.
+                self.label_bags = store.load_label_bags()
+            except Exception as error:
+                self.label_bags = None
+                self._pending_degradations.append(
+                    f"persisted label bags failed to load ({error}); "
+                    "continuing without label preselection"
+                )
 
     def build_index(self) -> dict[str, int]:
-        """(Re)build the inverted annotation index over the live corpus.
+        """(Re)build the preselection structures over the live corpus.
 
-        Once built, ``AUTO`` requests for annotation measures route
-        through the index's score-safe candidate preselection, and the
-        index mutates in step with ``add_workflows``/``remove_workflows``.
-        Returns the index size counters.
+        Two postings structures are built: the inverted annotation index
+        (``BW``/``BT`` admission) and the label character bags
+        (single-label-Levenshtein ``MS`` admission).  Once built,
+        ``AUTO`` requests for admission-certified measures route through
+        score-safe candidate preselection, and both structures mutate in
+        step with ``add_workflows``/``remove_workflows``.  Returns the
+        combined size counters.
         """
-        self.index = InvertedAnnotationIndex.build(self.repository.workflows())
-        return self.index.stats()
+        workflows = self.repository.workflows()
+        self.index = InvertedAnnotationIndex.build(workflows)
+        self.label_bags = LabelBagIndex.build(workflows)
+        counters = self.index.stats()
+        counters["label_bag_documents"] = len(self.label_bags)
+        return counters
 
     def persist(self) -> dict[str, int]:
         """Write the corpus snapshot, pair scores and index to the store.
@@ -369,8 +406,13 @@ class SimilarityService:
     def _persist_once(self) -> dict[str, int]:
         # Skip the snapshot rewrite when it is already current (the
         # common repeated-persist case would otherwise delete and
-        # reinsert every row per call).
-        if self.store.fingerprint() != corpus_fingerprint(self.repository):
+        # reinsert every row per call).  A matching snapshot written
+        # before label bags existed still gets one rewrite to backfill
+        # the bag rows and their marker.
+        if (
+            self.store.fingerprint() != corpus_fingerprint(self.repository)
+            or not self.store.has_label_bags()
+        ):
             self.store.save_repository(self.repository)
         pair_scores = self.context.persist_scores(self.store)
         # Without a live index any previously persisted postings would
@@ -430,6 +472,8 @@ class SimilarityService:
             self.repository.add(workflow)
             if self.index is not None:
                 self.index.add_workflow(workflow)
+            if self.label_bags is not None:
+                self.label_bags.add_workflow(workflow)
             if write_through:
                 self.store.add_workflow(workflow)
             added += 1
@@ -459,6 +503,8 @@ class SimilarityService:
             self.repository.remove(identifier)
             if self.index is not None:
                 self.index.remove_workflow(identifier)
+            if self.label_bags is not None:
+                self.label_bags.remove_workflow(identifier)
             if write_through:
                 self.store.remove_workflow(identifier)
         summary = self.context.invalidate_workflows(removed)
@@ -498,23 +544,32 @@ class SimilarityService:
         # tier faulted) lands on the reference scan, which touches no
         # store, no index and no pool.
         if mode is not ExecutionMode.SEQUENTIAL:
-            index_field = (
-                InvertedAnnotationIndex.measure_field(measure_name)
-                if self.index is not None
-                else None
-            )
-            if (
-                mode is ExecutionMode.AUTO
-                and policy.preselect
-                and index_field is not None
-                and candidates is None
-            ):
+            admission: AdmissionBound | None = None
+            if mode is ExecutionMode.AUTO and policy.preselect and candidates is None:
+                try:
+                    instance = self.engine._accelerated_measure(measure_name)
+                    admission = find_admission(instance)
+                except Exception:
+                    # Real configuration errors (unknown measure)
+                    # re-raise identically from the later tiers.
+                    admission = None
+                if admission is not None:
+                    # The admission is only usable when its postings
+                    # structure has actually been built or warm-loaded.
+                    structure_ready = (
+                        self.index is not None
+                        if admission.kind == "annotation"
+                        else self.label_bags is not None
+                    )
+                    if not structure_ready:
+                        admission = None
+            if admission is not None:
+                indexed = None
                 try:
                     self._fire_fault("indexed")
-                    results, index_candidates = self._indexed_search(
-                        query_list, measure_name, index_field, request.k
+                    indexed = self._indexed_search(
+                        query_list, instance, admission, request.k, prune=policy.prune
                     )
-                    path = "indexed"
                 except Exception as error:
                     degraded = True
                     degradation_reason = (
@@ -524,11 +579,22 @@ class SimilarityService:
                         "inverted-index preselection faulted; "
                         "fell back to the accelerated batch"
                     )
-                    # A faulting index is no longer trusted for any
-                    # later request either.
-                    self.index = None
-                    results = None
-                    index_candidates = None
+                    # The faulting postings structure is no longer
+                    # trusted for any later request either.
+                    if admission.kind == "annotation":
+                        self.index = None
+                    else:
+                        self.label_bags = None
+                if indexed is not None:
+                    # None (without an exception) means the admission
+                    # declined this batch (see LabelCharAdmission
+                    # .query_chars); fall through silently.
+                    results, index_candidates, batch_stats = indexed
+                    path = "indexed"
+                    prune_stats = batch_stats.as_dict()
+                    notes.append(
+                        f"candidates admitted by bound {admission.name!r}"
+                    )
             wants_pool = results is None and (
                 mode is ExecutionMode.PARALLEL
                 or (mode is ExecutionMode.AUTO and policy.workers and policy.workers > 1)
@@ -593,13 +659,21 @@ class SimilarityService:
                     instance = self.engine._accelerated_measure(measure_name)
                     if prune and supports_pruned_top_k(instance):
                         path = "pruned"
+                        frontier = find_frontier_bound(instance, self.context)
+                        if frontier is not None:
+                            notes.append(
+                                f"frontier pruning certified by bound {frontier.name!r}"
+                            )
                     else:
                         path = "cached"
                         if mode is ExecutionMode.PRUNED:
-                            notes.append(
-                                f"measure {instance.name!r} does not support frontier "
-                                "pruning; used the cached full scan"
-                            )
+                            # An explicit prune request on a measure no
+                            # certified bound covers degrades, visibly:
+                            # the scan that ran is the exact serial one.
+                            path = "serial"
+                            degraded = True
+                            if degradation_reason is None:
+                                degradation_reason = "no-certified-bound"
                     stats = self.engine.last_batch_stats
                     if stats is not None:
                         prune_stats = stats.as_dict()
@@ -910,57 +984,101 @@ class SimilarityService:
     def _indexed_search(
         self,
         query_list: Sequence[Workflow],
-        measure_name: str,
-        field: str,
+        measure,
+        admission: AdmissionBound,
         k: int,
-    ) -> tuple[list[SearchResultList], int]:
-        """Top-``k`` annotation search via inverted-index preselection.
+        *,
+        prune: bool = True,
+    ) -> "tuple[list[SearchResultList], int, PruneStats] | None":
+        """Top-``k`` search via certified admission + frontier pruning.
 
-        Admission is score-safe: a bag-overlap similarity is positive
-        exactly when the two token sets intersect, so every workflow
-        outside the union of the query tokens' postings scores ``0.0``.
-        Admitted candidates are scored by the measure itself (the same
-        float operations as the reference scan); non-admitted workflows
-        enter as zeros in pool order, of which only the first ``k`` can
-        ever rank.  Sorting by ``(-score, position)`` then reproduces
+        Admission is score-safe by the :class:`AdmissionBound` contract:
+        every workflow outside the admitted postings union has a true
+        score of exactly ``0.0`` — token-set intersection for the
+        annotation kind, label character-bag overlap for the label kind.
+        The admitted subpool (kept in global pool order, so tie-breaks
+        survive) then runs through :func:`bounded_top_k` — exact scores
+        from the measure itself, frontier-pruned when a pruning
+        :class:`~repro.perf.bounds.CertifiedBound` certifies the measure
+        — and the result merges with the first ``k`` non-admitted zeros
+        in pool order, of which only the first ``k`` can ever rank.
+        Sorting by ``(-score, global position)`` then reproduces
         :meth:`SimilarityFramework.rank`'s ordering — scores, ranks and
         tie-breaks — bit for bit, while only the admitted candidates pay
         for a comparison.
+
+        Returns ``None`` when the admission declines a query in the
+        batch (a processed-empty ``MS`` query scores 1.0 against other
+        processed-empty candidates, which no postings union can see) —
+        the caller falls through to the pruned tier, silently.
         """
-        measure = self.engine._accelerated_measure(measure_name)
         pool = self.repository.workflows()
+        # Resolve every query's admitted set up front: one uncertifiable
+        # query sends the whole batch down the pruned path instead.
+        admitted_sets: list[set[str]] = []
+        if admission.kind == "annotation":
+            for query in query_list:
+                tokens = self.index.workflow_tokens(admission.field, query)
+                admitted_sets.append(self.index.candidates(admission.field, tokens))
+        else:
+            for query in query_list:
+                certified = admission.query_chars(query)
+                if certified is None:
+                    return None
+                chars, carve_out = certified
+                admitted_sets.append(
+                    self.label_bags.admitted(chars, include_empty_label=carve_out)
+                )
+        position_of = {
+            workflow.identifier: position for position, workflow in enumerate(pool)
+        }
+        stats = PruneStats()
         results: list[SearchResultList] = []
         total_admitted = 0
-        for query in query_list:
-            tokens = self.index.workflow_tokens(field, query)
-            admitted = self.index.candidates(field, tokens)
+        for query, admitted in zip(query_list, admitted_sets):
             admitted.discard(query.identifier)
             total_admitted += len(admitted)
-            scored: list[tuple[float, int, Workflow]] = []
+            subpool = [
+                candidate for candidate in pool if candidate.identifier in admitted
+            ]
+            top = bounded_top_k(
+                query,
+                subpool,
+                measure,
+                self.context,
+                k=k,
+                exclude_query=False,
+                prune=prune,
+                stats=stats,
+            )
+            merged = [
+                (entry.similarity, position_of[entry.workflow.identifier], entry.workflow)
+                for entry in top
+            ]
             zero_budget = k
             for position, candidate in enumerate(pool):
-                if candidate.identifier == query.identifier:
+                if zero_budget == 0:
+                    break
+                if (
+                    candidate.identifier == query.identifier
+                    or candidate.identifier in admitted
+                ):
                     continue
-                if candidate.identifier in admitted:
-                    scored.append(
-                        (measure.similarity(query, candidate), position, candidate)
-                    )
-                elif zero_budget > 0:
-                    scored.append((0.0, position, candidate))
-                    zero_budget -= 1
+                merged.append((0.0, position, candidate))
+                zero_budget -= 1
             # Same ordering as SimilarityFramework.rank: descending
             # score, then pool position.
-            scored.sort(key=lambda item: (-item[0], item[1]))
+            merged.sort(key=lambda item: (-item[0], item[1]))
             ranked = [
                 RankedWorkflow(workflow=workflow, similarity=similarity, rank=rank)
                 for rank, (similarity, _position, workflow) in enumerate(
-                    scored[:k], start=1
+                    merged[:k], start=1
                 )
             ]
             results.append(
                 self.engine._result_list(query.identifier, measure.name, ranked)
             )
-        return results, total_admitted
+        return results, total_admitted, stats
 
 
 def _query_result(result: SearchResultList) -> QueryResult:

@@ -10,9 +10,14 @@ This package makes batch similarity search and all-pairs clustering fast
 * :mod:`repro.perf.cache` — cross-query module-pair score caches keyed
   by (configuration, attribute fingerprints), with symmetric-pair
   canonicalisation for provably symmetric comparators.
+* :mod:`repro.perf.bounds` — the unified :class:`CertifiedBound` layer:
+  per-measure certified upper bounds (``MS`` char-bag + banded
+  refinement, ``PS`` path matching, ensemble composition, ``BW``/``BT``
+  bag overlap) plus the postings-based admission bounds powering the
+  indexed tier.
 * :mod:`repro.perf.engine` — comparator acceleration for all structural
-  measures plus an exact, frontier-pruned top-k scan for ``MS`` measures
-  (character-bag bounds, banded Levenshtein refinement).
+  measures plus :func:`bounded_top_k`, the exact frontier-pruned top-k
+  scan over any certified measure.
 * :mod:`repro.perf.parallel` — an optional ``concurrent.futures``
   process-pool backend for query batches and all-pairs scoring.
 
@@ -25,13 +30,31 @@ The user-facing entry points are
 ``BENCH_search.json``.
 """
 
+from .bounds import (
+    BOUND_CLASSES,
+    AdmissionBound,
+    BagOfTagsBound,
+    BagOfWordsBound,
+    BagOverlapAdmission,
+    CertifiedBound,
+    EnsembleBound,
+    LabelBagIndex,
+    LabelCharAdmission,
+    ModuleSetsBound,
+    PathSetsBound,
+    certifies_frontier_bound,
+    find_admission,
+    find_bound,
+    find_frontier_bound,
+    workflow_label_bag,
+)
 from .cache import ModulePairScoreCache, config_signature
 from .engine import (
     AccelerationContext,
     CachedModuleComparator,
     PruneStats,
     accelerate_measure,
-    module_set_top_k,
+    bounded_top_k,
     supports_pruned_top_k,
 )
 from .parallel import parallel_pairwise, parallel_search_batch, pool_available
@@ -39,18 +62,34 @@ from .profiles import PROFILE_ATTRIBUTES, ModuleProfile, ProfileStore, WorkflowP
 
 __all__ = [
     "AccelerationContext",
+    "AdmissionBound",
+    "BOUND_CLASSES",
+    "BagOfTagsBound",
+    "BagOfWordsBound",
+    "BagOverlapAdmission",
     "CachedModuleComparator",
+    "CertifiedBound",
+    "EnsembleBound",
+    "LabelBagIndex",
+    "LabelCharAdmission",
     "ModulePairScoreCache",
     "ModuleProfile",
+    "ModuleSetsBound",
     "PROFILE_ATTRIBUTES",
+    "PathSetsBound",
     "ProfileStore",
     "PruneStats",
     "WorkflowProfile",
     "accelerate_measure",
+    "bounded_top_k",
+    "certifies_frontier_bound",
     "config_signature",
-    "module_set_top_k",
+    "find_admission",
+    "find_bound",
+    "find_frontier_bound",
     "parallel_pairwise",
     "parallel_search_batch",
     "pool_available",
     "supports_pruned_top_k",
+    "workflow_label_bag",
 ]

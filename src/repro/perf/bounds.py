@@ -1,0 +1,922 @@
+"""The unified :class:`CertifiedBound` layer.
+
+Every acceleration tier of this repository skips work only when it can
+*prove* the skip changes nothing: the frontier-pruned top-k discards a
+candidate whose score provably cannot beat the current k-th result, and
+the indexed tier never scores a candidate whose score is provably zero.
+This module collects those proofs behind one interface instead of the
+three ad-hoc implementations that used to live in ``perf/engine.py``
+(char-bag bounds), ``store/inverted_index.py`` (bag-overlap admission)
+and ``api/service.py`` (per-measure AUTO routing).
+
+A :class:`CertifiedBound` declares which measure configurations it
+certifies (:meth:`~CertifiedBound.certifies`), computes a cheap
+per-workflow summary once (:meth:`~CertifiedBound.summary`), and answers
+``upper_bound(query_summary, candidate_summary)`` under the soundness
+contract *the returned value is never below the measure's true score*
+(assuming, as everywhere in this codebase, module comparators that stay
+within ``[0, 1]``).  Bounds that can spend extra effort once a frontier
+threshold is known implement :meth:`~CertifiedBound.refine`.
+
+Registered bounds:
+
+* :class:`ModuleSetsBound` — ``MS``: character-bag matrix over the
+  admissible module pairs, min of row-/column-maxima sums, banded
+  Levenshtein refinement (the machinery formerly inlined in
+  ``module_set_top_k``).
+* :class:`PathSetsBound` — ``PS``: the same module-level bound matrix
+  lifted to path sets (a matching selects at most one pair per row and
+  column, at every level).
+* :class:`EnsembleBound` — mean/weighted ensembles whose members are
+  *all* certified: the weighted mean of member bounds over the members
+  applicable to both workflows.
+* :class:`BagOfWordsBound` / :class:`BagOfTagsBound` — ``BW``/``BT``:
+  the bag-overlap similarity itself (exact, hence trivially an upper
+  bound).  They do not *prune* — a frontier scan would just compute the
+  exact score twice — but they power ensemble composition and the
+  annotation-index admission.
+
+Admission (zero-certification) for the indexed tier lives here too:
+:func:`find_admission` answers which postings-based prefilter can admit
+a superset of the non-zero-scoring candidates for a measure —
+bag-overlap postings for ``BW``/``BT``, and the per-label character-bag
+postings of :class:`LabelBagIndex` for single-label-Levenshtein ``MS``
+configurations (label character overlap is exactly the zero/non-zero
+certificate of the Levenshtein similarity: an edit script must delete
+every unmatched character, so disjoint character bags force a distance
+of ``max(len_a, len_b)`` and a similarity of exactly ``0.0``).
+
+The perf layer stays import-independent of the store package: the
+service supplies whatever index structures an admission needs.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterable, Iterator, Sequence
+
+from ..core.annotations import (
+    BagOfTagsSimilarity,
+    BagOfWordsSimilarity,
+    bag_overlap_similarity,
+)
+from ..core.base import WorkflowSimilarityMeasure
+from ..core.ensemble import MeanEnsemble, WeightedEnsemble
+from ..core.mapping import GreedyMapping, MaximumWeightMapping, NonCrossingMapping
+from ..core.normalization import similarity_jaccard
+from ..core.preselection import AllPairs, StrictTypeMatch, TypeEquivalence
+from ..core.topological import ModuleSetsSimilarity, PathSetsSimilarity
+from ..text.levenshtein import bounded_levenshtein_similarity
+from ..workflow.model import Workflow
+
+__all__ = [
+    "CertifiedBound",
+    "ModuleSetsBound",
+    "PathSetsBound",
+    "EnsembleBound",
+    "BagOfWordsBound",
+    "BagOfTagsBound",
+    "BOUND_CLASSES",
+    "find_bound",
+    "find_frontier_bound",
+    "certifies_frontier_bound",
+    "AdmissionBound",
+    "BagOverlapAdmission",
+    "LabelCharAdmission",
+    "find_admission",
+    "LabelBagIndex",
+    "workflow_label_bag",
+]
+
+
+# Mapping strategies that are *matchings*: they select at most one pair
+# per row and per column, which is what makes min(sum of row maxima,
+# sum of column maxima) an upper bound on the selected weight.
+_MATCHING_MAPPINGS = (GreedyMapping, MaximumWeightMapping, NonCrossingMapping)
+
+# Preselection strategies whose admissibility is a property of the two
+# modules alone (type/category match), independent of their position in
+# the module list.  Required wherever a bound derived from the *full*
+# module sets must stay valid for sub-sequences of them (the ``PS``
+# path-internal matrices).
+_MODULE_LOCAL_PRESELECTIONS = (AllPairs, StrictTypeMatch, TypeEquivalence)
+
+_SINGLE_LEVENSHTEIN_COMPARATORS = ("levenshtein", "levenshtein_ci")
+
+
+def _bounded_similarity(nnsim_bound: float, size_a: int, size_b: int, normalize: bool) -> float:
+    """Lift a non-normalised similarity bound through the configured normalisation."""
+    if not normalize:
+        return nnsim_bound
+    if size_a == 0 and size_b == 0:
+        return 1.0
+    denominator = size_a + size_b - nnsim_bound
+    if denominator <= 0.0:
+        return 1.0
+    value = nnsim_bound / denominator
+    return 1.0 if value > 1.0 else value
+
+
+#: IEEE-754 double machine epsilon, for :func:`_pad_summation`.
+_EPS = sys.float_info.epsilon
+
+
+def _pad_summation(value: float, terms: int) -> float:
+    """Absorb float-summation rounding into a certified bound.
+
+    A bound computed as one float sum (row maxima) is compared against
+    an exact score computed as a *different* float sum (the matching's
+    selected pairs) — mathematically bound ≥ exact, but each sum rounds
+    independently, so the computed bound can land a few ulps *below* the
+    computed exact score.  Inflating by the standard forward-error
+    factor of a ``terms``-term summation (with slack for the per-term
+    rounding) restores ``bound >= exact`` bit-wise; the inflation is
+    ~1e-14 relative, far too small to cost a prune that matters.
+    """
+    if value <= 0.0:
+        return value
+    return value * (1.0 + 2.0 * (terms + 2) * _EPS)
+
+
+def _jaccard_required_nnsim(kth_score: float, size_a: int, size_b: int) -> float:
+    """The non-normalised similarity needed to *beat* ``kth_score``.
+
+    Inverts ``sim = nnsim / (|A| + |B| - nnsim)``; the normalisation is
+    strictly increasing in ``nnsim``, so any candidate whose ``nnsim``
+    upper bound stays at or below this threshold cannot outrank the
+    current k-th result.
+    """
+    return kth_score * (size_a + size_b) / (1.0 + kth_score)
+
+
+def _admissible_columns(query_profile, candidate_profile, preselection):
+    """Per-query-module column index lists under the preselection strategy.
+
+    ``None`` means "every column" (the ``ta`` strategy).  The ``te`` and
+    ``tm`` strategies are answered from the profiles' cached category and
+    type indices — the same groupings their ``candidate_pairs``
+    implementations derive per call — and any custom strategy falls back
+    to that method.
+    """
+    if isinstance(preselection, AllPairs):
+        return None
+    empty: tuple[int, ...] = ()
+    if type(preselection) is TypeEquivalence and preselection._categories is None:
+        grouped = candidate_profile.indices_by_category()
+        return [grouped.get(category, empty) for category in query_profile.categories]
+    if type(preselection) is StrictTypeMatch:
+        grouped = candidate_profile.indices_by_type()
+        return [
+            grouped.get(profile.lowered("type"), empty) for profile in query_profile.modules
+        ]
+    pairs = preselection.candidate_pairs(
+        [profile.module for profile in query_profile.modules],
+        [profile.module for profile in candidate_profile.modules],
+    )
+    if pairs is None:
+        return None
+    rows: list[list[int]] = [[] for _ in range(query_profile.size)]
+    for i, j in sorted(pairs):
+        rows[i].append(j)
+    return rows
+
+
+class CertifiedBound:
+    """One certified upper bound on one measure instance.
+
+    Subclasses declare which measures they certify (a *class-level*
+    check, so routing decisions need no context) and are instantiated
+    per measure via :func:`find_bound`.  Summaries are memoised per
+    workflow object, so a bound living on a long-lived
+    ``AccelerationContext`` pays the summary cost once per corpus
+    workflow per batch lifetime.
+
+    Soundness contract: ``upper_bound(summary(a), summary(b))`` is never
+    below ``measure.similarity(a, b)``; ditto for any value returned by
+    :meth:`refine`.  Equality is allowed — the frontier scan processes
+    candidates in pool order, so a later candidate tied with the k-th
+    score loses the tie-break anyway.
+    """
+
+    #: Diagnostic name; keys ``PruneStats.pruned_by_bound``.
+    name: str = "certified"
+    #: Whether the bound is cheaper than the exact score and therefore
+    #: worth a frontier-pruned scan.  Exact bounds (``BW``/``BT``) set
+    #: this to ``False``: they still certify (for ensemble composition
+    #: and admission) but standalone searches keep their cached path.
+    prunes: bool = True
+
+    def __init__(self, measure: WorkflowSimilarityMeasure, context) -> None:
+        self.measure = measure
+        self.context = context
+        self._summaries: dict[int, tuple[Workflow, object]] = {}
+
+    @classmethod
+    def certifies(cls, measure: WorkflowSimilarityMeasure) -> bool:
+        """Whether this bound class soundly covers ``measure``."""
+        raise NotImplementedError
+
+    def summary(self, workflow: Workflow):
+        """The memoised cheap per-workflow summary."""
+        entry = self._summaries.get(id(workflow))
+        if entry is not None and entry[0] is workflow:
+            return entry[1]
+        value = self._summarise(workflow)
+        self._summaries[id(workflow)] = (workflow, value)
+        return value
+
+    def _summarise(self, workflow: Workflow):
+        raise NotImplementedError
+
+    def upper_bound(self, query_summary, candidate_summary) -> float:
+        """A certified upper bound on the true score of the pair."""
+        raise NotImplementedError
+
+    def refine(self, query_summary, candidate_summary, threshold: float, stats=None) -> float | None:
+        """Optionally spend more work for a tighter bound.
+
+        ``threshold`` is the score the candidate must *exceed* to
+        matter; implementations may use it to budget their effort (e.g.
+        the banded Levenshtein ``max_distance``), but any returned value
+        must be a valid upper bound regardless.  ``None`` means "no
+        tighter bound available" — the caller falls back to the exact
+        comparison.  ``stats`` is a ``PruneStats`` instance for
+        bookkeeping (e.g. ``banded_calls``).
+        """
+        return None
+
+
+class ModuleSetsBound(CertifiedBound):
+    """``MS``: char-bag bound matrix + matching bound + banded refinement."""
+
+    name = "ms-char-bag"
+    prunes = True
+
+    @classmethod
+    def certifies(cls, measure: WorkflowSimilarityMeasure) -> bool:
+        # The bound relies on the MS compare semantics (one matching
+        # over one module similarity matrix, Jaccard or identity
+        # normalisation); subclasses may override ``compare``.
+        return type(measure) is ModuleSetsSimilarity and type(measure.mapping) in _MATCHING_MAPPINGS
+
+    def __init__(self, measure: ModuleSetsSimilarity, context) -> None:
+        super().__init__(measure, context)
+        self.cache = context.pair_cache(measure.comparator.config)
+        # Stage-1 artifacts of the most recent upper_bound call, reused
+        # by refine for the same summary pair (identity-checked).
+        self._stage1: tuple | None = None
+
+    def _summarise(self, workflow: Workflow):
+        processed = self.measure.preprocess(workflow)
+        return self.context.profiles.workflow_profile(processed)
+
+    def upper_bound(self, query_summary, candidate_summary) -> float:
+        size_a = query_summary.size
+        size_b = candidate_summary.size
+        normalize = self.measure.normalize
+        if not size_a or not size_b:
+            # These are the measure's exact values for empty module
+            # sets; pruning on an exact value is safe under pool order.
+            self._stage1 = None
+            return 1.0 if (not size_a and not size_b and normalize) else 0.0
+        columns = _admissible_columns(query_summary, candidate_summary, self.measure.preselection)
+        profiles_a = query_summary.modules
+        profiles_b = candidate_summary.modules
+        upper_bound = self.cache.upper_bound
+
+        matrix: list[list[float]] = []
+        exact_flags: list[list[bool]] = []
+        col_max = [0.0] * size_b
+        row_max = [0.0] * size_a
+        all_columns = range(size_b)
+        for i in range(size_a):
+            profile_a = profiles_a[i]
+            row = [0.0] * size_b
+            flags = [True] * size_b
+            best = 0.0
+            for j in (all_columns if columns is None else columns[i]):
+                value, exact = upper_bound(profile_a, profiles_b[j])
+                row[j] = value
+                flags[j] = exact
+                if value > best:
+                    best = value
+                if value > col_max[j]:
+                    col_max[j] = value
+            row_max[i] = best
+            matrix.append(row)
+            exact_flags.append(flags)
+
+        row_sum = sum(row_max)
+        self._stage1 = (query_summary, candidate_summary, matrix, exact_flags, row_max, row_sum)
+        nnsim_bound = _pad_summation(min(row_sum, sum(col_max)), size_a + size_b)
+        return _bounded_similarity(nnsim_bound, size_a, size_b, normalize)
+
+    def refine(self, query_summary, candidate_summary, threshold: float, stats=None) -> float | None:
+        cache = self.cache
+        single_levenshtein = cache.single_levenshtein
+        if single_levenshtein is None:
+            return None
+        size_a = query_summary.size
+        size_b = candidate_summary.size
+        if not size_a or not size_b:
+            return None
+        memo = self._stage1
+        if memo is None or memo[0] is not query_summary or memo[1] is not candidate_summary:
+            self.upper_bound(query_summary, candidate_summary)
+            memo = self._stage1
+            if memo is None:
+                return None
+        _, _, matrix, exact_flags, row_max, row_sum = memo
+        normalize = self.measure.normalize
+
+        # A pair in row i can only lift the candidate above the frontier
+        # if its score clears required - (best possible contribution of
+        # all other rows); pairs below that floor are re-bounded by a
+        # banded edit distance whose max_distance encodes the floor.
+        required = (
+            _jaccard_required_nnsim(threshold, size_a, size_b) if normalize else threshold
+        )
+        lowercase = single_levenshtein.lowercase
+        attribute = single_levenshtein.attribute
+        profiles_a = query_summary.modules
+        profiles_b = candidate_summary.modules
+        refined = False
+        for i in range(size_a):
+            floor = required - (row_sum - row_max[i])
+            if floor <= 0.0:
+                continue
+            profile_a = profiles_a[i]
+            row = matrix[i]
+            flags = exact_flags[i]
+            best = 0.0
+            for j in range(size_b):
+                value = row[j]
+                if value > 0.0 and not flags[j] and value >= floor:
+                    profile_b = profiles_b[j]
+                    if lowercase:
+                        value_a = profile_a.lowered(attribute)
+                        value_b = profile_b.lowered(attribute)
+                    else:
+                        value_a = profile_a.values[attribute]
+                        value_b = profile_b.values[attribute]
+                    similarity, exact = bounded_levenshtein_similarity(value_a, value_b, floor)
+                    if stats is not None:
+                        stats.banded_calls += 1
+                    value = cache.score_from_levenshtein(profile_a, profile_b, similarity, exact=exact)
+                    if value < row[j]:
+                        row[j] = value
+                        refined = True
+                    flags[j] = exact
+                if value > best:
+                    best = value
+            row_max[i] = best
+        if not refined:
+            return None
+        col_max = [0.0] * size_b
+        for row in matrix:
+            for j in range(size_b):
+                if row[j] > col_max[j]:
+                    col_max[j] = row[j]
+        nnsim_bound = _pad_summation(min(sum(row_max), sum(col_max)), size_a + size_b)
+        return _bounded_similarity(nnsim_bound, size_a, size_b, normalize)
+
+
+class _PathSummary:
+    """Per-workflow summary of the ``PS`` bound."""
+
+    __slots__ = ("profile", "paths", "lengths")
+
+    def __init__(self, profile, paths: tuple[tuple[int, ...], ...]) -> None:
+        self.profile = profile
+        #: Source-to-sink paths as tuples of module *indices* into the profile.
+        self.paths = paths
+        self.lengths = tuple(len(path) for path in paths)
+
+
+class PathSetsBound(CertifiedBound):
+    """``PS``: the module bound matrix lifted through both matching levels.
+
+    For a pair of paths, the internal matching selects at most one
+    module pair per row and per column, so its weight is bounded by
+    ``min(sum of path-a row maxima, sum of path-b column maxima,
+    min(len_a, len_b))`` — computed from the *global* row/column maxima
+    (a maximum over a subset never exceeds the maximum over the set).
+    The per-pair Jaccard normalisation is monotone in that weight, and
+    the path-set matching is bounded by the same row/column-maxima
+    argument one level up.
+    """
+
+    name = "ps-path-matching"
+    prunes = True
+
+    @classmethod
+    def certifies(cls, measure: WorkflowSimilarityMeasure) -> bool:
+        if type(measure) is not PathSetsSimilarity:
+            return False
+        if type(measure.path_internal_mapping) not in _MATCHING_MAPPINGS:
+            return False
+        if type(measure.path_set_mapping) not in _MATCHING_MAPPINGS:
+            return False
+        # Path-internal matrices are built over *sub-sequences* of the
+        # module sets, so admissibility derived from the full sets must
+        # be position-independent.
+        return type(measure.preselection) in _MODULE_LOCAL_PRESELECTIONS
+
+    def __init__(self, measure: PathSetsSimilarity, context) -> None:
+        super().__init__(measure, context)
+        self.cache = context.pair_cache(measure.comparator.config)
+
+    def _summarise(self, workflow: Workflow) -> _PathSummary:
+        processed = self.measure.preprocess(workflow)
+        profile = self.context.profiles.workflow_profile(processed)
+        if profile.size == 0:
+            return _PathSummary(profile, ())
+        index_of = {
+            module.identifier: index for index, module in enumerate(processed.modules)
+        }
+        paths = tuple(
+            tuple(index_of[name] for name in path) for path in self.measure._paths(processed)
+        )
+        return _PathSummary(profile, paths)
+
+    def upper_bound(self, query_summary: _PathSummary, candidate_summary: _PathSummary) -> float:
+        size_a = query_summary.profile.size
+        size_b = candidate_summary.profile.size
+        normalize = self.measure.normalize
+        if not size_a or not size_b:
+            # PS.compare's exact empty-workflow values.
+            return 1.0 if (not size_a and not size_b and normalize) else 0.0
+        columns = _admissible_columns(
+            query_summary.profile, candidate_summary.profile, self.measure.preselection
+        )
+        profiles_a = query_summary.profile.modules
+        profiles_b = candidate_summary.profile.modules
+        upper_bound = self.cache.upper_bound
+        row_max = [0.0] * size_a
+        col_max = [0.0] * size_b
+        all_columns = range(size_b)
+        for i in range(size_a):
+            profile_a = profiles_a[i]
+            best = 0.0
+            for j in (all_columns if columns is None else columns[i]):
+                value, _exact = upper_bound(profile_a, profiles_b[j])
+                if value > best:
+                    best = value
+                if value > col_max[j]:
+                    col_max[j] = value
+            row_max[i] = best
+
+        sums_a = [sum(row_max[index] for index in path) for path in query_summary.paths]
+        sums_b = [sum(col_max[index] for index in path) for path in candidate_summary.paths]
+        lengths_a = query_summary.lengths
+        lengths_b = candidate_summary.lengths
+
+        # Path-pair bound matrix, reduced on the fly to its row/column maxima.
+        path_row_max = [0.0] * len(sums_a)
+        path_col_max = [0.0] * len(sums_b)
+        for a_index in range(len(sums_a)):
+            sum_a = sums_a[a_index]
+            length_a = lengths_a[a_index]
+            best = 0.0
+            for b_index in range(len(sums_b)):
+                length_b = lengths_b[b_index]
+                pair_bound = _pad_summation(
+                    min(sum_a, sums_b[b_index], float(min(length_a, length_b))),
+                    length_a + length_b,
+                )
+                value = similarity_jaccard(pair_bound, length_a, lengths_b[b_index])
+                if value > best:
+                    best = value
+                if value > path_col_max[b_index]:
+                    path_col_max[b_index] = value
+            path_row_max[a_index] = best
+
+        nnsim_bound = _pad_summation(
+            min(sum(path_row_max), sum(path_col_max)), len(sums_a) + len(sums_b)
+        )
+        if normalize:
+            return similarity_jaccard(nnsim_bound, len(sums_a), len(sums_b))
+        return nnsim_bound
+
+
+class BagOfWordsBound(CertifiedBound):
+    """``BW``: the exact bag-overlap score (set operations are the cheap part).
+
+    Exact bounds do not *prune* — a frontier scan over them would pay
+    the full score for every candidate — but they make ``BW`` a valid
+    ensemble component and power the annotation-index admission.
+    """
+
+    name = "bw-token-bag"
+    prunes = False
+
+    @classmethod
+    def certifies(cls, measure: WorkflowSimilarityMeasure) -> bool:
+        return type(measure) is BagOfWordsSimilarity
+
+    def _summarise(self, workflow: Workflow) -> frozenset[str]:
+        return self.measure.tokens(workflow)
+
+    def upper_bound(self, query_summary: frozenset[str], candidate_summary: frozenset[str]) -> float:
+        return bag_overlap_similarity(query_summary, candidate_summary)
+
+
+class BagOfTagsBound(CertifiedBound):
+    """``BT``: the exact bag-overlap score over the tag sets."""
+
+    name = "bt-tag-bag"
+    prunes = False
+
+    @classmethod
+    def certifies(cls, measure: WorkflowSimilarityMeasure) -> bool:
+        return type(measure) is BagOfTagsSimilarity
+
+    def _summarise(self, workflow: Workflow) -> frozenset[str]:
+        return self.measure.tags(workflow)
+
+    def upper_bound(self, query_summary: frozenset[str], candidate_summary: frozenset[str]) -> float:
+        return bag_overlap_similarity(query_summary, candidate_summary)
+
+
+class EnsembleBound(CertifiedBound):
+    """Mean/weighted ensembles of fully certified members.
+
+    The ensemble bound is the (weighted) mean of the member bounds over
+    the members applicable to *both* workflows — exactly the members the
+    ensemble's ``compare`` averages, with applicability computed by the
+    members' own ``is_applicable_to``.  Certification requires *every*
+    member to be certified: bounding an uncertified member by 1.0 would
+    be unsound for members whose scores can exceed 1 (e.g.
+    non-normalised ``MS``).
+
+    Per-term soundness composes because float addition and division are
+    monotone under rounding: the bound accumulates the same expression
+    shape as ``compare`` with each term at least as large.
+    """
+
+    prunes = True
+
+    @classmethod
+    def certifies(cls, measure: WorkflowSimilarityMeasure) -> bool:
+        # RankAggregationEnsemble ranks candidates list-wise and is
+        # deliberately not covered; WeightedEnsemble subclasses
+        # MeanEnsemble, so check exact types.
+        if type(measure) not in (MeanEnsemble, WeightedEnsemble):
+            return False
+        if type(measure) is WeightedEnsemble and any(
+            weight <= 0 for weight in measure.weights
+        ):
+            # A non-positive weight breaks the monotonicity of the
+            # weighted mean in the member bounds.
+            return False
+        return all(
+            any(bound_cls.certifies(member) for bound_cls in BOUND_CLASSES)
+            for member in measure.members
+        )
+
+    def __init__(self, measure: MeanEnsemble, context) -> None:
+        super().__init__(measure, context)
+        self.member_bounds = [find_bound(member, context) for member in measure.members]
+        if any(bound is None for bound in self.member_bounds):
+            raise ValueError(f"ensemble {measure.name!r} has uncertified members")
+        if isinstance(measure, WeightedEnsemble):
+            self.weights = list(measure.weights)
+        else:
+            self.weights = [1.0] * len(measure.members)
+        self.name = "ensemble(" + "+".join(bound.name for bound in self.member_bounds) + ")"
+        self._last: tuple | None = None
+
+    def _summarise(self, workflow: Workflow):
+        entries = []
+        for member, bound in zip(self.measure.members, self.member_bounds):
+            if member.is_applicable_to(workflow):
+                entries.append((True, bound.summary(workflow)))
+            else:
+                entries.append((False, None))
+        return tuple(entries)
+
+    def upper_bound(self, query_summary, candidate_summary) -> float:
+        total = 0.0
+        weight_sum = 0.0
+        contributions: list[list] = []
+        for bound, weight, (applicable_a, summary_a), (applicable_b, summary_b) in zip(
+            self.member_bounds, self.weights, query_summary, candidate_summary
+        ):
+            if not (applicable_a and applicable_b):
+                continue
+            value = bound.upper_bound(summary_a, summary_b)
+            contributions.append([bound, weight, summary_a, summary_b, value])
+            total += weight * value
+            weight_sum += weight
+        self._last = (query_summary, candidate_summary, contributions, weight_sum)
+        if weight_sum == 0.0:
+            # compare() returns exactly 0.0 when no member applies.
+            return 0.0
+        return total / weight_sum
+
+    def refine(self, query_summary, candidate_summary, threshold: float, stats=None) -> float | None:
+        memo = self._last
+        if memo is None or memo[0] is not query_summary or memo[1] is not candidate_summary:
+            self.upper_bound(query_summary, candidate_summary)
+            memo = self._last
+        _, _, contributions, weight_sum = memo
+        if weight_sum == 0.0 or not contributions:
+            return None
+        total = 0.0
+        for _bound, weight, _summary_a, _summary_b, value in contributions:
+            total += weight * value
+        improved = False
+        for entry in contributions:
+            bound, weight, summary_a, summary_b, value = entry
+            # The ensemble can only beat the threshold if this member
+            # clears (threshold * weight_sum - everyone else's bound);
+            # propagate that as the member's own refinement threshold.
+            member_threshold = (threshold * weight_sum - (total - weight * value)) / weight
+            refined = bound.refine(summary_a, summary_b, member_threshold, stats=stats)
+            if refined is not None and refined < value:
+                entry[4] = refined
+                improved = True
+        if not improved:
+            return None
+        total = 0.0
+        for _bound, weight, _summary_a, _summary_b, value in contributions:
+            total += weight * value
+        return total / weight_sum
+
+
+#: Registered bound classes, checked in order by :func:`find_bound`.
+BOUND_CLASSES: list[type[CertifiedBound]] = [
+    EnsembleBound,
+    ModuleSetsBound,
+    PathSetsBound,
+    BagOfWordsBound,
+    BagOfTagsBound,
+]
+
+
+def find_bound(measure: WorkflowSimilarityMeasure, context) -> CertifiedBound | None:
+    """The certified bound instance for ``measure``, memoised on ``context``.
+
+    Instances are cached per measure object (identity-guarded) so their
+    summary memos persist across the queries of a batch; the context
+    clears the memo when workflows are invalidated.
+    """
+    memo = context.measure_bounds
+    entry = memo.get(id(measure))
+    if entry is not None and entry[0] is measure:
+        return entry[1]
+    bound: CertifiedBound | None = None
+    for bound_cls in BOUND_CLASSES:
+        if bound_cls.certifies(measure):
+            bound = bound_cls(measure, context)
+            break
+    memo[id(measure)] = (measure, bound)
+    return bound
+
+
+def certifies_frontier_bound(measure: WorkflowSimilarityMeasure) -> bool:
+    """Class-level check: does a *pruning* bound certify this measure?"""
+    return any(cls.prunes and cls.certifies(measure) for cls in BOUND_CLASSES)
+
+
+def find_frontier_bound(measure: WorkflowSimilarityMeasure, context) -> CertifiedBound | None:
+    """Like :func:`find_bound`, restricted to bounds worth a pruned scan."""
+    bound = find_bound(measure, context)
+    if bound is not None and bound.prunes:
+        return bound
+    return None
+
+
+# -- admission (zero-certification) for the indexed tier ---------------------
+
+
+class AdmissionBound:
+    """A postings-based prefilter admitting a superset of non-zero scorers.
+
+    ``kind`` tells the service which index structure answers it:
+    ``"annotation"`` admissions run over the
+    :class:`~repro.store.inverted_index.InvertedAnnotationIndex` field
+    named by :attr:`field`; ``"label"`` admissions run over a
+    :class:`LabelBagIndex`.  Every candidate outside the admitted set
+    has a true score of exactly ``0.0``.
+    """
+
+    kind: str = "annotation"
+    name: str = "admission"
+    field: str | None = None
+
+
+class BagOverlapAdmission(AdmissionBound):
+    """``BW``/``BT``: candidates sharing no annotation token score 0.0."""
+
+    kind = "annotation"
+
+    def __init__(self, name: str, field: str) -> None:
+        self.name = name
+        self.field = field
+
+
+class LabelCharAdmission(AdmissionBound):
+    """Single-label-Levenshtein ``MS``: label character overlap certifies zero.
+
+    ``levenshtein_similarity(a, b) > 0`` iff the two labels share a
+    character (aligning one shared character caps the distance at
+    ``longest - 1``) or both are empty; with disjoint character bags the
+    distance is exactly ``longest`` and the similarity exactly ``0.0``.
+    Postings and query characters are both lowered per character, which
+    covers ``levenshtein_ci`` exactly and is a sound superset for the
+    case-sensitive rule.  Query characters come from the *raw* workflow:
+    the importance projection only removes modules, so the raw character
+    set is a superset of the processed one.
+    """
+
+    kind = "label"
+    name = "label-char-bag"
+    field = None
+
+    def __init__(self, measure: ModuleSetsSimilarity) -> None:
+        self.measure = measure
+        rule = measure.comparator.config.rules[0]
+        self.skip_if_both_empty = rule.skip_if_both_empty
+
+    @staticmethod
+    def certifies(measure: WorkflowSimilarityMeasure) -> bool:
+        if type(measure) is not ModuleSetsSimilarity:
+            return False
+        rules = measure.comparator.config.rules
+        return (
+            len(rules) == 1
+            and rules[0].comparator in _SINGLE_LEVENSHTEIN_COMPARATORS
+            and rules[0].attribute == "label"
+        )
+
+    def query_chars(self, workflow: Workflow) -> tuple[frozenset[str], bool] | None:
+        """Lowered query label characters and the empty-label carve-out flag.
+
+        Returns ``None`` when the admission cannot certify this query:
+        a query whose *processed* module set is empty scores 1.0 (not
+        0.0) against candidates that are also processed-empty under the
+        Jaccard normalisation, which no postings union can see.  Callers
+        fall through to the pruned (non-indexed) path.
+        """
+        processed = self.measure.preprocess(workflow)
+        if not processed.modules:
+            return None
+        chars: set[str] = set()
+        has_empty_label = False
+        for module in workflow.modules:
+            label = module.attribute("label")
+            if not label:
+                has_empty_label = True
+            else:
+                for char in label:
+                    chars.update(char.lower())
+        # With skip_if_both_empty=False, two empty labels score 1.0, so
+        # candidates with an empty-label module must be admitted too.
+        carve_out = has_empty_label and not self.skip_if_both_empty
+        return frozenset(chars), carve_out
+
+
+def find_admission(measure: WorkflowSimilarityMeasure) -> AdmissionBound | None:
+    """The admission bound able to prefilter candidates for ``measure``.
+
+    Ensembles are deliberately uncovered: a member applicable to only
+    some candidates shifts the ensemble denominator, so a zero bound of
+    one member certifies nothing about the ensemble score.
+    """
+    if type(measure) is BagOfWordsSimilarity:
+        return BagOverlapAdmission(BagOfWordsBound.name, "text")
+    if type(measure) is BagOfTagsSimilarity:
+        return BagOverlapAdmission(BagOfTagsBound.name, "tags")
+    if LabelCharAdmission.certifies(measure):
+        return LabelCharAdmission(measure)
+    return None
+
+
+# -- per-label character-bag postings ----------------------------------------
+
+
+def workflow_label_bag(workflow: Workflow) -> dict[str, int]:
+    """Raw-label character counts of a workflow's modules.
+
+    The empty-string token counts the workflow's empty-label modules
+    (the carve-out of :class:`LabelCharAdmission`).  Raw characters are
+    the persisted canonical form; the in-memory postings lower them per
+    character on load.
+    """
+    bag: dict[str, int] = {}
+    for module in workflow.modules:
+        label = module.attribute("label")
+        if not label:
+            bag[""] = bag.get("", 0) + 1
+        else:
+            for char in label:
+                bag[char] = bag.get(char, 0) + 1
+    return bag
+
+
+class LabelBagIndex:
+    """Inverted postings over lowered label characters.
+
+    The persistent row format is ``(workflow_id, token, count)`` with
+    raw characters (or the ``""`` empty-label sentinel) as tokens; see
+    :meth:`rows`/:meth:`from_rows`.  Postings are keyed by *lowered*
+    characters, which serves both Levenshtein rule variants (see
+    :class:`LabelCharAdmission`).
+    """
+
+    def __init__(self) -> None:
+        self._postings: dict[str, set[str]] = {}
+        self._empty_label: set[str] = set()
+        self._documents: dict[str, dict[str, int]] = {}
+
+    @classmethod
+    def build(cls, workflows: Iterable[Workflow]) -> "LabelBagIndex":
+        """Index every workflow of a corpus."""
+        index = cls()
+        for workflow in workflows:
+            index.add_workflow(workflow)
+        return index
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __contains__(self, identifier: str) -> bool:
+        return identifier in self._documents
+
+    def add_workflow(self, workflow: Workflow) -> None:
+        self.add_bag(workflow.identifier, workflow_label_bag(workflow))
+
+    def add_bag(self, identifier: str, bag: dict[str, int]) -> None:
+        if identifier in self._documents:
+            self.remove_workflow(identifier)
+        self._documents[identifier] = bag
+        for token in bag:
+            if token == "":
+                self._empty_label.add(identifier)
+                continue
+            for lowered in token.lower():
+                self._postings.setdefault(lowered, set()).add(identifier)
+
+    def remove_workflow(self, identifier: str) -> bool:
+        bag = self._documents.pop(identifier, None)
+        if bag is None:
+            return False
+        self._empty_label.discard(identifier)
+        for token in bag:
+            if token == "":
+                continue
+            for lowered in token.lower():
+                ids = self._postings.get(lowered)
+                if ids is not None:
+                    ids.discard(identifier)
+                    if not ids:
+                        del self._postings[lowered]
+        return True
+
+    def admitted(self, chars: Iterable[str], *, include_empty_label: bool) -> set[str]:
+        """Union of the postings of ``chars`` (plus the empty-label set)."""
+        result: set[str] = set()
+        postings = self._postings
+        for char in chars:
+            ids = postings.get(char)
+            if ids:
+                result |= ids
+        if include_empty_label:
+            result |= self._empty_label
+        return result
+
+    def rows(self) -> Iterator[tuple[str, str, int]]:
+        """Deterministic persistable rows (sorted by workflow, token)."""
+        for identifier in sorted(self._documents):
+            bag = self._documents[identifier]
+            for token in sorted(bag):
+                yield identifier, token, bag[token]
+
+    def document_rows(self, identifier: str) -> Iterator[tuple[str, str, int]]:
+        bag = self._documents.get(identifier, {})
+        for token in sorted(bag):
+            yield identifier, token, bag[token]
+
+    @classmethod
+    def from_rows(cls, rows: Iterable[Sequence]) -> "LabelBagIndex":
+        index = cls()
+        documents = index._documents
+        for identifier, token, count in rows:
+            documents.setdefault(identifier, {})[token] = count
+        for identifier, bag in documents.items():
+            for token in bag:
+                if token == "":
+                    index._empty_label.add(identifier)
+                    continue
+                for lowered in token.lower():
+                    index._postings.setdefault(lowered, set()).add(identifier)
+        return index
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "documents": len(self._documents),
+            "label_chars": len(self._postings),
+            "label_postings": sum(len(ids) for ids in self._postings.values()),
+            "empty_label_documents": len(self._empty_label),
+        }

@@ -11,37 +11,34 @@ Two cooperating layers, both exact (no score changes):
   runs unchanged, so ``MS``/``PS``/``GE`` all produce bit-identical
   scores, only faster.
 
-* :func:`module_set_top_k` is a drop-in replacement for
+* :func:`bounded_top_k` is a drop-in replacement for
   :meth:`SimilarityFramework.top_k
-  <repro.core.framework.SimilarityFramework.top_k>` for ``MS`` measures.
-  It maintains the current top-k frontier and discards candidates whose
-  *certified upper bound* cannot beat the k-th score: a matching selects
-  at most one pair per row and per column, so the minimum of the
-  row-maxima and column-maxima sums of an upper-bound matrix bounds the
-  non-normalised similarity, and the similarity-weighted Jaccard
-  normalisation is monotone in it.  Candidates surviving the cheap
-  character-bag bound face a second, banded-Levenshtein refinement whose
-  per-row distance budget is derived from the frontier score (the
-  ``max_distance`` plumbing of :func:`repro.text.levenshtein.banded_levenshtein_distance`).
-  Only candidates surviving both filters pay for an exact comparison —
-  which the measure itself performs, so selected scores, tie-breaks and
-  ranks match the sequential scan exactly.
+  <repro.core.framework.SimilarityFramework.top_k>` for every measure a
+  :class:`~repro.perf.bounds.CertifiedBound` certifies (``MS``, ``PS``
+  and fully certified ensembles).  It maintains the current top-k
+  frontier and discards candidates whose *certified upper bound* cannot
+  beat the k-th score; candidates surviving the cheap summary bound may
+  face the bound's refinement stage (e.g. the banded-Levenshtein pass
+  of the ``MS`` bound, whose per-row distance budget is derived from
+  the frontier score).  Only candidates surviving both filters pay for
+  an exact comparison — which the measure itself performs, so selected
+  scores, tie-breaks and ranks match the sequential scan exactly.  The
+  bound machinery itself lives in :mod:`repro.perf.bounds`.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..core.base import WorkflowSimilarityMeasure
 from ..core.ensemble import MeanEnsemble
 from ..core.framework import RankedWorkflow
 from ..core.module_similarity import ModuleComparator, ModuleComparisonConfig
-from ..core.preselection import AllPairs, StrictTypeMatch, TypeEquivalence
-from ..core.topological import ModuleSetsSimilarity, StructuralMeasure
-from ..text.levenshtein import bounded_levenshtein_similarity
+from ..core.topological import StructuralMeasure
 from ..workflow.model import Module, Workflow
+from .bounds import CertifiedBound, certifies_frontier_bound, find_frontier_bound
 from .cache import ModulePairScoreCache
 from .profiles import ProfileStore
 
@@ -50,7 +47,7 @@ __all__ = [
     "CachedModuleComparator",
     "accelerate_measure",
     "supports_pruned_top_k",
-    "module_set_top_k",
+    "bounded_top_k",
     "PruneStats",
 ]
 
@@ -67,6 +64,10 @@ class AccelerationContext:
     def __init__(self, profiles: ProfileStore | None = None) -> None:
         self.profiles = profiles if profiles is not None else ProfileStore()
         self._pair_caches: dict[object, ModulePairScoreCache] = {}
+        #: Memoised :class:`~repro.perf.bounds.CertifiedBound` instances
+        #: per measure object (identity-guarded), managed by
+        #: :func:`repro.perf.bounds.find_bound`.
+        self.measure_bounds: dict[int, tuple[object, object]] = {}
         #: Optional persistent backend (a :class:`repro.store.WorkflowStore`,
         #: held duck-typed so the perf layer stays import-independent of
         #: the store package).  When set, newly created pair caches are
@@ -167,6 +168,10 @@ class AccelerationContext:
         serving any workflow remaining in — or later added to — the
         corpus.  Returns counters for diagnostics.
         """
+        # Bound instances memoise per-workflow summaries (holding strong
+        # workflow references); drop them wholesale — they are cheap to
+        # re-derive and must not serve summaries of removed workflows.
+        self.measure_bounds.clear()
         dropped_modules = []
         for identifier in identifiers:
             dropped_modules.extend(self.profiles.invalidate_workflow(identifier))
@@ -182,6 +187,7 @@ class AccelerationContext:
 
     def clear(self) -> None:
         self.profiles.clear()
+        self.measure_bounds.clear()
         for cache in self._pair_caches.values():
             cache.clear()
 
@@ -257,17 +263,32 @@ def accelerate_measure(measure: WorkflowSimilarityMeasure, context: Acceleration
 
 @dataclass
 class PruneStats:
-    """Bookkeeping of one pruned top-k scan (aggregated per batch)."""
+    """Bookkeeping of one pruned top-k scan (aggregated per batch).
+
+    ``pruned_char_bag`` counts candidates discarded by the bound's cheap
+    summary stage, ``pruned_banded`` those discarded only after its
+    refinement stage; ``pruned_by_bound`` breaks the total down by the
+    name of the certifying bound.
+    """
 
     candidates: int = 0
     pruned_char_bag: int = 0
     pruned_banded: int = 0
     exact_comparisons: int = 0
     banded_calls: int = 0
+    pruned_by_bound: dict[str, int] = field(default_factory=dict)
 
     @property
     def pruned(self) -> int:
         return self.pruned_char_bag + self.pruned_banded
+
+    def count_prune(self, bound_name: str, *, refined: bool) -> None:
+        """Record one pruned candidate, attributed to ``bound_name``."""
+        if refined:
+            self.pruned_banded += 1
+        else:
+            self.pruned_char_bag += 1
+        self.pruned_by_bound[bound_name] = self.pruned_by_bound.get(bound_name, 0) + 1
 
     def merge(self, other: "PruneStats") -> None:
         self.candidates += other.candidates
@@ -275,51 +296,43 @@ class PruneStats:
         self.pruned_banded += other.pruned_banded
         self.exact_comparisons += other.exact_comparisons
         self.banded_calls += other.banded_calls
+        for name, count in other.pruned_by_bound.items():
+            self.pruned_by_bound[name] = self.pruned_by_bound.get(name, 0) + count
 
-    def as_dict(self) -> dict[str, int]:
+    def as_dict(self) -> dict[str, int | dict[str, int]]:
         return {
             "candidates": self.candidates,
             "pruned_char_bag": self.pruned_char_bag,
             "pruned_banded": self.pruned_banded,
             "exact_comparisons": self.exact_comparisons,
             "banded_calls": self.banded_calls,
+            "pruned_by_bound": dict(self.pruned_by_bound),
         }
 
 
 def supports_pruned_top_k(measure: WorkflowSimilarityMeasure) -> bool:
-    """Whether :func:`module_set_top_k` can run this measure.
+    """Whether :func:`bounded_top_k` can prune for this measure.
 
-    The frontier bound relies on the ``MS`` compare semantics (one
-    mapping over one module similarity matrix, Jaccard or identity
-    normalisation), so only plain :class:`ModuleSetsSimilarity`
-    instances qualify — subclasses may override ``compare`` arbitrarily.
+    True when a registered pruning :class:`~repro.perf.bounds.CertifiedBound`
+    certifies the measure — plain ``MS`` and ``PS`` instances and
+    mean/weighted ensembles whose members are all certified.
     """
-    return type(measure) is ModuleSetsSimilarity
+    return certifies_frontier_bound(measure)
 
 
-def _jaccard_required_nnsim(kth_score: float, size_a: int, size_b: int) -> float:
-    """The non-normalised similarity needed to *beat* ``kth_score``.
-
-    Inverts ``sim = nnsim / (|A| + |B| - nnsim)``; the normalisation is
-    strictly increasing in ``nnsim``, so any candidate whose ``nnsim``
-    upper bound stays at or below this threshold cannot outrank the
-    current k-th result.
-    """
-    return kth_score * (size_a + size_b) / (1.0 + kth_score)
-
-
-def module_set_top_k(
+def bounded_top_k(
     query: Workflow,
     pool: Sequence[Workflow],
-    measure: ModuleSetsSimilarity,
+    measure: WorkflowSimilarityMeasure,
     context: AccelerationContext,
     *,
     k: int = 10,
     exclude_query: bool = True,
     prune: bool = True,
     stats: PruneStats | None = None,
+    bound: CertifiedBound | None = None,
 ) -> list[RankedWorkflow]:
-    """Exact top-k under an ``MS`` measure with frontier pruning.
+    """Exact top-k with certified-bound frontier pruning.
 
     Candidates are processed in pool order, mirroring the tie-breaking of
     :meth:`SimilarityFramework.rank` (descending score, input order): the
@@ -333,12 +346,9 @@ def module_set_top_k(
         stats = PruneStats()
     if k <= 0:
         return []
-    cache = context.pair_cache(measure.comparator.config)
-    profiles = context.profiles
-    preselection = measure.preselection
-    query_processed = measure.preprocess(query)
-    query_profile = profiles.workflow_profile(query_processed)
-    single_levenshtein = cache.single_levenshtein
+    if bound is None and prune:
+        bound = find_frontier_bound(measure, context)
+    query_summary = bound.summary(query) if bound is not None else None
 
     # Min-heap of the k best so far; the root is the current k-th entry.
     # Entries are (score, -position): lower score is worse, and on equal
@@ -352,22 +362,17 @@ def module_set_top_k(
             continue
         stats.candidates += 1
         full = len(frontier) == k
-        if full and prune:
+        if full and prune and bound is not None:
             kth_score = frontier[0][0]
-            candidate_processed = measure.preprocess(candidate)
-            if query_profile.size and candidate_processed.modules:
-                candidate_profile = profiles.workflow_profile(candidate_processed)
-                if _prunable(
-                    query_profile,
-                    candidate_profile,
-                    preselection,
-                    cache,
-                    kth_score,
-                    measure.normalize,
-                    single_levenshtein,
-                    stats,
-                ):
-                    continue
+            candidate_summary = bound.summary(candidate)
+            value = bound.upper_bound(query_summary, candidate_summary)
+            if value <= kth_score:
+                stats.count_prune(bound.name, refined=False)
+                continue
+            value = bound.refine(query_summary, candidate_summary, kth_score, stats=stats)
+            if value is not None and value <= kth_score:
+                stats.count_prune(bound.name, refined=True)
+                continue
         score = measure.similarity(query, candidate)
         stats.exact_comparisons += 1
         entry = (score, -position, candidate)
@@ -381,150 +386,3 @@ def module_set_top_k(
         RankedWorkflow(workflow=workflow, similarity=score, rank=rank)
         for rank, (score, _neg_position, workflow) in enumerate(ranked, start=1)
     ]
-
-
-def _admissible_columns(query_profile, candidate_profile, preselection):
-    """Per-query-module column index lists under the preselection strategy.
-
-    ``None`` means "every column" (the ``ta`` strategy).  The ``te`` and
-    ``tm`` strategies are answered from the profiles' cached category and
-    type indices — the same groupings their ``candidate_pairs``
-    implementations derive per call — and any custom strategy falls back
-    to that method.
-    """
-    if isinstance(preselection, AllPairs):
-        return None
-    empty: tuple[int, ...] = ()
-    if type(preselection) is TypeEquivalence and preselection._categories is None:
-        grouped = candidate_profile.indices_by_category()
-        return [grouped.get(category, empty) for category in query_profile.categories]
-    if type(preselection) is StrictTypeMatch:
-        grouped = candidate_profile.indices_by_type()
-        return [
-            grouped.get(profile.lowered("type"), empty) for profile in query_profile.modules
-        ]
-    pairs = preselection.candidate_pairs(
-        [profile.module for profile in query_profile.modules],
-        [profile.module for profile in candidate_profile.modules],
-    )
-    if pairs is None:
-        return None
-    rows: list[list[int]] = [[] for _ in range(query_profile.size)]
-    for i, j in sorted(pairs):
-        rows[i].append(j)
-    return rows
-
-
-def _prunable(
-    query_profile,
-    candidate_profile,
-    preselection,
-    cache: ModulePairScoreCache,
-    kth_score: float,
-    normalize: bool,
-    single_levenshtein,
-    stats: PruneStats,
-) -> bool:
-    """Decide whether a candidate provably cannot beat the k-th score."""
-    size_a = query_profile.size
-    size_b = candidate_profile.size
-    columns = _admissible_columns(query_profile, candidate_profile, preselection)
-    profiles_a = query_profile.modules
-    profiles_b = candidate_profile.modules
-    upper_bound = cache.upper_bound
-
-    # Stage 1: character-bag upper-bound matrix.
-    matrix: list[list[float]] = []
-    exact_flags: list[list[bool]] = []
-    col_max = [0.0] * size_b
-    row_max = [0.0] * size_a
-    all_columns = range(size_b)
-    for i in range(size_a):
-        profile_a = profiles_a[i]
-        row = [0.0] * size_b
-        flags = [True] * size_b
-        best = 0.0
-        for j in (all_columns if columns is None else columns[i]):
-            value, exact = upper_bound(profile_a, profiles_b[j])
-            row[j] = value
-            flags[j] = exact
-            if value > best:
-                best = value
-            if value > col_max[j]:
-                col_max[j] = value
-        row_max[i] = best
-        matrix.append(row)
-        exact_flags.append(flags)
-
-    row_sum = sum(row_max)
-    nnsim_bound = min(row_sum, sum(col_max))
-    if _bounded_similarity(nnsim_bound, size_a, size_b, normalize) <= kth_score:
-        stats.pruned_char_bag += 1
-        return True
-
-    if single_levenshtein is None:
-        return False
-
-    # Stage 2: banded-Levenshtein refinement.  A pair in row i can only
-    # lift the candidate above the frontier if its score clears
-    # required - (best possible contribution of all other rows); pairs
-    # below that floor are re-bounded by a banded edit distance whose
-    # max_distance encodes the floor.
-    required = (
-        _jaccard_required_nnsim(kth_score, size_a, size_b) if normalize else kth_score
-    )
-    lowercase = single_levenshtein.lowercase
-    attribute = single_levenshtein.attribute
-    refined = False
-    for i in range(size_a):
-        floor = required - (row_sum - row_max[i])
-        if floor <= 0.0:
-            continue
-        profile_a = profiles_a[i]
-        row = matrix[i]
-        flags = exact_flags[i]
-        best = 0.0
-        for j in range(size_b):
-            value = row[j]
-            if value > 0.0 and not flags[j] and value >= floor:
-                profile_b = profiles_b[j]
-                if lowercase:
-                    value_a = profile_a.lowered(attribute)
-                    value_b = profile_b.lowered(attribute)
-                else:
-                    value_a = profile_a.values[attribute]
-                    value_b = profile_b.values[attribute]
-                similarity, exact = bounded_levenshtein_similarity(value_a, value_b, floor)
-                stats.banded_calls += 1
-                value = cache.score_from_levenshtein(profile_a, profile_b, similarity, exact=exact)
-                if value < row[j]:
-                    row[j] = value
-                    refined = True
-                flags[j] = exact
-            if value > best:
-                best = value
-        row_max[i] = best
-    if not refined:
-        return False
-    col_max = [0.0] * size_b
-    for row in matrix:
-        for j in range(size_b):
-            if row[j] > col_max[j]:
-                col_max[j] = row[j]
-    nnsim_bound = min(sum(row_max), sum(col_max))
-    if _bounded_similarity(nnsim_bound, size_a, size_b, normalize) <= kth_score:
-        stats.pruned_banded += 1
-        return True
-    return False
-
-
-def _bounded_similarity(nnsim_bound: float, size_a: int, size_b: int, normalize: bool) -> float:
-    if not normalize:
-        return nnsim_bound
-    if size_a == 0 and size_b == 0:
-        return 1.0
-    denominator = size_a + size_b - nnsim_bound
-    if denominator <= 0.0:
-        return 1.0
-    value = nnsim_bound / denominator
-    return 1.0 if value > 1.0 else value

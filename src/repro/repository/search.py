@@ -17,8 +17,8 @@ Two execution paths coexist:
 * :meth:`SimilaritySearchEngine.search_batch` /
   :meth:`SimilaritySearchEngine.pairwise_similarity` — the
   repository-scale batch paths built on :mod:`repro.perf`: precomputed
-  module profiles, cross-query score caches, frontier-pruned top-k for
-  ``MS`` measures and an optional process-pool backend.  Results are
+  module profiles, cross-query score caches, certified-bound
+  frontier-pruned top-k and an optional process-pool backend.  Results are
   bit-identical to the reference path; only the work per query shrinks.
 
 .. deprecated::
@@ -42,7 +42,7 @@ from ..perf import (
     AccelerationContext,
     PruneStats,
     accelerate_measure,
-    module_set_top_k,
+    bounded_top_k,
     parallel_pairwise,
     parallel_search_batch,
     supports_pruned_top_k,
@@ -210,8 +210,9 @@ class SimilaritySearchEngine:
         * module attributes are profiled once (per repository) and
           module-pair scores are cached across queries, with symmetric
           pairs folded into one entry;
-        * ``MS`` measures run a frontier-pruned scan that skips
-          candidates whose certified upper bound cannot reach the
+        * measures covered by a certified bound (``MS``, ``PS`` and
+          fully certified ensembles) run a frontier-pruned scan that
+          skips candidates whose certified upper bound cannot reach the
           current top-k (``prune=False`` forces exhaustive scoring);
         * ``workers=N`` with a *named* measure fans the queries out over
           a process pool (each worker amortises its own caches across
@@ -319,7 +320,7 @@ class SimilaritySearchEngine:
         results: list[SearchResultList] = []
         for query in query_list:
             if use_pruned:
-                ranked = module_set_top_k(
+                ranked = bounded_top_k(
                     query, pool, instance, self.context, k=k, stats=stats
                 )
             else:

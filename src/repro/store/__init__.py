@@ -5,13 +5,15 @@ The two durable structures behind :class:`repro.api.SimilarityService`'s
 
 * :class:`WorkflowStore` — a SQLite file persisting the corpus snapshot
   (in pool order), the value-fingerprint-keyed module-pair score caches
-  of :mod:`repro.perf`, and the inverted index, so a service reopened
-  over the same directory warm-starts bit-identically to the process
-  that wrote it;
+  of :mod:`repro.perf`, the inverted index, and the per-label character
+  bags behind the ``MS`` prefilter, so a service reopened over the same
+  directory warm-starts bit-identically to the process that wrote it;
 * :class:`InvertedAnnotationIndex` — token → workflow postings over
   annotations and module labels, giving the bag-overlap measures
   (``BW``/``BT``) a provably score-safe sublinear candidate
-  preselection.
+  preselection (the label-char-bag admission for Levenshtein ``MS``
+  lives in :class:`repro.perf.bounds.LabelBagIndex` and is persisted
+  here as the ``label_bags`` table).
 
 Typical lifecycle::
 

@@ -29,9 +29,16 @@ Three token fields are maintained per workflow:
   paper's ``BT`` semantics);
 * ``label`` — module labels through :func:`repro.text.tokenize_label`
   (CamelCase/snake_case split), kept for module-level lookups and
-  diagnostics; label Levenshtein scores are not zero-bounded by token
-  overlap, so ``label`` postings are *not* used as a preselection for
-  ``MS`` measures.
+  diagnostics; label Levenshtein scores are not zero-bounded by *token*
+  overlap (tokenisation lowercases and splits), so ``label`` postings
+  are not an admission structure.  ``MS`` preselection instead runs on
+  the per-label *character* bags of
+  :class:`repro.perf.bounds.LabelBagIndex`, whose overlap is the exact
+  zero certificate of the Levenshtein similarity.
+
+Which measure may use which admission structure is decided by
+:func:`repro.perf.bounds.find_admission` — the unified
+``CertifiedBound`` layer — not by this class.
 
 The index mutates in step with a live corpus (``add_workflow`` /
 ``remove_workflow``) and round-trips through flat ``(field, token,
@@ -54,10 +61,6 @@ class InvertedAnnotationIndex:
 
     #: The indexed token fields, in persistence order.
     FIELDS: tuple[str, ...] = ("text", "tags", "label")
-
-    #: Measures whose scores are provably zero without token overlap,
-    #: mapped to the field that carries their token sets.
-    _MEASURE_FIELDS = {"BW": "text", "BT": "tags"}
 
     __slots__ = ("_postings", "_documents")
 
@@ -101,16 +104,6 @@ class InvertedAnnotationIndex:
                 tokens.update(tokenize_label(module.label))
             return frozenset(tokens)
         raise ValueError(f"unknown index field {field!r}; expected one of {InvertedAnnotationIndex.FIELDS}")
-
-    @classmethod
-    def measure_field(cls, measure_name: str) -> str | None:
-        """The preselection field of a measure, or ``None`` if unsafe.
-
-        Only the bag-overlap measures have the zero-without-overlap
-        property; every other measure (including ensembles containing
-        one) must scan the full pool.
-        """
-        return cls._MEASURE_FIELDS.get(measure_name)
 
     # -- mutation ------------------------------------------------------------
 

@@ -22,7 +22,14 @@ directory, holding four tables:
   ``(configuration signature, fingerprint_a, fingerprint_b)``.  SQLite
   ``REAL`` is an IEEE-754 double, so scores round-trip bit-exactly;
 * ``postings`` — the flat rows of an
-  :class:`~repro.store.inverted_index.InvertedAnnotationIndex`.
+  :class:`~repro.store.inverted_index.InvertedAnnotationIndex`;
+* ``label_bags`` — the per-workflow raw-label *character* bags of
+  :class:`~repro.perf.bounds.LabelBagIndex`, one ``(workflow_id, token,
+  count)`` row per distinct character (plus the ``""`` sentinel counting
+  empty-label modules).  They power the ``MS`` label-Levenshtein
+  admission prefilter and are only trusted when the
+  ``label_bags_saved`` meta marker is present — stores written before
+  the marker existed simply rebuild the bags from the live corpus.
 
 Invalidation is precise and value-safe: removing or adding a workflow
 touches only its snapshot row and its posting rows, while pair scores
@@ -54,6 +61,7 @@ import struct
 from pathlib import Path
 from typing import Callable, Iterable, TypeVar
 
+from ..perf.bounds import LabelBagIndex, workflow_label_bag
 from ..repository.repository import WorkflowRepository
 from ..workflow.serialization import workflow_from_dict, workflow_to_dict
 from .inverted_index import InvertedAnnotationIndex
@@ -69,6 +77,7 @@ _CHECKSUM_QUERIES = {
     "workflows": "SELECT identifier, position, payload FROM workflows ORDER BY position, identifier",
     "pair_scores": "SELECT config, fp_a, fp_b, score FROM pair_scores ORDER BY config, fp_a, fp_b",
     "postings": "SELECT field, token, workflow_id FROM postings ORDER BY field, token, workflow_id",
+    "label_bags": "SELECT workflow_id, token, count FROM label_bags ORDER BY workflow_id, token",
 }
 
 T = TypeVar("T")
@@ -192,6 +201,13 @@ class WorkflowStore:
             )
             cursor.execute(
                 "CREATE INDEX IF NOT EXISTS postings_by_workflow ON postings (workflow_id)"
+            )
+            cursor.execute(
+                "CREATE TABLE IF NOT EXISTS label_bags ("
+                " workflow_id TEXT NOT NULL,"
+                " token TEXT NOT NULL,"
+                " count INTEGER NOT NULL,"
+                " PRIMARY KEY (workflow_id, token))"
             )
             row = cursor.execute("SELECT value FROM meta WHERE key = 'schema_version'").fetchone()
             if row is None:
@@ -382,6 +398,17 @@ class WorkflowStore:
                         raise ValueError(f"unknown index field {field!r}")
             except Exception as error:
                 report.fail(f"postings: {error}", table="postings")
+        if report.table_ok("label_bags"):
+            try:
+                for (token, count) in connection.execute(
+                    "SELECT token, count FROM label_bags"
+                ):
+                    if not isinstance(token, str) or len(token) > 1:
+                        raise ValueError(f"token {token!r} is not a single character")
+                    if not isinstance(count, int) or count <= 0:
+                        raise ValueError(f"count {count!r} is not a positive integer")
+            except Exception as error:
+                report.fail(f"label_bags: {error}", table="label_bags")
         return report
 
     # -- atomic full rewrite -------------------------------------------------
@@ -439,12 +466,18 @@ class WorkflowStore:
     def save_repository(self, repository: WorkflowRepository) -> int:
         """Replace the snapshot with the current corpus; returns its size.
 
-        One transaction: rows, repository name and the snapshot checksum
-        land together or not at all.
+        One transaction: rows, repository name, the label character bags
+        (with the ``label_bags_saved`` marker that makes them trusted on
+        load) and both checksums land together or not at all.
         """
         rows = [
             (workflow.identifier, position, _workflow_payload(workflow))
             for position, workflow in enumerate(repository)
+        ]
+        bag_rows = [
+            (workflow.identifier, token, count)
+            for workflow in repository
+            for token, count in sorted(workflow_label_bag(workflow).items())
         ]
 
         def operation(cursor: sqlite3.Cursor) -> int:
@@ -452,13 +485,20 @@ class WorkflowStore:
             cursor.executemany(
                 "INSERT INTO workflows (identifier, position, payload) VALUES (?, ?, ?)", rows
             )
+            cursor.execute("DELETE FROM label_bags")
+            cursor.executemany(
+                "INSERT INTO label_bags (workflow_id, token, count) VALUES (?, ?, ?)", bag_rows
+            )
             cursor.execute(
                 "INSERT OR REPLACE INTO meta (key, value) VALUES ('repository_name', ?)",
                 (repository.name,),
             )
+            cursor.execute(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES ('label_bags_saved', '1')"
+            )
             return len(rows)
 
-        return self._transaction(operation, tables=("workflows",))
+        return self._transaction(operation, tables=("workflows", "label_bags"))
 
     def load_repository(self) -> WorkflowRepository | None:
         """Rebuild the snapshot corpus in its original iteration order."""
@@ -495,11 +535,18 @@ class WorkflowStore:
 
         When an index has been persisted, the workflow's posting rows
         are refreshed in the same transaction so the stored index can
-        never drift from the stored corpus.
+        never drift from the stored corpus; likewise the label character
+        bag when the ``label_bags_saved`` marker is present.
         """
 
         def operation(cursor: sqlite3.Cursor) -> None:
             indexed = bool(cursor.execute("SELECT EXISTS(SELECT 1 FROM postings)").fetchone()[0])
+            bagged = (
+                cursor.execute(
+                    "SELECT 1 FROM meta WHERE key = 'label_bags_saved'"
+                ).fetchone()
+                is not None
+            )
             position_row = cursor.execute("SELECT COALESCE(MAX(position), -1) FROM workflows").fetchone()
             cursor.execute(
                 "INSERT OR REPLACE INTO workflows (identifier, position, payload) VALUES (?, ?, ?)",
@@ -515,8 +562,17 @@ class WorkflowStore:
                         for token in InvertedAnnotationIndex.workflow_tokens(field, workflow)
                     ],
                 )
+            cursor.execute("DELETE FROM label_bags WHERE workflow_id = ?", (workflow.identifier,))
+            if bagged:
+                cursor.executemany(
+                    "INSERT INTO label_bags (workflow_id, token, count) VALUES (?, ?, ?)",
+                    [
+                        (workflow.identifier, token, count)
+                        for token, count in sorted(workflow_label_bag(workflow).items())
+                    ],
+                )
 
-        self._transaction(operation, tables=("workflows", "postings"))
+        self._transaction(operation, tables=("workflows", "postings", "label_bags"))
 
     def remove_workflow(self, identifier: str) -> bool:
         """Delete one snapshot row and its postings; returns whether it existed.
@@ -530,9 +586,10 @@ class WorkflowStore:
             cursor.execute("DELETE FROM workflows WHERE identifier = ?", (identifier,))
             existed = cursor.rowcount > 0
             cursor.execute("DELETE FROM postings WHERE workflow_id = ?", (identifier,))
+            cursor.execute("DELETE FROM label_bags WHERE workflow_id = ?", (identifier,))
             return existed
 
-        return self._transaction(operation, tables=("workflows", "postings"))
+        return self._transaction(operation, tables=("workflows", "postings", "label_bags"))
 
     # -- module-pair scores --------------------------------------------------
 
@@ -608,6 +665,33 @@ class WorkflowStore:
             return None
         return InvertedAnnotationIndex.from_rows(rows)
 
+    # -- label character bags ------------------------------------------------
+
+    def has_label_bags(self) -> bool:
+        """Whether this store has ever persisted label bags (the marker)."""
+        row = self.connection.execute(
+            "SELECT 1 FROM meta WHERE key = 'label_bags_saved'"
+        ).fetchone()
+        return row is not None
+
+    def load_label_bags(self) -> LabelBagIndex | None:
+        """Rebuild the persisted label character bags.
+
+        Returns ``None`` when the ``label_bags_saved`` marker is absent
+        — a store written before label bags existed, or never given a
+        snapshot — so the caller rebuilds from the live corpus instead
+        of trusting an empty (or stale) table.  A marker with no rows is
+        a valid empty index: a snapshot whose every workflow has no
+        modules persists exactly that.
+        """
+        self._fire("load")
+        if not self.has_label_bags():
+            return None
+        rows = self.connection.execute(
+            "SELECT workflow_id, token, count FROM label_bags"
+        ).fetchall()
+        return LabelBagIndex.from_rows(rows)
+
     # -- diagnostics ---------------------------------------------------------
 
     def stats(self) -> dict[str, int | str]:
@@ -628,5 +712,6 @@ class WorkflowStore:
             "pair_scores": self.pair_score_count(),
             "pair_score_configs": configs,
             "postings": connection.execute("SELECT COUNT(*) FROM postings").fetchone()[0],
+            "label_bags": connection.execute("SELECT COUNT(*) FROM label_bags").fetchone()[0],
             "retries": self.retry_count,
         }

@@ -1,0 +1,288 @@
+"""Property-style soundness of every registered CertifiedBound.
+
+The whole acceleration story rests on one inequality: for every measure
+a bound certifies, ``upper_bound(query, candidate) >= exact score`` —
+on *every* pair, not just the ones a particular frontier happens to
+probe.  These tests sweep all pairs of a generated corpus (plus the
+paper's approach matrix as the configuration source) and assert the
+inequality for the initial bound and for every refinement step.
+
+The corpus seed is overridable via ``REPRO_BOUNDS_SEED`` so CI can run
+the same sweep on a corpus no other test has ever seen.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.ensemble import MeanEnsemble, WeightedEnsemble
+from repro.core.registry import create_measure, paper_approach_matrix
+from repro.corpus.generator import CorpusSpec, generate_myexperiment_corpus
+from repro.perf.bounds import (
+    BOUND_CLASSES,
+    EnsembleBound,
+    find_admission,
+    find_bound,
+    find_frontier_bound,
+)
+from repro.perf.engine import AccelerationContext, accelerate_measure
+
+SEED = int(os.environ.get("REPRO_BOUNDS_SEED", "13"))
+
+#: Every distinct configuration of the paper's approach matrix, plus the
+#: importance-projected single-label variants the routing layer favours
+#: and ensembles exercising the composed bound.
+CONFIGURATIONS = sorted(
+    {row["configuration"] for row in paper_approach_matrix()}
+    | {"MS_ip_te_pll", "PS_ip_te_pll", "MS_ip_te_pll_nonorm"}
+    | {"BW+MS_ip_te_pll", "BT+PS_ip_te_pll", "BW+BT+MS_ip_te_pll"}
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    generated = generate_myexperiment_corpus(
+        CorpusSpec(workflow_count=36, seed=SEED, author_count=8)
+    )
+    return generated.repository.workflows()
+
+
+@pytest.fixture(scope="module")
+def context():
+    return AccelerationContext()
+
+
+def certified_pairs(measure, context, workflows):
+    """(bound, query, candidate) for every ordered pair of the corpus."""
+    bound = find_bound(measure, context)
+    if bound is None:
+        pytest.skip(f"no certified bound for {measure.name!r}")
+    for query in workflows[:12]:
+        query_summary = bound.summary(query)
+        for candidate in workflows:
+            if candidate.identifier == query.identifier:
+                continue
+            yield bound, query_summary, bound.summary(candidate), query, candidate
+
+
+@pytest.mark.parametrize("configuration", CONFIGURATIONS)
+def test_upper_bound_never_below_exact(configuration, corpus, context):
+    measure = create_measure(configuration)
+    accelerate_measure(measure, context)
+    for bound, qs, cs, query, candidate in certified_pairs(measure, context, corpus):
+        exact = measure.similarity(query, candidate)
+        value = bound.upper_bound(qs, cs)
+        assert value >= exact, (
+            f"{bound.name} under {configuration}: bound {value!r} < exact "
+            f"{exact!r} for ({query.identifier}, {candidate.identifier})"
+        )
+
+
+@pytest.mark.parametrize("configuration", CONFIGURATIONS)
+def test_refined_bound_never_below_exact(configuration, corpus):
+    """refine() may tighten the bound but must stay above the true score.
+
+    Runs on a *cold* acceleration context, with exact scores taken from
+    a separate unaccelerated instance: scoring through the accelerated
+    measure first would promote every pair to an exact cache entry and
+    refinement would never have anything to do.
+    """
+    cold = AccelerationContext()
+    measure = create_measure(configuration)
+    accelerate_measure(measure, cold)
+    reference = create_measure(configuration)
+    bound = find_bound(measure, cold)
+    if bound is None:
+        pytest.skip(f"no certified bound for {configuration!r}")
+    refined_any = False
+    for query in corpus[:8]:
+        qs = bound.summary(query)
+        for candidate in corpus[:24]:
+            if candidate.identifier == query.identifier:
+                continue
+            cs = bound.summary(candidate)
+            exact = reference.similarity(query, candidate)
+            value = bound.upper_bound(qs, cs)
+            # Higher thresholds force more refinement work (the floor
+            # each pair must clear grows with the threshold); the
+            # initial bound itself is the most demanding admissible one.
+            for threshold in (exact, (exact + value) / 2.0, value):
+                refined = bound.refine(qs, cs, threshold)
+                if refined is None:
+                    continue
+                refined_any = True
+                assert refined >= exact, (
+                    f"{bound.name} under {configuration}: refined {refined!r} < "
+                    f"exact {exact!r} at threshold {threshold!r}"
+                )
+    if configuration in ("MS_ip_te_pll", "MS_np_ta_pll"):
+        assert refined_any, "banded refinement never ran for a Levenshtein MS"
+
+
+def test_every_frontier_bound_certifies_what_it_claims(context):
+    """certifies() and find_frontier_bound agree with the registry."""
+    for configuration in CONFIGURATIONS:
+        measure = create_measure(configuration)
+        accelerate_measure(measure, context)
+        claims = [cls for cls in BOUND_CLASSES if cls.certifies(measure)]
+        bound = find_bound(measure, context)
+        if claims:
+            assert bound is not None
+            assert type(bound) is claims[0]
+        else:
+            assert bound is None
+        frontier = find_frontier_bound(measure, context)
+        if frontier is not None:
+            assert frontier.prunes
+
+
+class TestEnsembleComposition:
+    def test_mean_ensemble_bound_composes_member_bounds(self, corpus, context):
+        measure = create_measure("BW+MS_ip_te_pll")
+        accelerate_measure(measure, context)
+        assert type(measure) is MeanEnsemble
+        bound = find_bound(measure, context)
+        assert isinstance(bound, EnsembleBound)
+        assert bound.name == "ensemble(bw-token-bag+ms-char-bag)"
+        for query in corpus[:8]:
+            qs = bound.summary(query)
+            for candidate in corpus[:20]:
+                if candidate.identifier == query.identifier:
+                    continue
+                exact = measure.similarity(query, candidate)
+                assert bound.upper_bound(qs, bound.summary(candidate)) >= exact
+
+    def test_weighted_ensemble_requires_positive_weights(self, context):
+        members = [create_measure("BW"), create_measure("MS_ip_te_pll")]
+        positive = WeightedEnsemble(list(members), [2.0, 1.0], name="W")
+        assert EnsembleBound.certifies(positive)
+        zero = WeightedEnsemble(list(members), [2.0, 0.0], name="W0")
+        assert not EnsembleBound.certifies(zero)
+        negative = WeightedEnsemble(list(members), [2.0, -1.0], name="Wn")
+        assert not EnsembleBound.certifies(negative)
+
+    def test_uncertified_member_uncertifies_the_ensemble(self, context):
+        # GE has no bound, so no ensemble containing it is certified.
+        mixed = create_measure("BW+GE_np_ta_plm_nonorm")
+        accelerate_measure(mixed, context)
+        assert find_bound(mixed, context) is None
+
+    def test_weighted_ensemble_bound_is_sound(self, corpus, context):
+        members = [create_measure("BW"), create_measure("MS_ip_te_pll")]
+        measure = WeightedEnsemble(list(members), [3.0, 1.0], name="W")
+        accelerate_measure(measure, context)
+        bound = find_bound(measure, context)
+        assert isinstance(bound, EnsembleBound)
+        for query in corpus[:8]:
+            qs = bound.summary(query)
+            for candidate in corpus[:20]:
+                if candidate.identifier == query.identifier:
+                    continue
+                exact = measure.similarity(query, candidate)
+                cs = bound.summary(candidate)
+                value = bound.upper_bound(qs, cs)
+                assert value >= exact
+                refined = bound.refine(qs, cs, exact)
+                if refined is not None:
+                    assert refined >= exact
+
+
+class TestAdmissionSoundness:
+    """Admission bounds certify zeros: everything outside the admitted
+    set must score exactly 0.0."""
+
+    @pytest.mark.parametrize(
+        "configuration", ["BW", "BT", "MS_ip_te_pll", "MS_np_ta_pll"]
+    )
+    def test_non_admitted_candidates_score_zero(self, configuration, corpus, context):
+        from repro.perf.bounds import LabelBagIndex
+        from repro.store import InvertedAnnotationIndex
+
+        measure = create_measure(configuration)
+        accelerate_measure(measure, context)
+        admission = find_admission(measure)
+        assert admission is not None
+        index = InvertedAnnotationIndex.build(corpus)
+        bags = LabelBagIndex.build(corpus)
+        checked = 0
+        for query in corpus[:12]:
+            if admission.kind == "annotation":
+                tokens = index.workflow_tokens(admission.field, query)
+                admitted = index.candidates(admission.field, tokens)
+            else:
+                certified = admission.query_chars(query)
+                if certified is None:
+                    continue
+                chars, carve_out = certified
+                admitted = bags.admitted(chars, include_empty_label=carve_out)
+            for candidate in corpus:
+                if candidate.identifier == query.identifier:
+                    continue
+                if candidate.identifier not in admitted:
+                    assert measure.similarity(query, candidate) == 0.0
+                    checked += 1
+        if admission.kind == "annotation":
+            # Label-char admission legitimately admits everything on a
+            # same-language corpus (nearly all labels share a character);
+            # the disjoint-alphabet test below proves its exclusions.
+            assert checked > 0, "admission admitted everything; sweep proved nothing"
+
+    def test_label_admission_excludes_disjoint_alphabets(self, context):
+        from repro.perf.bounds import LabelBagIndex
+        from repro.workflow.model import Module, Workflow
+
+        measure = create_measure("MS_np_ta_pll")
+        accelerate_measure(measure, context)
+        admission = find_admission(measure)
+        assert admission is not None and admission.kind == "label"
+        query = Workflow(
+            identifier="q", modules=(Module(identifier="q:1", label="abc"),)
+        )
+        disjoint = Workflow(
+            identifier="d", modules=(Module(identifier="d:1", label="xyz"),)
+        )
+        # Sharing a character is necessary for a positive score, not
+        # sufficient ("abc" vs "zzza" share 'a' yet score 0.0) — the
+        # admitted set is a superset of the positive scorers.
+        sharing = Workflow(
+            identifier="s", modules=(Module(identifier="s:1", label="abz"),)
+        )
+        bags = LabelBagIndex.build([disjoint, sharing])
+        chars, carve_out = admission.query_chars(query)
+        admitted = bags.admitted(chars, include_empty_label=carve_out)
+        assert admitted == {"s"}
+        assert measure.similarity(query, disjoint) == 0.0
+        assert measure.similarity(query, sharing) > 0.0
+
+    def test_label_admission_carves_out_empty_labels(self, context):
+        from repro.perf.bounds import LabelBagIndex
+        from repro.workflow.model import Module, Workflow
+
+        # pll uses skip_if_both_empty=False: two empty labels score 1.0,
+        # so a query with an empty-label module must admit candidates
+        # with one, even with no character overlap at all.
+        measure = create_measure("MS_np_ta_pll")
+        accelerate_measure(measure, context)
+        admission = find_admission(measure)
+        query = Workflow(
+            identifier="q",
+            modules=(
+                Module(identifier="q:1", label="abc"),
+                Module(identifier="q:2", label=""),
+            ),
+        )
+        empty_label = Workflow(
+            identifier="e", modules=(Module(identifier="e:1", label=""),)
+        )
+        bags = LabelBagIndex.build([empty_label])
+        chars, carve_out = admission.query_chars(query)
+        assert carve_out
+        admitted = bags.admitted(chars, include_empty_label=carve_out)
+        assert admitted == {"e"}
+        assert measure.similarity(query, empty_label) > 0.0
+
+    def test_ensembles_have_no_admission(self):
+        assert find_admission(create_measure("BW+BT")) is None
+        assert find_admission(create_measure("BW+MS_ip_te_pll")) is None

@@ -88,6 +88,25 @@ class TestSearchBatchEquivalence:
         assert stats.pruned > 0
         assert stats.exact_comparisons + stats.pruned == stats.candidates
 
+    @pytest.mark.parametrize("measure", ["PS_ip_te_pll", "BW+MS_ip_te_pll"])
+    def test_ps_and_ensemble_prune_and_stay_identical(self, engines, small_corpus, measure):
+        """PS and certified ensembles now ride the pruned frontier: the
+        scan must actually skip work and still match the reference."""
+        seed_engine, fast_engine = engines
+        query_ids = small_corpus.repository.identifiers()[:6]
+        seed = [seed_engine.search(qid, measure, k=5) for qid in query_ids]
+        fast = fast_engine.search_batch(query_ids, measure, k=5)
+        for seed_result, fast_result in zip(seed, fast):
+            assert result_tuples(fast_result) == result_tuples(seed_result)
+        stats = fast_engine.last_batch_stats
+        assert stats.pruned > 0, f"{measure} never pruned"
+        assert sum(stats.pruned_by_bound.values()) == stats.pruned
+        expected_bound = (
+            "ps-path-matching" if measure == "PS_ip_te_pll"
+            else "ensemble(bw-token-bag+ms-char-bag)"
+        )
+        assert expected_bound in stats.pruned_by_bound
+
     def test_profile_store_clear_does_not_corrupt_scores(self, small_corpus):
         # Regression: fingerprints memoised by id() must not survive a
         # profile-store clear — recycled profile ids used to resolve to

@@ -70,11 +70,22 @@ class TestAdmissionBound:
                     if measure.similarity(query, candidate) > 0.0:
                         assert candidate.identifier in admitted
 
-    def test_measure_field_only_covers_bag_overlap_measures(self):
-        assert InvertedAnnotationIndex.measure_field("BW") == "text"
-        assert InvertedAnnotationIndex.measure_field("BT") == "tags"
-        assert InvertedAnnotationIndex.measure_field("MS_ip_te_pll") is None
-        assert InvertedAnnotationIndex.measure_field("BW+MS_ip_te_pll") is None
+    def test_find_admission_covers_exactly_the_certified_measures(self):
+        from repro.core.registry import create_measure
+        from repro.perf.bounds import find_admission
+
+        bw = find_admission(create_measure("BW"))
+        assert bw is not None and (bw.kind, bw.field) == ("annotation", "text")
+        bt = find_admission(create_measure("BT"))
+        assert bt is not None and (bt.kind, bt.field) == ("annotation", "tags")
+        # Single-label-Levenshtein MS is label-char admissible …
+        ms = find_admission(create_measure("MS_ip_te_pll"))
+        assert ms is not None and ms.kind == "label"
+        assert ms.name == "label-char-bag"
+        # … but a custom module comparator is not, and ensembles never
+        # are (member applicability shifts the denominator).
+        assert find_admission(create_measure("MS_np_ta_plm")) is None
+        assert find_admission(create_measure("BW+MS_ip_te_pll")) is None
 
 
 class TestIndexedRouting:
@@ -139,6 +150,21 @@ class TestIndexedRouting:
             )
         )
         assert restricted == sequential
+
+    def test_label_levenshtein_ms_routes_through_label_bags(self, indexed_service):
+        """Single-label-Levenshtein MS is admitted by the persisted
+        char-bag prefilter — indexed path, bit-identical, bound named."""
+        request = SearchRequest(measure="MS_ip_te_pll", k=10)
+        auto = indexed_service.search(request)
+        sequential = indexed_service.search(
+            SearchRequest(
+                measure="MS_ip_te_pll", k=10, policy=ExecutionPolicy.sequential()
+            )
+        )
+        assert auto == sequential
+        assert auto.result_tuples() == sequential.result_tuples()
+        assert auto.diagnostics.path == "indexed"
+        assert any("label-char-bag" in note for note in auto.diagnostics.notes)
 
     def test_ensembles_never_use_the_index(self, indexed_service):
         query_id = indexed_service.repository.identifiers()[0]
