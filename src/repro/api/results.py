@@ -165,9 +165,9 @@ class ExecutionDiagnostics:
             requested_mode=str(data.get("requested_mode", "auto")),
             seconds=float(data.get("seconds", 0.0)),
             workers=data.get("workers"),
-            prune=data.get("prune"),
-            caches=list(data.get("caches", [])),
-            invalidations=data.get("invalidations"),
+            prune=_normalized_counters(data.get("prune")),
+            caches=[dict(entry) for entry in data.get("caches", [])],
+            invalidations=_normalized_counters(data.get("invalidations")),
             index_candidates=int(index_candidates) if index_candidates is not None else None,
             cache_warm_hits=int(cache_warm_hits) if cache_warm_hits is not None else None,
             degraded=bool(data.get("degraded", False)),
@@ -175,6 +175,25 @@ class ExecutionDiagnostics:
             retry_attempts=int(data.get("retry_attempts", 0)),
             notes=tuple(data.get("notes", ())),
         )
+
+
+def _normalized_counters(data: "Mapping[str, Any] | None") -> dict[str, Any] | None:
+    """A fresh dict with int-coerced counters (JSON round-trip exactness).
+
+    The serving layer ships diagnostics over the wire and back; the
+    prune section nests per-bound counters (``pruned_by_bound``), so the
+    copy recurses one level and coerces leaf counts back to ``int`` —
+    ``from_dict(to_dict())`` must compare equal field for field.
+    """
+    if data is None:
+        return None
+    normalized: dict[str, Any] = {}
+    for key, value in data.items():
+        if isinstance(value, Mapping):
+            normalized[str(key)] = {str(k): int(v) for k, v in value.items()}
+        else:
+            normalized[str(key)] = int(value)
+    return normalized
 
 
 @dataclass(frozen=True)

@@ -29,6 +29,12 @@ path that actually ran is reported in the diagnostics.  Passing
 ``--cache-dir`` to a search command attaches the persistent store, so
 repeated invocations warm-start from each other's scores instead of
 recomputing them.
+* ``repro serve --root DIR --port N`` — run the async multi-tenant HTTP
+  serving layer (:mod:`repro.serve`): every subdirectory of ``DIR`` with
+  a persisted store is a tenant, concurrent same-measure searches are
+  micro-batched into one engine call, admission control answers 429
+  beyond ``--max-inflight``.  ``repro serve --check`` binds, probes
+  ``/healthz`` and exits 0/1 so CI can smoke the server;
 * ``repro generate-corpus OUT.json --workflows 500`` — write a synthetic
   myExperiment-style (or Galaxy-style) corpus to disk;
 * ``repro stats CORPUS`` — corpus statistics (size, annotations, module
@@ -191,6 +197,32 @@ def _cmd_search_batch(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import ServeConfig, check_server, run_server
+
+    root = Path(args.root)
+    if not root.is_dir():
+        print(
+            f"error: serving root {args.root!r} is not a directory; create it and "
+            "build tenants with 'repro index build CORPUS --cache-dir ROOT/TENANT'",
+            file=sys.stderr,
+        )
+        return 2
+    config = ServeConfig(
+        root=str(root),
+        host=args.host,
+        port=args.port,
+        max_tenants=args.max_tenants,
+        max_inflight=args.max_inflight,
+        batch_window=args.batch_window_ms / 1000.0,
+        batch_max_requests=args.batch_max,
+        persist_on_shutdown=args.persist_on_shutdown,
+    )
+    if args.check:
+        return check_server(config)
+    return run_server(config)
 
 
 def _cmd_generate_corpus(args: argparse.Namespace) -> int:
@@ -488,6 +520,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="corpus JSON file to rebuild from when the snapshot itself is damaged",
     )
     store_repair.set_defaults(func=_cmd_store_repair)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the async multi-tenant HTTP serving layer over a serving root",
+    )
+    serve.add_argument(
+        "--root",
+        required=True,
+        help="serving root directory; every subdirectory with a persisted store "
+        "is a tenant (see 'repro index build')",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8340, help="0 picks a free port")
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=16,
+        help="per-tenant in-flight request cap; beyond it requests get 429 + Retry-After",
+    )
+    serve.add_argument(
+        "--max-tenants",
+        type=int,
+        default=8,
+        help="LRU bound on concurrently open tenant services",
+    )
+    serve.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=10.0,
+        help="micro-batch fold window: concurrent same-measure searches arriving "
+        "within this window share one engine batch (bit-identical results)",
+    )
+    serve.add_argument(
+        "--batch-max",
+        type=int,
+        default=16,
+        help="fire a batch window early once this many requests folded into it",
+    )
+    serve.add_argument(
+        "--persist-on-shutdown",
+        action="store_true",
+        help="write each tenant's accumulated pair scores back to its store while draining",
+    )
+    serve.add_argument(
+        "--check",
+        action="store_true",
+        help="bind, probe /healthz, exit 0/1 (CI smoke; no long-running server)",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     generate = subparsers.add_parser("generate-corpus", help="write a synthetic corpus to disk")
     generate.add_argument("output", help="output JSON file")

@@ -1,0 +1,195 @@
+"""Cross-request micro-batching.
+
+The engine is already cross-query: one
+:meth:`~repro.api.SimilarityService.search` call over many queries
+amortizes workflow profiles and value-keyed module-pair scores across
+all of them.  The micro-batcher extends that amortization across
+*requests*: concurrent search requests for the same tenant and the same
+fold key — measure spec, ``k`` and execution policy — are folded into
+one engine batch.  The first foldable request opens a window of
+``window`` seconds; compatible requests arriving inside it join, and the
+window fires early at ``max_requests``.  Requests with different
+measure specs (or explicit candidate restrictions) never share a batch.
+
+**Bit-identity pin.**  Folding is safe because the engine computes every
+query of a batch independently — shared caches are value-keyed and
+deterministic, so a query's hits, scores, ranks and tie-breaks do not
+depend on which other queries ride in the same batch.  The serve tests
+and the load benchmark's equivalence gate both assert that a folded
+answer equals the same request issued alone, bit for bit.
+
+Each folded response carries the folded execution's diagnostics plus a
+note recording the fold, so callers can see their request was batched
+(`ResultSet` equality ignores diagnostics, keeping the pin assertable).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import replace
+from typing import TYPE_CHECKING
+
+from ..api import ExecutionDiagnostics, ResultSet, SearchRequest
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .metrics import ServingMetrics
+    from .tenants import TenantRuntime
+
+__all__ = ["MicroBatcher", "fold_key", "is_foldable", "fold_search_requests"]
+
+
+def is_foldable(request: SearchRequest) -> bool:
+    """Whether a search request may share an engine batch.
+
+    Candidate-restricted searches keep their own execution: folding them
+    would need per-query candidate plumbing the engine batch does not
+    have, and they are rare enough not to matter for amortization.
+    """
+    return request.candidates is None
+
+
+def fold_key(request: SearchRequest) -> tuple:
+    """Requests fold only when this key matches exactly.
+
+    The key covers everything that shapes execution: the measure spec,
+    ``k``, and the full execution policy (mode, workers, prune,
+    preselect, retry knobs).  Two requests under different measure specs
+    therefore *never* fold — the engine batch call takes one measure.
+    """
+    policy = tuple(sorted(request.policy.to_dict().items()))
+    return (request.measure.name, request.k, policy)
+
+
+def fold_search_requests(requests: "list[SearchRequest]") -> SearchRequest:
+    """One engine batch request covering every request of the fold.
+
+    If any member asks for *all* queries (``queries=None``) the fold
+    does too; otherwise the folded query list is the deduplicated
+    concatenation in arrival order, so each unique query is computed
+    exactly once per batch.
+    """
+    if any(request.queries is None for request in requests):
+        queries = None
+    else:
+        seen: dict[str, None] = {}
+        for request in requests:
+            for query in request.queries:
+                seen.setdefault(query)
+        queries = tuple(seen)
+    return replace(requests[0], queries=queries)
+
+
+class _Bucket:
+    """The pending requests of one open batch window."""
+
+    __slots__ = ("runtime", "entries", "timer")
+
+    def __init__(self, runtime: "TenantRuntime") -> None:
+        self.runtime = runtime
+        self.entries: list[tuple[SearchRequest, asyncio.Future]] = []
+        self.timer: asyncio.TimerHandle | None = None
+
+
+class MicroBatcher:
+    """Folds concurrent same-key search requests into engine batches."""
+
+    def __init__(
+        self,
+        *,
+        window: float,
+        max_requests: int,
+        metrics: "ServingMetrics",
+    ) -> None:
+        self.window = window
+        self.max_requests = max_requests
+        self.metrics = metrics
+        self._pending: dict[tuple, _Bucket] = {}
+        self._tasks: set[asyncio.Task] = set()
+
+    async def submit(self, runtime: "TenantRuntime", request: SearchRequest) -> ResultSet:
+        """Queue a request into its fold window; await its own ResultSet."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        key = (runtime.name,) + fold_key(request)
+        bucket = self._pending.get(key)
+        if bucket is None:
+            bucket = self._pending[key] = _Bucket(runtime)
+            bucket.timer = loop.call_later(self.window, self._fire, key)
+        bucket.entries.append((request, future))
+        if len(bucket.entries) >= self.max_requests:
+            self._fire(key)
+        return await future
+
+    def _fire(self, key: tuple) -> None:
+        bucket = self._pending.pop(key, None)
+        if bucket is None:
+            return
+        if bucket.timer is not None:
+            bucket.timer.cancel()
+        task = asyncio.get_running_loop().create_task(self._execute(bucket))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _execute(self, bucket: _Bucket) -> None:
+        requests = [request for request, _future in bucket.entries]
+        folded = fold_search_requests(requests)
+        service = bucket.runtime.service
+        try:
+            folded_set: ResultSet = await bucket.runtime.run(
+                lambda: service.search(folded)
+            )
+        except Exception as error:  # one failure fails the whole fold
+            for _request, future in bucket.entries:
+                if not future.done():
+                    future.set_exception(error)
+            return
+        unique_queries = len(folded_set.queries)
+        self.metrics.tenant(bucket.runtime.name).record_batch(
+            len(bucket.entries), unique_queries
+        )
+        by_id = {result.query_id: result for result in folded_set.queries}
+        for request, future in bucket.entries:
+            if future.done():
+                continue
+            if request.queries is None:
+                # The fold ran with queries=None too, so the folded
+                # payload is exactly this request's repository-order answer.
+                per_request = folded_set.queries
+            else:
+                per_request = tuple(by_id[query] for query in request.queries)
+            future.set_result(
+                ResultSet(
+                    kind="search",
+                    queries=per_request,
+                    diagnostics=self._request_diagnostics(
+                        folded_set, len(bucket.entries), unique_queries
+                    ),
+                )
+            )
+
+    @staticmethod
+    def _request_diagnostics(
+        folded_set: ResultSet, fold_size: int, unique_queries: int
+    ) -> ExecutionDiagnostics | None:
+        if folded_set.diagnostics is None:
+            return None
+        # Each response gets its own copy (handlers must not share one
+        # mutable diagnostics object across requests).
+        diagnostics = ExecutionDiagnostics.from_dict(folded_set.diagnostics.to_dict())
+        if fold_size > 1:
+            diagnostics.notes = diagnostics.notes + (
+                f"micro-batched: folded {fold_size} requests "
+                f"({unique_queries} unique queries) into one engine batch",
+            )
+        return diagnostics
+
+    async def flush(self) -> None:
+        """Fire every open window immediately and wait for the batches.
+
+        Called on graceful shutdown so drained requests do not wait for
+        their windows to expire.
+        """
+        for key in list(self._pending):
+            self._fire(key)
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)

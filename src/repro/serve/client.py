@@ -1,0 +1,112 @@
+"""Minimal asyncio HTTP/1.1 client for the serving layer.
+
+Speaks exactly the dialect :mod:`repro.serve.server` serves — JSON
+bodies, ``Content-Length`` framing, keep-alive connections — with no
+third-party dependency.  Used by ``repro serve --check``, the load
+benchmark and the serve tests; it is not a general-purpose HTTP client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Mapping
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """One keep-alive connection to a :class:`SimilarityServer`."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def _ensure_connected(self) -> None:
+        if self._writer is None or self._writer.is_closing():
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except Exception:
+                pass
+            self._reader = self._writer = None
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        payload: "Mapping[str, Any] | None" = None,
+    ) -> "tuple[int, dict[str, str], Any]":
+        """Returns ``(status, headers, decoded_json_body)``.
+
+        Retries once on a stale keep-alive connection (the server may
+        have closed it between requests); any other failure propagates.
+        """
+        body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+        for attempt in (1, 2):
+            await self._ensure_connected()
+            try:
+                return await self._round_trip(method, path, body)
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                asyncio.IncompleteReadError,
+            ):
+                await self.close()
+                if attempt == 2:
+                    raise
+
+    async def _round_trip(
+        self, method: str, path: str, body: bytes
+    ) -> "tuple[int, dict[str, str], Any]":
+        assert self._reader is not None and self._writer is not None
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: keep-alive\r\n\r\n"
+        )
+        self._writer.write(head.encode("latin-1") + body)
+        await self._writer.drain()
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionResetError("server closed the connection")
+        parts = status_line.decode("latin-1").split()
+        if len(parts) < 2:
+            raise ValueError(f"malformed status line: {status_line!r}")
+        status = int(parts[1])
+        headers: dict[str, str] = {}
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        raw = await self._reader.readexactly(length) if length else b""
+        decoded: Any = None
+        if raw:
+            try:
+                decoded = json.loads(raw.decode("utf-8"))
+            except json.JSONDecodeError:
+                decoded = raw.decode("utf-8", errors="replace")
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+        return status, headers, decoded
+
+    async def get(self, path: str) -> "tuple[int, dict[str, str], Any]":
+        return await self.request("GET", path)
+
+    async def post(
+        self, path: str, payload: "Mapping[str, Any] | None" = None
+    ) -> "tuple[int, dict[str, str], Any]":
+        return await self.request("POST", path, payload)

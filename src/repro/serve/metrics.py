@@ -1,0 +1,143 @@
+"""Per-tenant serving diagnostics.
+
+Every tenant accumulates request counts, status/error tallies, a bounded
+reservoir of end-to-end latencies (percentiles are computed over the
+most recent ``RESERVOIR_SIZE`` requests), micro-batch fold counters and
+the degradation events surfaced by
+:class:`~repro.api.results.ExecutionDiagnostics`.  All counters are
+mutated from the event loop thread only, so no locking is needed; the
+``GET /v1/{tenant}/stats`` endpoint serves :meth:`TenantMetrics.snapshot`
+verbatim.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import Counter, deque
+from typing import Any, Callable
+
+__all__ = ["TenantMetrics", "ServingMetrics", "percentile"]
+
+#: How many recent latencies back the percentile estimates.
+RESERVOIR_SIZE = 4096
+
+
+def percentile(samples: "list[float]", fraction: float) -> float | None:
+    """The ``fraction`` (0..1) percentile of ``samples`` (nearest-rank)."""
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(fraction * len(ordered)))
+    return ordered[rank - 1]
+
+
+class TenantMetrics:
+    """Counters of one tenant's serving history."""
+
+    def __init__(self, name: str, *, clock: Callable[[], float] = time.monotonic) -> None:
+        self.name = name
+        self._clock = clock
+        self.started = clock()
+        self.first_request: float | None = None
+        self.last_request: float | None = None
+        self.requests: Counter = Counter()  # per operation
+        self.statuses: Counter = Counter()  # per HTTP status
+        self.errors = 0  # 5xx answers
+        self.rejections = 0  # 429 answers
+        self.degraded_requests = 0  # responses whose diagnostics were degraded
+        self.batches = 0  # engine batches the micro-batcher executed
+        self.folded_requests = 0  # requests those batches folded together
+        self.batched_queries = 0  # unique queries across those batches
+        self.max_fold = 0  # largest single fold
+        self.latencies: deque = deque(maxlen=RESERVOIR_SIZE)
+
+    # -- recording -----------------------------------------------------------
+
+    def record(self, operation: str, status: int, seconds: float, *, degraded: bool = False) -> None:
+        now = self._clock()
+        if self.first_request is None:
+            self.first_request = now
+        self.last_request = now
+        self.requests[operation] += 1
+        self.statuses[status] += 1
+        if status >= 500:
+            self.errors += 1
+        if status == 429:
+            self.rejections += 1
+        if degraded:
+            self.degraded_requests += 1
+        self.latencies.append(seconds)
+
+    def record_batch(self, folded_requests: int, unique_queries: int) -> None:
+        self.batches += 1
+        self.folded_requests += folded_requests
+        self.batched_queries += unique_queries
+        self.max_fold = max(self.max_fold, folded_requests)
+
+    # -- derived -------------------------------------------------------------
+
+    @property
+    def fold_factor(self) -> float | None:
+        """Mean requests folded per engine batch (``None`` before any batch)."""
+        if not self.batches:
+            return None
+        return self.folded_requests / self.batches
+
+    def qps(self) -> float:
+        """Requests per second over the tenant's active window."""
+        total = sum(self.requests.values())
+        if not total or self.first_request is None:
+            return 0.0
+        elapsed = max(self._clock() - self.first_request, 1e-9)
+        return total / elapsed
+
+    def snapshot(self) -> dict[str, Any]:
+        samples = list(self.latencies)
+        return {
+            "tenant": self.name,
+            "uptime_seconds": self._clock() - self.started,
+            "requests": dict(self.requests),
+            "statuses": {str(status): count for status, count in self.statuses.items()},
+            "errors": self.errors,
+            "rejections": self.rejections,
+            "degraded_requests": self.degraded_requests,
+            "qps": self.qps(),
+            "latency_ms": {
+                "count": len(samples),
+                "p50": _ms(percentile(samples, 0.50)),
+                "p99": _ms(percentile(samples, 0.99)),
+                "mean": _ms(sum(samples) / len(samples)) if samples else None,
+            },
+            "batch": {
+                "batches": self.batches,
+                "folded_requests": self.folded_requests,
+                "unique_queries": self.batched_queries,
+                "fold_factor": self.fold_factor,
+                "max_fold": self.max_fold,
+            },
+        }
+
+
+def _ms(seconds: float | None) -> float | None:
+    return None if seconds is None else seconds * 1000.0
+
+
+class ServingMetrics:
+    """The registry of every tenant's :class:`TenantMetrics`."""
+
+    def __init__(self, *, clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self._tenants: dict[str, TenantMetrics] = {}
+
+    def tenant(self, name: str) -> TenantMetrics:
+        metrics = self._tenants.get(name)
+        if metrics is None:
+            metrics = self._tenants[name] = TenantMetrics(name, clock=self._clock)
+        return metrics
+
+    def known(self, name: str) -> bool:
+        return name in self._tenants
+
+    def snapshot(self) -> dict[str, Any]:
+        return {name: metrics.snapshot() for name, metrics in sorted(self._tenants.items())}

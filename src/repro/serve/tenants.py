@@ -1,0 +1,185 @@
+"""Tenant lifecycle: lazy, LRU-bounded, thread-confined services.
+
+Each tenant of the serving root maps to its own
+:class:`~repro.api.SimilarityService` opened over
+``<root>/<tenant>/`` — its own corpus snapshot, warm-start store,
+quarantine directory, everything.  Two properties drive the design:
+
+* **Thread confinement.**  A tenant's :class:`~repro.store.WorkflowStore`
+  holds a SQLite connection bound to the thread that created it, and the
+  engine's caches are not thread-safe.  Every tenant therefore owns one
+  single-thread executor: the service is *opened* on that thread and
+  every request for the tenant *runs* on it, serializing the tenant's
+  engine work while the event loop stays free for admission control,
+  batching and other tenants.  Different tenants run on different
+  threads and never share mutable state.
+
+* **Resilience inheritance.**  Opening goes through
+  ``SimilarityService.open(cache_dir=...)``, so the store's whole
+  quarantine-and-rebuild ladder applies per tenant: a corrupt-but-
+  salvageable store is quarantined and rebuilt transparently (the first
+  response's diagnostics say so), an unsalvageable one raises
+  :exc:`TenantUnavailableError` for *this* tenant only — other tenants'
+  directories are untouched by construction.
+
+The manager keeps at most ``max_tenants`` services open, evicting the
+least recently used *idle* tenant (busy tenants are never evicted — the
+bound is soft under pressure, which only costs memory, never
+correctness).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from functools import partial
+from pathlib import Path
+from typing import Any, Callable
+
+from ..api import SimilarityService
+from ..store import StoreCorruptionError, tenant_cache_dir, tenant_store_exists
+from ..store.layout import discover_tenants, validate_tenant_name
+
+__all__ = [
+    "TenantRuntime",
+    "TenantManager",
+    "UnknownTenantError",
+    "TenantUnavailableError",
+]
+
+
+class UnknownTenantError(KeyError):
+    """No persisted store exists for this tenant (HTTP 404)."""
+
+    def __str__(self) -> str:  # KeyError quotes its payload; keep it readable
+        return self.args[0] if self.args else ""
+
+
+class TenantUnavailableError(RuntimeError):
+    """The tenant's store is unusable right now (HTTP 503)."""
+
+
+class TenantRuntime:
+    """One open tenant: its service plus its dedicated worker thread."""
+
+    def __init__(self, name: str, service: SimilarityService, executor: ThreadPoolExecutor) -> None:
+        self.name = name
+        self.service = service
+        self.executor = executor
+
+    async def run(self, fn: Callable[[], Any]) -> Any:
+        """Run ``fn`` on this tenant's worker thread (the only thread
+        allowed to touch the service)."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self.executor, fn)
+
+
+class TenantManager:
+    """Lazily opens tenants and bounds how many stay open."""
+
+    def __init__(self, root: "str | Path", *, max_tenants: int = 8) -> None:
+        self.root = Path(root)
+        self.max_tenants = max_tenants
+        self._runtimes: "OrderedDict[str, TenantRuntime]" = OrderedDict()
+        self._locks: dict[str, asyncio.Lock] = {}
+        #: Callable deciding whether a tenant is safe to evict (no work
+        #: in flight).  The server wires this to its admission counters.
+        self.is_idle: Callable[[str], bool] = lambda name: True
+        self.evictions = 0
+
+    # -- introspection -------------------------------------------------------
+
+    def open_tenants(self) -> list[str]:
+        return list(self._runtimes)
+
+    def discover(self) -> list[str]:
+        """All tenants with a persisted store under the root."""
+        return discover_tenants(self.root)
+
+    def runtime_if_open(self, name: str) -> TenantRuntime | None:
+        return self._runtimes.get(name)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def get(self, name: str) -> TenantRuntime:
+        """The runtime for ``name``, opening the tenant on first use."""
+        validate_tenant_name(name)
+        runtime = self._runtimes.get(name)
+        if runtime is not None:
+            self._runtimes.move_to_end(name)
+            return runtime
+        lock = self._locks.setdefault(name, asyncio.Lock())
+        async with lock:
+            runtime = self._runtimes.get(name)
+            if runtime is not None:
+                self._runtimes.move_to_end(name)
+                return runtime
+            if not tenant_store_exists(self.root, name):
+                raise UnknownTenantError(
+                    f"unknown tenant {name!r}: no persisted store under "
+                    f"{str(tenant_cache_dir(self.root, name))!r} "
+                    "(build one with 'repro index build')"
+                )
+            runtime = await self._open(name)
+            self._runtimes[name] = runtime
+            await self._evict_over_bound()
+            return runtime
+
+    async def _open(self, name: str) -> TenantRuntime:
+        executor = ThreadPoolExecutor(max_workers=1, thread_name_prefix=f"tenant-{name}")
+        loop = asyncio.get_running_loop()
+        opener = partial(
+            SimilarityService.open, cache_dir=tenant_cache_dir(self.root, name)
+        )
+        try:
+            # Opened *on the worker thread* so the store's SQLite
+            # connection lives where every later request runs.
+            service = await loop.run_in_executor(executor, opener)
+        except StoreCorruptionError as error:
+            executor.shutdown(wait=False)
+            raise TenantUnavailableError(
+                f"tenant {name!r} store is unusable: {error}"
+            ) from error
+        except Exception:
+            executor.shutdown(wait=False)
+            raise
+        return TenantRuntime(name, service, executor)
+
+    async def _evict_over_bound(self) -> None:
+        excess = len(self._runtimes) - self.max_tenants
+        if excess <= 0:
+            return
+        for name in list(self._runtimes):
+            if excess <= 0:
+                break
+            if not self.is_idle(name):
+                continue
+            await self.close_tenant(name)
+            self.evictions += 1
+            excess -= 1
+
+    async def close_tenant(self, name: str, *, persist: bool = False) -> None:
+        runtime = self._runtimes.pop(name, None)
+        if runtime is None:
+            return
+        service = runtime.service
+
+        def _close() -> None:
+            if persist and service.store is not None:
+                try:
+                    service.persist()
+                except Exception:
+                    # Closing must always succeed; a failed farewell
+                    # persist only costs the next process a colder start.
+                    pass
+            service.close()
+
+        try:
+            await runtime.run(_close)
+        finally:
+            runtime.executor.shutdown(wait=True)
+
+    async def close_all(self, *, persist: bool = False) -> None:
+        for name in list(self._runtimes):
+            await self.close_tenant(name, persist=persist)

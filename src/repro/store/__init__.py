@@ -29,6 +29,12 @@ Typical lifecycle::
 
 from .faults import FaultInjector
 from .inverted_index import InvertedAnnotationIndex
+from .layout import (
+    discover_tenants,
+    tenant_cache_dir,
+    tenant_store_exists,
+    validate_tenant_name,
+)
 from .resilience import (
     RetryPolicy,
     StoreCorruptionError,
@@ -45,5 +51,9 @@ __all__ = [
     "StoreVerification",
     "WorkflowStore",
     "corpus_fingerprint",
+    "discover_tenants",
     "quarantine_store",
+    "tenant_cache_dir",
+    "tenant_store_exists",
+    "validate_tenant_name",
 ]

@@ -1,0 +1,77 @@
+"""Per-tenant cache-directory layout under one serving root.
+
+The serving layer (:mod:`repro.serve`) partitions tenants onto their own
+:class:`~repro.store.WorkflowStore` directories from day one: tenant
+``acme`` of serving root ``/data/serve`` lives entirely inside
+``/data/serve/acme/`` — its SQLite store, WAL sidecars and quarantine
+subdirectory included.  Nothing is shared between tenant directories, so
+one tenant's corruption, quarantine or rebuild can never touch another's
+files.
+
+Tenant names double as path components, so they are validated strictly
+(:data:`TENANT_NAME_PATTERN`): one path segment of at most 64
+characters, starting with an alphanumeric, never containing separators
+or ``..``.  Every function here raises :exc:`ValueError` on a name that
+does not match — the serving layer maps that to HTTP 400 before any
+filesystem access happens.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from .workflow_store import STORE_FILENAME
+
+__all__ = [
+    "TENANT_NAME_PATTERN",
+    "validate_tenant_name",
+    "tenant_cache_dir",
+    "tenant_store_exists",
+    "discover_tenants",
+]
+
+#: One safe path segment: alphanumeric start, then up to 63 word
+#: characters, dots or dashes.  (``..`` alone cannot match because the
+#: first character must be alphanumeric.)
+TENANT_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+def validate_tenant_name(name: str) -> str:
+    """Return ``name`` if it is a safe tenant name, raise otherwise."""
+    if not isinstance(name, str) or not TENANT_NAME_PATTERN.match(name):
+        raise ValueError(
+            f"invalid tenant name {name!r}: expected one path segment of at "
+            "most 64 characters matching [A-Za-z0-9][A-Za-z0-9._-]*"
+        )
+    return name
+
+
+def tenant_cache_dir(root: "str | Path", tenant: str) -> Path:
+    """The cache directory of ``tenant`` under the serving ``root``."""
+    return Path(root) / validate_tenant_name(tenant)
+
+
+def tenant_store_exists(root: "str | Path", tenant: str) -> bool:
+    """Whether ``tenant`` has a persisted store under ``root``."""
+    return (tenant_cache_dir(root, tenant) / STORE_FILENAME).is_file()
+
+
+def discover_tenants(root: "str | Path") -> list[str]:
+    """All tenants with a persisted store under ``root``, sorted by name.
+
+    Subdirectories without a store file (or with names that would not
+    validate as tenant names) are skipped, not errors: a quarantine
+    directory or a stray file next to the tenants must not break
+    discovery.
+    """
+    root = Path(root)
+    if not root.is_dir():
+        return []
+    tenants = []
+    for entry in root.iterdir():
+        if not entry.is_dir() or not TENANT_NAME_PATTERN.match(entry.name):
+            continue
+        if (entry / STORE_FILENAME).is_file():
+            tenants.append(entry.name)
+    return sorted(tenants)

@@ -166,3 +166,88 @@ class TestRequestRoundTrips:
         assert request_from_dict(cluster.to_dict()) == cluster
         with pytest.raises(ValueError):
             request_from_dict({"kind": "teleport"})
+
+
+class TestDiagnosticsRoundTrip:
+    """The serving layer ships diagnostics over the wire and back; every
+    serve-relevant field must survive ``from_dict(to_dict())`` — and a
+    full JSON encode/decode — exactly."""
+
+    def full_diagnostics(self):
+        from repro.api import ExecutionDiagnostics
+
+        return ExecutionDiagnostics(
+            path="pruned",
+            requested_mode="auto",
+            seconds=0.0421,
+            workers=4,
+            prune={
+                "evaluated": 12,
+                "skipped": 88,
+                "pruned_by_bound": {"size": 60, "overlap": 28},
+            },
+            caches=[{"name": "pair_scores", "hits": 17, "misses": 3}],
+            invalidations={"pair_scores": 2},
+            index_candidates=40,
+            cache_warm_hits=9,
+            degraded=True,
+            degradation_reason="store quarantined: checksum mismatch",
+            retry_attempts=3,
+            notes=("fell back from parallel", "micro-batched: folded 4 requests"),
+        )
+
+    def test_diagnostics_round_trip_is_field_exact(self):
+        import dataclasses
+        import json
+
+        from repro.api import ExecutionDiagnostics
+
+        original = self.full_diagnostics()
+        decoded = ExecutionDiagnostics.from_dict(
+            json.loads(json.dumps(original.to_dict()))
+        )
+        for field in dataclasses.fields(ExecutionDiagnostics):
+            assert getattr(decoded, field.name) == getattr(original, field.name), field.name
+        # The nested per-bound prune counters come back as ints, not the
+        # strings/floats a lenient JSON layer might leave behind.
+        assert decoded.prune["pruned_by_bound"] == {"size": 60, "overlap": 28}
+        assert all(
+            isinstance(value, int) for value in decoded.prune["pruned_by_bound"].values()
+        )
+
+    def test_diagnostics_defaults_round_trip(self):
+        from repro.api import ExecutionDiagnostics
+
+        original = ExecutionDiagnostics(path="sequential", requested_mode="sequential")
+        decoded = ExecutionDiagnostics.from_dict(original.to_dict())
+        assert decoded.prune is None
+        assert decoded.invalidations is None
+        assert decoded.degraded is False
+        assert decoded.degradation_reason is None
+        assert decoded.retry_attempts == 0
+        assert decoded.notes == ()
+
+    def test_result_set_round_trips_diagnostics_through_json(self):
+        from repro.api import ResultSet
+        from repro.api.results import QueryResult, SearchHit
+
+        result = ResultSet(
+            kind="search",
+            queries=(
+                QueryResult(
+                    query_id="wf-1",
+                    measure="MS_ip_te_pll",
+                    hits=(SearchHit("wf-2", 0.875, 1), SearchHit("wf-3", 0.5, 2)),
+                ),
+            ),
+            diagnostics=self.full_diagnostics(),
+        )
+        decoded = ResultSet.from_json(result.to_json())
+        assert decoded == result  # payload equality
+        assert decoded.diagnostics.to_dict() == result.diagnostics.to_dict()
+        assert decoded.diagnostics.degraded is True
+        assert decoded.diagnostics.degradation_reason == (
+            "store quarantined: checksum mismatch"
+        )
+        assert decoded.diagnostics.retry_attempts == 3
+        assert decoded.diagnostics.prune["pruned_by_bound"] == {"size": 60, "overlap": 28}
