@@ -16,6 +16,12 @@ batch answering differently than the same request alone — fails the run
 (exit 1), as does a fold factor that never rises above 1 at the highest
 concurrency (the micro-batcher would be dead weight).
 
+A final section times an identical serial workload with tracing enabled
+(``trace_sample=1.0``) and disabled (``trace_sample=0.0``): the report's
+``obs`` block records ``enabled_ms`` / ``disabled_ms`` (min of
+``--obs-repeats`` passes each) and the run fails if tracing costs more
+than 5% or changes any response byte.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_serve.py
@@ -179,6 +185,80 @@ async def run_level(
     }
 
 
+async def measure_obs_overhead(
+    root: Path,
+    tenant: str,
+    query_ids: "list[str]",
+    reference: "dict[str, list[tuple[str, float, int]]]",
+    args: argparse.Namespace,
+) -> dict:
+    """Time an identical serial workload with tracing on and off.
+
+    Each mode gets its own server (the tracer is process-global while a
+    server runs, so the modes cannot share a process concurrently): one
+    warm-up pass that also checks every response against the sequential
+    reference, then ``--obs-repeats`` timed passes with the *minimum*
+    wall time kept — min-of-repeats is the standard defence against
+    scheduler noise when the gate is a few percent.
+    """
+    timings: "dict[str, float]" = {}
+    mismatches: "list[str]" = []
+    for mode, sample in (("enabled", 1.0), ("disabled", 0.0)):
+        config = ServeConfig(
+            root=str(root),
+            port=0,
+            batch_window=0.0,
+            max_inflight=64,
+            trace_sample=sample,
+        )
+        server = SimilarityServer(config)
+        await server.start()
+        try:
+            client = ServeClient("127.0.0.1", server.port)
+            try:
+
+                async def one_pass(check: bool) -> float:
+                    started = time.perf_counter()
+                    for index in range(args.obs_requests):
+                        query_id = query_ids[index % len(query_ids)]
+                        payload = {
+                            "measure": {"name": args.measure},
+                            "queries": [query_id],
+                            "k": args.k,
+                        }
+                        status, _headers, body = await client.post(
+                            f"/v1/{tenant}/search", payload
+                        )
+                        if status != 200:
+                            mismatches.append(f"{mode}:{query_id}: HTTP {status}")
+                        elif check:
+                            answered = ResultSet.from_dict(body).result_tuples()[0]
+                            if answered != reference[query_id]:
+                                mismatches.append(f"{mode}:{query_id}")
+                    return time.perf_counter() - started
+
+                await one_pass(check=True)
+                best = min(
+                    [await one_pass(check=False) for _ in range(args.obs_repeats)]
+                )
+                timings[mode] = best * 1000.0
+            finally:
+                await client.close()
+        finally:
+            await server.stop()
+    ratio = timings["enabled"] / timings["disabled"] if timings["disabled"] else None
+    return {
+        "requests_per_pass": args.obs_requests,
+        "timed_repeats": args.obs_repeats,
+        "enabled_ms": round(timings["enabled"], 3),
+        "disabled_ms": round(timings["disabled"], 3),
+        "overhead_ratio": round(ratio, 4) if ratio is not None else None,
+        "mismatches": mismatches,
+        "identical": not mismatches,
+        "within_5_percent": ratio is not None and ratio <= 1.05,
+    }
+
+
 async def run_benchmark(args: argparse.Namespace) -> int:
     owns_root = args.root is None
     if owns_root:
@@ -243,6 +323,12 @@ async def run_benchmark(args: argparse.Namespace) -> int:
             snapshot = server.metrics.tenant(tenant).snapshot()
         finally:
             await server.stop()
+        obs = await measure_obs_overhead(root, tenant, query_ids, reference, args)
+        print(
+            f"  obs: enabled {obs['enabled_ms']:.1f}ms vs disabled "
+            f"{obs['disabled_ms']:.1f}ms over {obs['requests_per_pass']} requests "
+            f"(ratio {obs['overhead_ratio']})"
+        )
     finally:
         if owns_root:
             shutil.rmtree(root, ignore_errors=True)
@@ -252,7 +338,8 @@ async def run_benchmark(args: argparse.Namespace) -> int:
     top = results[-1]
     fold_ok = top["fold_factor"] is not None and top["fold_factor"] > 1.0
     equivalence_ok = not mismatched and not errored
-    ok = equivalence_ok and (fold_ok or max(levels) <= 1)
+    obs_ok = obs["identical"] and obs["within_5_percent"]
+    ok = equivalence_ok and (fold_ok or max(levels) <= 1) and obs_ok
 
     report = {
         "benchmark": "serve_load",
@@ -272,6 +359,7 @@ async def run_benchmark(args: argparse.Namespace) -> int:
             "identical": equivalence_ok,
         },
         "fold_factor_at_max_concurrency": top["fold_factor"],
+        "obs": obs,
         "ok": ok,
     }
     output = Path(args.output)
@@ -287,6 +375,13 @@ async def run_benchmark(args: argparse.Namespace) -> int:
         print(
             f"FAIL: fold factor {top['fold_factor']} at concurrency "
             f"{max(levels)} — concurrent requests never shared an engine batch"
+        )
+        return 1
+    if not obs_ok:
+        print(
+            f"FAIL: observability overhead ratio {obs['overhead_ratio']} "
+            f"exceeds 1.05 or traced responses differed "
+            f"({len(obs['mismatches'])} mismatches)"
         )
         return 1
     print(
@@ -328,6 +423,18 @@ def main() -> int:
         type=float,
         default=25.0,
         help="server batch window in milliseconds",
+    )
+    parser.add_argument(
+        "--obs-requests",
+        type=int,
+        default=64,
+        help="requests per timed pass of the tracing-overhead measurement",
+    )
+    parser.add_argument(
+        "--obs-repeats",
+        type=int,
+        default=3,
+        help="timed passes per tracing mode (minimum wall time is kept)",
     )
     parser.add_argument("--output", default=str(_ROOT / "BENCH_serve.json"))
     args = parser.parse_args()

@@ -112,6 +112,14 @@ class ExecutionDiagnostics:
     during *this* request — a warm-started service shows a positive
     number where a cold one recomputes.
 
+    ``trace_id`` correlates this execution with the tracing layer: when
+    a recording :class:`~repro.obs.tracing.Tracer` is installed, it is
+    the id of the trace whose span tree contains this request's service
+    and engine spans (``Tracer.export_trace(trace_id)``; also the
+    ``X-Trace-Id`` response header of the serving layer).  ``None`` when
+    tracing is disabled — and, like every diagnostics field, never part
+    of result equality.
+
     Three fields tell the resilience story.  ``degraded`` is ``True``
     when any acceleration tier (store warm-start, inverted index,
     process pool) faulted during the request and the service fell back
@@ -137,6 +145,7 @@ class ExecutionDiagnostics:
     degradation_reason: str | None = None
     retry_attempts: int = 0
     notes: tuple[str, ...] = ()
+    trace_id: str | None = None
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -153,6 +162,7 @@ class ExecutionDiagnostics:
             "degradation_reason": self.degradation_reason,
             "retry_attempts": self.retry_attempts,
             "notes": list(self.notes),
+            "trace_id": self.trace_id,
         }
 
     @classmethod
@@ -174,6 +184,9 @@ class ExecutionDiagnostics:
             degradation_reason=str(reason) if reason is not None else None,
             retry_attempts=int(data.get("retry_attempts", 0)),
             notes=tuple(data.get("notes", ())),
+            trace_id=(
+                str(data["trace_id"]) if data.get("trace_id") is not None else None
+            ),
         )
 
 

@@ -57,6 +57,8 @@ from typing import Any, Iterable, Mapping, Sequence
 
 from ..core.framework import RankedWorkflow, SimilarityFramework
 from ..core.registry import all_configuration_names
+from ..obs.registry import get_registry
+from ..obs.tracing import get_tracer
 from ..perf.bounds import (
     AdmissionBound,
     LabelBagIndex,
@@ -130,6 +132,17 @@ class SimilarityService:
         #: across a mid-request store swap).
         self._retired_retries = 0
         self._fault_injector = None
+        registry = get_registry()
+        self._operations_counter = registry.counter(
+            "repro_service_operations_total",
+            "Service operations executed, by operation and execution path.",
+            labels=("operation", "path"),
+        )
+        self._degraded_counter = registry.counter(
+            "repro_service_degraded_total",
+            "Operations that degraded down the resilience ladder.",
+            labels=("operation",),
+        )
         if cache_dir is not None:
             self.attach_cache_dir(cache_dir)
 
@@ -517,6 +530,13 @@ class SimilarityService:
     def search(self, request: "SearchRequest | Mapping[str, Any] | str") -> ResultSet:
         """Execute a top-``k`` search request; see :class:`SearchRequest`."""
         request = _coerce(request, SearchRequest)
+        with get_tracer().span(
+            "service.search",
+            attributes={"measure": request.measure.name, "k": request.k},
+        ) as span:
+            return self._observe_operation(span, "search", self._search(request))
+
+    def _search(self, request: SearchRequest) -> ResultSet:
         started = time.perf_counter()
         query_list = self._resolve(request.queries)
         candidates = (
@@ -567,9 +587,14 @@ class SimilarityService:
                 indexed = None
                 try:
                     self._fire_fault("indexed")
-                    indexed = self._indexed_search(
-                        query_list, instance, admission, request.k, prune=policy.prune
-                    )
+                    with get_tracer().span(
+                        "engine.preselect", attributes={"bound": admission.name}
+                    ) as stage:
+                        indexed = self._indexed_search(
+                            query_list, instance, admission, request.k, prune=policy.prune
+                        )
+                        if indexed is not None:
+                            stage.set_attribute("candidates", indexed[1])
                 except Exception as error:
                     degraded = True
                     degradation_reason = (
@@ -604,14 +629,17 @@ class SimilarityService:
                     workers = policy.workers or 2
                     try:
                         self._fire_fault("parallel")
-                        results = self.engine.parallel_batch(
-                            query_list,
-                            measure_name,
-                            k=request.k,
-                            prune=policy.prune,
-                            workers=workers,
-                            chunk_size=policy.chunk_size,
-                        )
+                        with get_tracer().span(
+                            "engine.parallel", attributes={"workers": workers}
+                        ):
+                            results = self.engine.parallel_batch(
+                                query_list,
+                                measure_name,
+                                k=request.k,
+                                prune=policy.prune,
+                                workers=workers,
+                                chunk_size=policy.chunk_size,
+                            )
                     except Exception as error:
                         degraded = True
                         if degradation_reason is None:
@@ -639,9 +667,15 @@ class SimilarityService:
             if results is None:
                 prune = policy.prune or mode is ExecutionMode.PRUNED
                 try:
-                    batch = self.engine.serial_batch(
-                        query_list, measure_name, k=request.k, candidates=candidates, prune=prune
-                    )
+                    with get_tracer().span(
+                        "engine.scan", attributes={"prune": bool(prune)}
+                    ) as stage:
+                        batch = self.engine.serial_batch(
+                            query_list, measure_name, k=request.k, candidates=candidates, prune=prune
+                        )
+                        scan_stats = self.engine.last_batch_stats
+                        if stage.recording and scan_stats is not None:
+                            stage.set_attributes(scan_stats.as_dict())
                 except Exception as error:
                     # Real configuration errors (unknown measure, bad k)
                     # re-raise identically from the sequential tier
@@ -678,10 +712,13 @@ class SimilarityService:
                     if stats is not None:
                         prune_stats = stats.as_dict()
         if results is None:
-            results = [
-                self.engine.search(query, measure_name, k=request.k, candidates=candidates)
-                for query in query_list
-            ]
+            with get_tracer().span(
+                "engine.sequential", attributes={"queries": len(query_list)}
+            ):
+                results = [
+                    self.engine.search(query, measure_name, k=request.k, candidates=candidates)
+                    for query in query_list
+                ]
             path = "sequential"
 
         epilogue_degraded, epilogue_reason = self._resilience_epilogue(notes)
@@ -714,6 +751,12 @@ class SimilarityService:
     def pairwise(self, request: "PairwiseRequest | Mapping[str, Any] | str") -> ResultSet:
         """Score every unordered pair; see :class:`PairwiseRequest`."""
         request = _coerce(request, PairwiseRequest)
+        with get_tracer().span(
+            "service.pairwise", attributes={"measure": request.measure.name}
+        ) as span:
+            return self._observe_operation(span, "pairwise", self._pairwise(request))
+
+    def _pairwise(self, request: PairwiseRequest) -> ResultSet:
         started = time.perf_counter()
         pool = self._resolve(request.workflows)
         policy = request.policy
@@ -740,9 +783,12 @@ class SimilarityService:
                     workers = policy.workers or 2
                     try:
                         self._fire_fault("parallel")
-                        similarities = self.engine.parallel_pairwise_scores(
-                            pool, measure_name, workers=workers, chunk_size=policy.chunk_size
-                        )
+                        with get_tracer().span(
+                            "engine.parallel", attributes={"workers": workers}
+                        ):
+                            similarities = self.engine.parallel_pairwise_scores(
+                                pool, measure_name, workers=workers, chunk_size=policy.chunk_size
+                            )
                     except Exception as error:
                         degraded = True
                         degradation_reason = (
@@ -768,9 +814,12 @@ class SimilarityService:
                     )
             if similarities is None:
                 try:
-                    similarities = self.engine.pairwise_similarity(
-                        measure_name, workflows=pool, workers=None
-                    )
+                    with get_tracer().span(
+                        "engine.scan", attributes={"workflows": len(pool)}
+                    ):
+                        similarities = self.engine.pairwise_similarity(
+                            measure_name, workflows=pool, workers=None
+                        )
                 except Exception as error:
                     degraded = True
                     if degradation_reason is None:
@@ -782,9 +831,12 @@ class SimilarityService:
                     )
                     similarities = None
         if similarities is None:
-            similarities = self.engine.pairwise_similarity(
-                measure_name, workflows=pool, accelerate=False
-            )
+            with get_tracer().span(
+                "engine.sequential", attributes={"workflows": len(pool)}
+            ):
+                similarities = self.engine.pairwise_similarity(
+                    measure_name, workflows=pool, accelerate=False
+                )
             path = "sequential"
 
         epilogue_degraded, epilogue_reason = self._resilience_epilogue(notes)
@@ -813,6 +865,16 @@ class SimilarityService:
     def cluster(self, request: "ClusterRequest | Mapping[str, Any] | str") -> ResultSet:
         """Cluster the similarity graph; see :class:`ClusterRequest`."""
         request = _coerce(request, ClusterRequest)
+        with get_tracer().span(
+            "service.cluster",
+            attributes={
+                "measure": request.measure.name,
+                "linkage": request.linkage,
+            },
+        ) as span:
+            return self._observe_operation(span, "cluster", self._cluster(request))
+
+    def _cluster(self, request: ClusterRequest) -> ResultSet:
         started = time.perf_counter()
         from ..repository.clustering import agglomerative_clusters, threshold_clusters
 
@@ -846,6 +908,27 @@ class SimilarityService:
         )
 
     # -- helpers -------------------------------------------------------------
+
+    def _observe_operation(self, span, operation: str, result: ResultSet) -> ResultSet:
+        """Stamp the operation span + registry counters onto a result.
+
+        Purely observational: mutates only diagnostics (excluded from
+        result equality) and process-wide instruments, never the payload.
+        """
+        diagnostics = result.diagnostics
+        if diagnostics is None:
+            return result
+        if span.recording:
+            diagnostics.trace_id = span.trace_id
+            span.set_attributes(
+                {"path": diagnostics.path, "degraded": diagnostics.degraded}
+            )
+            if diagnostics.degradation_reason:
+                span.set_attribute("reason", diagnostics.degradation_reason)
+        self._operations_counter.inc(operation=operation, path=diagnostics.path)
+        if diagnostics.degraded:
+            self._degraded_counter.inc(operation=operation)
+        return result
 
     def _resolve(self, identifiers: Sequence[str] | None) -> list[Workflow]:
         if identifiers is None:

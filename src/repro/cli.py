@@ -34,7 +34,9 @@ recomputing them.
   a persisted store is a tenant, concurrent same-measure searches are
   micro-batched into one engine call, admission control answers 429
   beyond ``--max-inflight``.  ``repro serve --check`` binds, probes
-  ``/healthz`` and exits 0/1 so CI can smoke the server;
+  ``/healthz`` and exits 0/1 so CI can smoke the server.  With
+  ``--trace-dir DIR`` every sampled request's span tree is exported as
+  JSON; ``repro trace show FILE`` renders one as an indented tree;
 * ``repro generate-corpus OUT.json --workflows 500`` — write a synthetic
   myExperiment-style (or Galaxy-style) corpus to disk;
 * ``repro stats CORPUS`` — corpus statistics (size, annotations, module
@@ -53,6 +55,7 @@ from typing import Sequence
 
 from .api import ExecutionPolicy, SearchRequest, SimilarityService
 from .core.framework import SimilarityFramework
+from .obs import console
 from .core.registry import all_configuration_names
 from .corpus.galaxy import GalaxyCorpusSpec, generate_galaxy_corpus
 from .corpus.generator import CorpusSpec, generate_myexperiment_corpus
@@ -103,11 +106,11 @@ def _persist_search_store(service: SimilarityService) -> None:
     if service.store_trusted or not store.has_snapshot():
         service.persist()
     else:
-        print(
+        console(
             "warning: --cache-dir store was built from a different corpus; "
             "reused its scores but did not persist (run 'repro index build' "
             "to rebuild it for this corpus)",
-            file=sys.stderr,
+            err=True,
         )
 
 
@@ -117,7 +120,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     framework = SimilarityFramework(ged_timeout=args.ged_timeout)
     for name in args.measure:
         value = framework.similarity(first, second, name)
-        print(f"{name}\t{value:.4f}")
+        console(f"{name}\t{value:.4f}")
     return 0
 
 
@@ -128,7 +131,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
     )
     if args.query not in service:
-        print(f"error: query workflow {args.query!r} not found in corpus", file=sys.stderr)
+        console(f"error: query workflow {args.query!r} not found in corpus", err=True)
         return 2
     result_set = service.search(
         SearchRequest(measure=args.measure, queries=[args.query], k=args.top_k)
@@ -137,12 +140,12 @@ def _cmd_search(args: argparse.Namespace) -> int:
         # Accumulate this invocation's scores so the next one warm-starts.
         _persist_search_store(service)
     if args.json:
-        print(result_set.to_json(indent=2))
+        console(result_set.to_json(indent=2))
         return 0
-    print(f"top-{args.top_k} results for query {args.query} under {args.measure}:")
+    console(f"top-{args.top_k} results for query {args.query} under {args.measure}:")
     for hit in result_set.for_query(args.query):
         title = service.repository.get(hit.workflow_id).annotations.title
-        print(f"{hit.rank:>3}  {hit.workflow_id:<16} {hit.similarity:.4f}  {title}")
+        console(f"{hit.rank:>3}  {hit.workflow_id:<16} {hit.similarity:.4f}  {title}")
     return 0
 
 
@@ -156,11 +159,11 @@ def _cmd_search_batch(args: argparse.Namespace) -> int:
     )
     if args.queries is not None:
         if not args.queries:
-            print("error: --queries given but no identifiers listed", file=sys.stderr)
+            console("error: --queries given but no identifiers listed", err=True)
             return 2
         missing = [query for query in args.queries if query not in service]
         if missing:
-            print(f"error: query workflows not in corpus: {missing}", file=sys.stderr)
+            console(f"error: query workflows not in corpus: {missing}", err=True)
             return 2
         queries = args.queries
     else:
@@ -185,16 +188,16 @@ def _cmd_search_batch(args: argparse.Namespace) -> int:
             "diagnostics": diagnostics.to_dict() if diagnostics is not None else None,
         }
         Path(args.output).write_text(json.dumps(payload, indent=2))
-        print(f"wrote {len(result_set)} result lists to {args.output} ({elapsed:.2f}s)")
+        console(f"wrote {len(result_set)} result lists to {args.output} ({elapsed:.2f}s)")
     else:
         for result in result_set:
             hits = ", ".join(f"{hit.workflow_id}:{hit.similarity:.3f}" for hit in result)
-            print(f"{result.query_id}\t{hits}")
+            console(f"{result.query_id}\t{hits}")
         path = diagnostics.path if diagnostics is not None else "unknown"
-        print(
+        console(
             f"# {len(result_set)} queries under {args.measure} in {elapsed:.2f}s "
             f"({path} path)",
-            file=sys.stderr,
+            err=True,
         )
     return 0
 
@@ -204,10 +207,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     root = Path(args.root)
     if not root.is_dir():
-        print(
+        console(
             f"error: serving root {args.root!r} is not a directory; create it and "
             "build tenants with 'repro index build CORPUS --cache-dir ROOT/TENANT'",
-            file=sys.stderr,
+            err=True,
         )
         return 2
     config = ServeConfig(
@@ -219,10 +222,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         batch_window=args.batch_window_ms / 1000.0,
         batch_max_requests=args.batch_max,
         persist_on_shutdown=args.persist_on_shutdown,
+        trace_sample=args.trace_sample,
+        trace_dir=args.trace_dir,
     )
     if args.check:
         return check_server(config)
     return run_server(config)
+
+
+def _cmd_trace_show(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import render_trace
+
+    path = Path(args.file)
+    try:
+        tree = json.loads(path.read_text())
+    except FileNotFoundError:
+        console(f"error: trace file {args.file!r} not found", err=True)
+        return 2
+    except json.JSONDecodeError as error:
+        console(f"error: {args.file!r} is not a trace JSON file: {error}", err=True)
+        return 1
+    if not isinstance(tree, dict) or "spans" not in tree:
+        console(
+            f"error: {args.file!r} has no 'spans' key; expected a file written "
+            "by 'repro serve --trace-dir'",
+            err=True,
+        )
+        return 1
+    console(render_trace(tree))
+    return 0
 
 
 def _cmd_generate_corpus(args: argparse.Namespace) -> int:
@@ -236,7 +266,7 @@ def _cmd_generate_corpus(args: argparse.Namespace) -> int:
         )
     corpus.repository.save(args.output)
     stats = corpus.repository.statistics()
-    print(
+    console(
         f"wrote {stats.workflow_count} workflows "
         f"({stats.mean_modules_per_workflow:.1f} modules/workflow, "
         f"{stats.untagged_fraction:.0%} untagged) to {args.output}"
@@ -247,23 +277,23 @@ def _cmd_generate_corpus(args: argparse.Namespace) -> int:
 def _cmd_stats(args: argparse.Namespace) -> int:
     repository = WorkflowRepository.load(args.corpus)
     stats = repository.statistics()
-    print(f"corpus: {args.corpus}")
-    print(f"workflows:                 {stats.workflow_count}")
-    print(f"modules:                   {stats.module_count}")
-    print(f"datalinks:                 {stats.datalink_count}")
-    print(f"mean modules / workflow:   {stats.mean_modules_per_workflow:.2f}")
-    print(f"mean datalinks / workflow: {stats.mean_datalinks_per_workflow:.2f}")
-    print(f"untagged workflows:        {stats.untagged_fraction:.1%}")
-    print(f"unannotated workflows:     {stats.undescribed_fraction:.1%}")
-    print("module categories:")
+    console(f"corpus: {args.corpus}")
+    console(f"workflows:                 {stats.workflow_count}")
+    console(f"modules:                   {stats.module_count}")
+    console(f"datalinks:                 {stats.datalink_count}")
+    console(f"mean modules / workflow:   {stats.mean_modules_per_workflow:.2f}")
+    console(f"mean datalinks / workflow: {stats.mean_datalinks_per_workflow:.2f}")
+    console(f"untagged workflows:        {stats.untagged_fraction:.1%}")
+    console(f"unannotated workflows:     {stats.undescribed_fraction:.1%}")
+    console("module categories:")
     for category, count in sorted(stats.category_histogram.items(), key=lambda kv: -kv[1]):
-        print(f"  {category:<20} {count}")
+        console(f"  {category:<20} {count}")
     return 0
 
 
 def _cmd_measures(_args: argparse.Namespace) -> int:
     for name in all_configuration_names():
-        print(name)
+        console(name)
     return 0
 
 
@@ -279,12 +309,12 @@ def _cmd_index_build(args: argparse.Namespace) -> int:
         # measure, so the persisted store warm-starts future searches.
         result = service.search(SearchRequest(measure=measure, k=args.top_k))
         diagnostics = result.diagnostics
-        print(
+        console(
             f"warmed {measure}: {len(result)} queries in "
             f"{diagnostics.seconds:.2f}s ({diagnostics.path} path)"
         )
     summary = service.persist()
-    print(
+    console(
         f"persisted {summary['workflows']} workflows, "
         f"{summary['pair_scores']} pair scores, "
         f"{summary['postings']} index postings "
@@ -307,16 +337,16 @@ def _open_existing_store(cache_dir: str):
     try:
         return WorkflowStore(cache_dir, create=False), None
     except FileNotFoundError as error:
-        print(f"error: {error}", file=sys.stderr)
+        console(f"error: {error}", err=True)
         return None, 2
     except OSError as error:
-        print(f"error: cache dir {cache_dir!r} is unreadable: {error}", file=sys.stderr)
+        console(f"error: cache dir {cache_dir!r} is unreadable: {error}", err=True)
         return None, 2
     except (sqlite3.DatabaseError, ValueError) as error:
-        print(
+        console(
             f"error: store in {cache_dir!r} cannot be opened ({error}); "
             "run 'repro store repair' to quarantine and rebuild it",
-            file=sys.stderr,
+            err=True,
         )
         return None, 1
 
@@ -327,7 +357,7 @@ def _cmd_index_stats(args: argparse.Namespace) -> int:
         return code
     try:
         for key, value in store.stats().items():
-            print(f"{key:<20} {value}")
+            console(f"{key:<20} {value}")
     finally:
         store.close()
     return 0
@@ -342,14 +372,14 @@ def _cmd_store_verify(args: argparse.Namespace) -> int:
     finally:
         store.close()
     for table, status in sorted(report.tables.items()):
-        print(f"{table:<12} {'ok' if status == 'ok' else 'FAIL: ' + status}")
+        console(f"{table:<12} {'ok' if status == 'ok' else 'FAIL: ' + status}")
     if report.ok:
-        print("store verified: all checks passed")
+        console("store verified: all checks passed")
         return 0
-    print(
+    console(
         f"store FAILED verification: {report.summary()} "
         "(run 'repro store repair' to quarantine and rebuild)",
-        file=sys.stderr,
+        err=True,
     )
     return 1
 
@@ -362,10 +392,10 @@ def _cmd_store_repair(args: argparse.Namespace) -> int:
     try:
         store = WorkflowStore(args.cache_dir, create=False)
     except FileNotFoundError as error:
-        print(f"error: {error}", file=sys.stderr)
+        console(f"error: {error}", err=True)
         return 2
     except OSError as error:
-        print(f"error: cache dir {args.cache_dir!r} is unreadable: {error}", file=sys.stderr)
+        console(f"error: cache dir {args.cache_dir!r} is unreadable: {error}", err=True)
         return 2
     except (sqlite3.DatabaseError, ValueError):
         store = None  # unopenable: exactly what the rebuild below repairs
@@ -375,7 +405,7 @@ def _cmd_store_repair(args: argparse.Namespace) -> int:
         finally:
             store.close()
         if report.ok:
-            print("store verified: all checks passed; nothing to repair")
+            console("store verified: all checks passed; nothing to repair")
             return 0
     # Corrupt (or unopenable) store: let the service's quarantine-and-
     # rebuild recovery do the repair, seeded from --corpus when given,
@@ -388,16 +418,16 @@ def _cmd_store_repair(args: argparse.Namespace) -> int:
         else:
             service = SimilarityService.open(cache_dir=args.cache_dir)
     except StoreCorruptionError as error:
-        print(f"error: {error}", file=sys.stderr)
+        console(f"error: {error}", err=True)
         return 1
     for entry in service.degradation_log:
-        print(entry["event"])
+        console(entry["event"])
     verified = service.store.verify()
     service.close()
     if not verified.ok:
-        print(f"error: rebuilt store still fails verification: {verified.summary()}", file=sys.stderr)
+        console(f"error: rebuilt store still fails verification: {verified.summary()}", err=True)
         return 1
-    print("store repaired: rebuilt store passes all checks")
+    console("store repaired: rebuilt store passes all checks")
     return 0
 
 
@@ -568,7 +598,30 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="bind, probe /healthz, exit 0/1 (CI smoke; no long-running server)",
     )
+    serve.add_argument(
+        "--trace-sample",
+        type=float,
+        default=1.0,
+        help="fraction of requests to trace (0 disables tracing entirely, 1 "
+        "traces every request); sampled requests carry an X-Trace-Id header",
+    )
+    serve.add_argument(
+        "--trace-dir",
+        default=None,
+        help="write every finished trace as <trace_id>.json into this "
+        "directory (inspect with 'repro trace show')",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    trace = subparsers.add_parser(
+        "trace", help="inspect exported trace files (see 'repro serve --trace-dir')"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_show = trace_sub.add_parser(
+        "show", help="render an exported span-tree JSON file as an indented tree"
+    )
+    trace_show.add_argument("file", help="trace JSON file written by --trace-dir")
+    trace_show.set_defaults(func=_cmd_trace_show)
 
     generate = subparsers.add_parser("generate-corpus", help="write a synthetic corpus to disk")
     generate.add_argument("output", help="output JSON file")

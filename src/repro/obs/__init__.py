@@ -1,0 +1,62 @@
+"""Cross-layer observability: tracing, metrics, structured logging.
+
+``repro.obs`` is the substrate every other layer reports through:
+
+* :mod:`repro.obs.tracing` — ``Tracer``/``Span`` with contextvar
+  propagation, batch fan-in links, JSON span-tree export, and a
+  zero-cost ``NullTracer`` default;
+* :mod:`repro.obs.registry` — the process-wide ``MetricsRegistry`` of
+  typed Counter/Gauge/Summary instruments with Prometheus text
+  exposition (``GET /metrics``);
+* :mod:`repro.obs.histogram` — the shared nearest-rank percentile and
+  bounded ``Reservoir`` the serving stats and Summary quantiles both
+  use;
+* :mod:`repro.obs.logging` — structured JSON logging plus the CLI's
+  ``console()`` writer (library code never calls ``print``);
+* :mod:`repro.obs.render` — text rendering of exported trace trees
+  (``repro trace show``).
+"""
+
+from .histogram import RESERVOIR_SIZE, Reservoir, percentile
+from .logging import console, get_logger, log_event
+from .registry import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    Summary,
+    get_registry,
+)
+from .render import render_trace
+from .tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    json_dir_sink,
+    set_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "REGISTRY",
+    "RESERVOIR_SIZE",
+    "Reservoir",
+    "Span",
+    "Summary",
+    "Tracer",
+    "console",
+    "get_logger",
+    "get_registry",
+    "get_tracer",
+    "json_dir_sink",
+    "log_event",
+    "percentile",
+    "render_trace",
+    "set_tracer",
+]

@@ -1,0 +1,63 @@
+"""Shared latency/size accounting: nearest-rank percentiles + reservoirs.
+
+One implementation of the nearest-rank percentile estimate serves every
+layer that reports latency: the per-tenant serving stats
+(:mod:`repro.serve.metrics` re-exports :func:`percentile` from here for
+backward compatibility), the process-wide metrics registry's
+:class:`~repro.obs.registry.Summary` instruments, and the load
+benchmark.  :class:`Reservoir` is the bounded sample buffer behind all
+of them: percentiles are computed over the most recent
+``RESERVOIR_SIZE`` observations while ``count``/``total`` keep exact
+lifetime aggregates (what Prometheus ``_count``/``_sum`` samples
+expose).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+__all__ = ["RESERVOIR_SIZE", "Reservoir", "percentile"]
+
+#: How many recent observations back the percentile estimates.
+RESERVOIR_SIZE = 4096
+
+
+def percentile(samples: "list[float]", fraction: float) -> float | None:
+    """The ``fraction`` (0..1) percentile of ``samples`` (nearest-rank)."""
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(fraction * len(ordered)))
+    return ordered[rank - 1]
+
+
+class Reservoir:
+    """A bounded buffer of recent observations with lifetime aggregates.
+
+    ``observe`` is O(1); percentile queries sort the (bounded) buffer on
+    demand, which is exactly how the serving stats behaved before this
+    class existed.  Not locked — callers that share a reservoir across
+    threads hold their own lock (the registry does).
+    """
+
+    __slots__ = ("samples", "count", "total")
+
+    def __init__(self, size: int = RESERVOIR_SIZE) -> None:
+        self.samples: deque = deque(maxlen=size)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.samples.append(value)
+        self.count += 1
+        self.total += value
+
+    def percentile(self, fraction: float) -> float | None:
+        return percentile(list(self.samples), fraction)
+
+    def values(self) -> "list[float]":
+        return list(self.samples)
+
+    def __len__(self) -> int:
+        return len(self.samples)

@@ -1,0 +1,97 @@
+"""Structured JSON logging + the CLI's ``console()`` writer.
+
+Library code under ``src/repro/`` never calls ``print`` (CI enforces
+this with an AST check).  Two channels replace it:
+
+* :func:`get_logger` — stdlib loggers under the ``repro`` namespace
+  with a one-line-JSON formatter on stderr, for diagnostics that
+  belong in machine-parseable logs (e.g. the process-pool fallback
+  warning in :mod:`repro.perf.parallel`).  Extra fields ride the
+  standard ``extra={...}`` mechanism and land as top-level JSON keys.
+* :func:`console` — deliberate user-facing CLI output.  It resolves
+  ``sys.stdout``/``sys.stderr`` at call time so pytest's capsys and
+  stream redirection keep working.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import Any, TextIO
+
+__all__ = ["console", "get_logger", "log_event"]
+
+_RESERVED = frozenset(
+    logging.makeLogRecord({}).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+class _JsonFormatter(logging.Formatter):
+    def format(self, record: logging.LogRecord) -> str:
+        payload: "dict[str, Any]" = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED and not key.startswith("_"):
+                payload[key] = value
+        if record.exc_info:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str, sort_keys=True)
+
+
+class _DynamicStderrHandler(logging.Handler):
+    """A stderr handler that looks ``sys.stderr`` up per record."""
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            sys.stderr.write(self.format(record) + "\n")
+        except Exception:  # pragma: no cover - logging must never raise
+            self.handleError(record)
+
+
+_configured = False
+
+
+def _configure() -> None:
+    global _configured
+    if _configured:
+        return
+    root = logging.getLogger("repro")
+    if not root.handlers:
+        handler = _DynamicStderrHandler()
+        handler.setFormatter(_JsonFormatter())
+        root.addHandler(handler)
+        root.setLevel(logging.WARNING)
+        root.propagate = False
+    _configured = True
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A JSON-formatted logger under the ``repro`` namespace."""
+    _configure()
+    if name != "repro" and not name.startswith("repro."):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def log_event(
+    logger: logging.Logger, event: str, *, level: int = logging.INFO, **fields: Any
+) -> None:
+    """Emit ``event`` with ``fields`` as top-level JSON keys."""
+    logger.log(level, event, extra=fields)
+
+
+def console(
+    *values: Any,
+    sep: str = " ",
+    end: str = "\n",
+    stream: "TextIO | None" = None,
+    err: bool = False,
+) -> None:
+    """Write user-facing CLI output (stdout, or stderr with ``err=True``)."""
+    out = stream if stream is not None else (sys.stderr if err else sys.stdout)
+    out.write(sep.join(str(value) for value in values) + end)

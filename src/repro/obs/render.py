@@ -1,0 +1,75 @@
+"""Text rendering of exported trace trees (``repro trace show``)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["render_trace"]
+
+#: Attributes surfaced inline next to each span line, in display order.
+_INLINE_ATTRIBUTES = (
+    "tenant",
+    "operation",
+    "path",
+    "status",
+    "folded_requests",
+    "unique_queries",
+    "candidates",
+    "scored",
+    "pruned",
+    "retries",
+    "degraded",
+    "reason",
+)
+
+
+def _format_duration(duration_ms: "float | None") -> str:
+    if duration_ms is None:
+        return "?"
+    if duration_ms >= 1000.0:
+        return f"{duration_ms / 1000.0:.2f}s"
+    if duration_ms >= 1.0:
+        return f"{duration_ms:.1f}ms"
+    return f"{duration_ms * 1000.0:.0f}us"
+
+
+def _span_line(node: "dict[str, Any]") -> str:
+    parts = [node.get("name", "?"), _format_duration(node.get("duration_ms"))]
+    if node.get("status") and node["status"] != "ok":
+        message = node.get("status_message")
+        parts.append(f"!{node['status']}" + (f"({message})" if message else ""))
+    attributes = node.get("attributes") or {}
+    shown = [key for key in _INLINE_ATTRIBUTES if key in attributes]
+    shown.extend(key for key in sorted(attributes) if key not in shown)
+    parts.extend(f"{key}={attributes[key]}" for key in shown)
+    return "  ".join(parts)
+
+
+def _walk(
+    node: "dict[str, Any]", prefix: str, is_last: bool, lines: "list[str]"
+) -> None:
+    connector = "└─ " if is_last else "├─ "
+    lines.append(prefix + connector + _span_line(node))
+    children = node.get("children") or []
+    child_prefix = prefix + ("   " if is_last else "│  ")
+    for index, child in enumerate(children):
+        _walk(child, child_prefix, index == len(children) - 1, lines)
+
+
+def render_trace(tree: "dict[str, Any]") -> str:
+    """An exported span tree as an indented text diagram."""
+    trace_id = tree.get("trace_id", "?")
+    span_count = tree.get("span_count", "?")
+    roots = tree.get("spans") or []
+    total = None
+    if roots:
+        durations = [r.get("duration_ms") for r in roots]
+        if all(isinstance(d, (int, float)) for d in durations):
+            total = max(durations)
+    header = f"trace {trace_id}  spans={span_count}"
+    if total is not None:
+        header += f"  root={_format_duration(total)}"
+    lines = [header]
+    for index, root in enumerate(roots):
+        _walk(root, "", index == len(roots) - 1, lines)
+    return "\n".join(lines)

@@ -1,0 +1,449 @@
+"""Structured tracing: spans, contextvar propagation, JSON trace trees.
+
+A :class:`Tracer` hands out :class:`Span`\\ s through a context-manager
+API::
+
+    with get_tracer().span("service.search", attributes={"k": 10}) as span:
+        ...
+        span.set_attribute("path", result.diagnostics.path)
+
+The active span rides a :data:`contextvars.ContextVar`, so spans opened
+inside asyncio tasks parent correctly for free.  Thread pools do *not*
+copy context — the serving layer's :class:`~repro.serve.tenants.TenantRuntime`
+wraps executor calls in ``contextvars.copy_context().run(...)`` so the
+chain survives the hop onto a tenant's thread-confined executor.
+
+Two properties matter more than anything else here:
+
+* **Zero cost when disabled.**  The default tracer is
+  :data:`NULL_TRACER`: ``span(...)`` returns one preallocated no-op
+  context manager, no ids are generated, nothing is stored.  The
+  bit-identity and overhead suites pin this.
+* **Fan-in via links.**  The micro-batcher folds N request spans into
+  one engine call.  The batch span is *parented* to the first request
+  and *linked* to every folded request's span context, and
+  :meth:`Tracer.export_trace` follows links both ways — so each of the
+  N requests' ``trace_id``\\ s resolves to a tree that contains the
+  shared batch subtree.
+
+Finished traces are exported when their root span ends: kept in a
+bounded in-memory buffer (for ``export_trace``) and, when the tracer
+has a sink (``repro serve --trace-dir``), written as
+``<trace_id>.json`` span trees.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import os
+import random
+import threading
+import time
+import uuid
+from pathlib import Path
+from typing import Any, Callable
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "json_dir_sink",
+    "set_tracer",
+]
+
+#: How many finished traces the in-memory buffer retains.
+TRACE_RETENTION = 512
+
+_current_span: "contextvars.ContextVar[Span | None]" = contextvars.ContextVar(
+    "repro_current_span", default=None
+)
+
+
+def _new_trace_id() -> str:
+    return uuid.uuid4().hex
+
+
+def _new_span_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+class Span:
+    """One timed operation; a node in a trace tree."""
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "links",
+        "attributes",
+        "events",
+        "start_time",
+        "duration_ms",
+        "status",
+        "status_message",
+        "_start_perf",
+        "_tracer",
+        "_token",
+    )
+
+    recording = True
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: "str | None",
+        links: "tuple[tuple[str, str], ...]",
+        attributes: "dict[str, Any] | None",
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.links = links
+        self.attributes: "dict[str, Any]" = dict(attributes or {})
+        self.events: "list[dict[str, Any]]" = []
+        self.start_time = time.time()
+        self.duration_ms: "float | None" = None
+        self.status = "ok"
+        self.status_message: "str | None" = None
+        self._start_perf = time.perf_counter()
+        self._token: "contextvars.Token | None" = None
+
+    @property
+    def context(self) -> "tuple[str, str]":
+        return (self.trace_id, self.span_id)
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def set_attributes(self, attributes: "dict[str, Any]") -> None:
+        self.attributes.update(attributes)
+
+    def add_event(self, name: str, **attributes: Any) -> None:
+        event: "dict[str, Any]" = {"name": name, "time": time.time()}
+        if attributes:
+            event["attributes"] = attributes
+        self.events.append(event)
+
+    def set_status(self, status: str, message: "str | None" = None) -> None:
+        self.status = status
+        self.status_message = message
+
+    def __enter__(self) -> "Span":
+        self._token = _current_span.set(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc is not None and self.status == "ok":
+            self.set_status("error", f"{exc_type.__name__}: {exc}")
+        if self._token is not None:
+            _current_span.reset(self._token)
+            self._token = None
+        self.duration_ms = (time.perf_counter() - self._start_perf) * 1000.0
+        self._tracer._finish(self)
+
+    def to_dict(self) -> "dict[str, Any]":
+        payload: "dict[str, Any]" = {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_time": self.start_time,
+            "duration_ms": self.duration_ms,
+            "status": self.status,
+        }
+        if self.status_message:
+            payload["status_message"] = self.status_message
+        if self.attributes:
+            payload["attributes"] = dict(self.attributes)
+        if self.events:
+            payload["events"] = list(self.events)
+        if self.links:
+            payload["links"] = [
+                {"trace_id": t, "span_id": s} for t, s in self.links
+            ]
+        return payload
+
+
+class _NullSpan:
+    """The span nothing happens to.  One instance, reused forever."""
+
+    __slots__ = ()
+
+    recording = False
+    name = ""
+    trace_id = None
+    span_id = None
+    parent_id = None
+    links = ()
+    attributes: "dict[str, Any]" = {}
+    events: "list[dict[str, Any]]" = []
+    status = "ok"
+    status_message = None
+    duration_ms = None
+
+    @property
+    def context(self) -> None:
+        return None
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+    def set_attributes(self, attributes: "dict[str, Any]") -> None:
+        pass
+
+    def add_event(self, name: str, **attributes: Any) -> None:
+        pass
+
+    def set_status(self, status: str, message: "str | None" = None) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+    def to_dict(self) -> "dict[str, Any]":
+        return {}
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every ``span()`` is the same no-op object."""
+
+    enabled = False
+
+    def span(self, name: str, **kwargs: Any) -> _NullSpan:
+        return NULL_SPAN
+
+    def current_span(self) -> None:
+        return None
+
+    def export_trace(self, trace_id: str) -> None:
+        return None
+
+    def finished_trace_ids(self) -> "list[str]":
+        return []
+
+
+NULL_TRACER = NullTracer()
+
+_UNSET = object()
+
+
+class Tracer:
+    """Records spans, assembles finished traces, optionally persists them.
+
+    ``sample`` (0..1) decides per *root* span whether the whole trace
+    records; child spans inherit the decision through the contextvar.
+    ``sink`` is called as ``sink(trace_id, tree_dict)`` when a trace
+    completes — see :func:`json_dir_sink`.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        *,
+        sample: float = 1.0,
+        sink: "Callable[[str, dict], None] | None" = None,
+        retention: int = TRACE_RETENTION,
+        _random: "Callable[[], float] | None" = None,
+    ) -> None:
+        if not 0.0 <= sample <= 1.0:
+            raise ValueError(f"sample must be in [0, 1], got {sample}")
+        self.sample = sample
+        self.sink = sink
+        self._retention = retention
+        self._random = _random if _random is not None else random.random
+        self._lock = threading.Lock()
+        # trace_id -> finished spans; roots flush the trace to _finished.
+        self._live: "dict[str, list[Span]]" = {}
+        self._finished: "dict[str, list[Span]]" = {}
+
+    # -- span lifecycle -------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        *,
+        parent: Any = _UNSET,
+        links: "tuple[Any, ...]" = (),
+        attributes: "dict[str, Any] | None" = None,
+    ) -> "Span | _NullSpan":
+        if parent is _UNSET:
+            parent = _current_span.get()
+        if parent is not None and not getattr(parent, "recording", False):
+            parent = None
+        if parent is None:
+            # Root span: this is where the sampling decision is made.
+            if self.sample < 1.0 and self._random() >= self.sample:
+                return NULL_SPAN
+            trace_id = _new_trace_id()
+            parent_id = None
+        else:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        link_contexts = tuple(
+            ctx
+            for ctx in (getattr(l, "context", l) for l in links if l is not None)
+            if ctx is not None
+        )
+        return Span(
+            self,
+            name,
+            trace_id,
+            _new_span_id(),
+            parent_id,
+            link_contexts,
+            attributes,
+        )
+
+    def current_span(self) -> "Span | None":
+        span = _current_span.get()
+        if span is not None and not span.recording:
+            return None
+        return span
+
+    def _finish(self, span: Span) -> None:
+        with self._lock:
+            self._live.setdefault(span.trace_id, []).append(span)
+            if span.parent_id is not None:
+                return
+            spans = self._live.pop(span.trace_id)
+            self._finished[span.trace_id] = spans
+            while len(self._finished) > self._retention:
+                self._finished.pop(next(iter(self._finished)))
+        if self.sink is not None:
+            tree = self.export_trace(span.trace_id)
+            if tree is not None:
+                try:
+                    self.sink(span.trace_id, tree)
+                except OSError:
+                    pass  # tracing must never take a request down
+
+    # -- export ---------------------------------------------------------
+
+    def _all_spans(self) -> "list[Span]":
+        spans: "list[Span]" = []
+        for bucket in self._finished.values():
+            spans.extend(bucket)
+        for bucket in self._live.values():
+            spans.extend(bucket)
+        return spans
+
+    def export_trace(self, trace_id: str) -> "dict[str, Any] | None":
+        """The finished trace as a JSON-ready span tree.
+
+        Includes spans from *other* traces that link into this one
+        (the micro-batcher's fold span and its subtree), so every
+        folded request's trace resolves the shared work.
+        """
+        with self._lock:
+            everything = self._all_spans()
+        own = [s for s in everything if s.trace_id == trace_id]
+        if not own:
+            return None
+        by_id = {s.span_id: s for s in own}
+        # Follow links *into* this trace: foreign spans that link to one
+        # of ours join the tree under the span they link to, along with
+        # their own descendants.
+        foreign_children: "dict[str, list[Span]]" = {}
+        for span in everything:
+            foreign_children.setdefault(span.parent_id or "", []).append(span)
+
+        included = dict(by_id)
+        attach_under: "dict[str, list[Span]]" = {}
+
+        def adopt_descendants(span: Span) -> None:
+            stack = [span]
+            while stack:
+                node = stack.pop()
+                if node.span_id in included:
+                    continue
+                included[node.span_id] = node
+                stack.extend(foreign_children.get(node.span_id, []))
+
+        for span in everything:
+            if span.trace_id == trace_id or not span.links:
+                continue
+            for link_trace, link_span in span.links:
+                if link_trace == trace_id and link_span in by_id:
+                    attach_under.setdefault(link_span, []).append(span)
+                    adopt_descendants(span)
+                    break
+
+        nodes = {
+            s.span_id: {**s.to_dict(), "children": []} for s in included.values()
+        }
+        roots: "list[dict[str, Any]]" = []
+        for span in sorted(included.values(), key=lambda s: s.start_time):
+            node = nodes[span.span_id]
+            parent = None
+            if span.parent_id in nodes and span.trace_id == trace_id:
+                parent = nodes[span.parent_id]
+            elif span.trace_id != trace_id:
+                # Foreign (linked) span: hang it under the local span it
+                # links to, or under its real parent if that was adopted.
+                if span.parent_id in nodes:
+                    parent = nodes[span.parent_id]
+                else:
+                    for link_trace, link_span in span.links:
+                        if link_trace == trace_id and link_span in nodes:
+                            parent = nodes[link_span]
+                            break
+            if parent is not None:
+                parent["children"].append(node)
+            else:
+                roots.append(node)
+        return {
+            "trace_id": trace_id,
+            "span_count": len(included),
+            "spans": roots,
+        }
+
+    def finished_trace_ids(self) -> "list[str]":
+        with self._lock:
+            return list(self._finished)
+
+
+def json_dir_sink(directory: "str | os.PathLike[str]") -> "Callable[[str, dict], None]":
+    """A tracer sink writing each finished trace to ``<dir>/<trace_id>.json``."""
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+
+    def sink(trace_id: str, tree: "dict[str, Any]") -> None:
+        path = root / f"{trace_id}.json"
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(tree, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, path)
+
+    return sink
+
+
+# -- the process-wide tracer -------------------------------------------
+
+_tracer: "Tracer | NullTracer" = NULL_TRACER
+
+
+def get_tracer() -> "Tracer | NullTracer":
+    return _tracer
+
+
+def set_tracer(tracer: "Tracer | NullTracer | None") -> "Tracer | NullTracer":
+    """Install ``tracer`` process-wide; returns the previous one."""
+    global _tracer
+    previous = _tracer
+    _tracer = tracer if tracer is not None else NULL_TRACER
+    return previous

@@ -21,9 +21,12 @@ import pickle
 import sys
 from typing import Sequence
 
+from ..obs.logging import get_logger
 from ..workflow.model import Workflow
 
 __all__ = ["pool_available", "parallel_search_batch", "parallel_pairwise"]
+
+_log = get_logger("repro.perf.parallel")
 
 # Per-process worker state, initialised once per pool worker.
 _WORKER_ENGINE = None
@@ -115,7 +118,10 @@ def parallel_search_batch(
                     results[query_id] = hits
         return results
     except Exception as error:  # pragma: no cover - environment dependent
-        print(f"warning: process pool unavailable ({error}); searching serially", file=sys.stderr)
+        _log.warning(
+            "process pool unavailable; searching serially",
+            extra={"error": str(error)},
+        )
         return None
 
 
@@ -152,5 +158,8 @@ def parallel_pairwise(
                     similarities[(first_id, second_id)] = value
         return similarities
     except Exception as error:  # pragma: no cover - environment dependent
-        print(f"warning: process pool unavailable ({error}); scoring serially", file=sys.stderr)
+        _log.warning(
+            "process pool unavailable; scoring serially",
+            extra={"error": str(error)},
+        )
         return None

@@ -30,6 +30,7 @@ from dataclasses import replace
 from typing import TYPE_CHECKING
 
 from ..api import ExecutionDiagnostics, ResultSet, SearchRequest
+from ..obs.tracing import get_tracer
 
 if TYPE_CHECKING:  # pragma: no cover
     from .metrics import ServingMetrics
@@ -86,7 +87,9 @@ class _Bucket:
 
     def __init__(self, runtime: "TenantRuntime") -> None:
         self.runtime = runtime
-        self.entries: list[tuple[SearchRequest, asyncio.Future]] = []
+        # (request, future, request span) — the span is captured at
+        # submit time, while the submitting task's context is current.
+        self.entries: list = []
         self.timer: asyncio.TimerHandle | None = None
 
 
@@ -115,7 +118,9 @@ class MicroBatcher:
         if bucket is None:
             bucket = self._pending[key] = _Bucket(runtime)
             bucket.timer = loop.call_later(self.window, self._fire, key)
-        bucket.entries.append((request, future))
+        # The batch executes in its own task later; remember this
+        # request's span now so the fold can link back to every parent.
+        bucket.entries.append((request, future, get_tracer().current_span()))
         if len(bucket.entries) >= self.max_requests:
             self._fire(key)
         return await future
@@ -131,15 +136,29 @@ class MicroBatcher:
         task.add_done_callback(self._tasks.discard)
 
     async def _execute(self, bucket: _Bucket) -> None:
-        requests = [request for request, _future in bucket.entries]
+        requests = [request for request, _future, _span in bucket.entries]
         folded = fold_search_requests(requests)
         service = bucket.runtime.service
+        # One batch span fans in the fold: parented to the request that
+        # opened the window, *linked* to every folded request's span, so
+        # each of the N requests' traces resolves this shared subtree.
+        parents = [span for _r, _f, span in bucket.entries if span is not None]
         try:
-            folded_set: ResultSet = await bucket.runtime.run(
-                lambda: service.search(folded)
-            )
+            with get_tracer().span(
+                "batch.fold",
+                parent=parents[0] if parents else None,
+                links=tuple(parents),
+                attributes={
+                    "tenant": bucket.runtime.name,
+                    "folded_requests": len(bucket.entries),
+                },
+            ) as batch_span:
+                folded_set: ResultSet = await bucket.runtime.run(
+                    lambda: service.search(folded)
+                )
+                batch_span.set_attribute("unique_queries", len(folded_set.queries))
         except Exception as error:  # one failure fails the whole fold
-            for _request, future in bucket.entries:
+            for _request, future, _span in bucket.entries:
                 if not future.done():
                     future.set_exception(error)
             return
@@ -148,7 +167,7 @@ class MicroBatcher:
             len(bucket.entries), unique_queries
         )
         by_id = {result.query_id: result for result in folded_set.queries}
-        for request, future in bucket.entries:
+        for request, future, span in bucket.entries:
             if future.done():
                 continue
             if request.queries is None:
@@ -162,20 +181,31 @@ class MicroBatcher:
                     kind="search",
                     queries=per_request,
                     diagnostics=self._request_diagnostics(
-                        folded_set, len(bucket.entries), unique_queries
+                        folded_set,
+                        len(bucket.entries),
+                        unique_queries,
+                        span.trace_id if span is not None else None,
                     ),
                 )
             )
 
     @staticmethod
     def _request_diagnostics(
-        folded_set: ResultSet, fold_size: int, unique_queries: int
+        folded_set: ResultSet,
+        fold_size: int,
+        unique_queries: int,
+        trace_id: "str | None",
     ) -> ExecutionDiagnostics | None:
         if folded_set.diagnostics is None:
             return None
         # Each response gets its own copy (handlers must not share one
         # mutable diagnostics object across requests).
         diagnostics = ExecutionDiagnostics.from_dict(folded_set.diagnostics.to_dict())
+        if trace_id is not None:
+            # The folded execution recorded under the batch's own trace;
+            # each response points at *its request's* trace, which the
+            # batch span links back into.
+            diagnostics.trace_id = trace_id
         if fold_size > 1:
             diagnostics.notes = diagnostics.notes + (
                 f"micro-batched: folded {fold_size} requests "

@@ -44,17 +44,21 @@ class ServeClient:
         method: str,
         path: str,
         payload: "Mapping[str, Any] | None" = None,
+        *,
+        headers: "Mapping[str, str] | None" = None,
     ) -> "tuple[int, dict[str, str], Any]":
         """Returns ``(status, headers, decoded_json_body)``.
 
-        Retries once on a stale keep-alive connection (the server may
-        have closed it between requests); any other failure propagates.
+        ``headers`` adds extra request headers (e.g. a client-chosen
+        ``X-Request-Id`` to correlate retries).  Retries once on a stale
+        keep-alive connection (the server may have closed it between
+        requests); any other failure propagates.
         """
         body = b"" if payload is None else json.dumps(payload).encode("utf-8")
         for attempt in (1, 2):
             await self._ensure_connected()
             try:
-                return await self._round_trip(method, path, body)
+                return await self._round_trip(method, path, body, headers)
             except (
                 ConnectionResetError,
                 BrokenPipeError,
@@ -65,16 +69,23 @@ class ServeClient:
                     raise
 
     async def _round_trip(
-        self, method: str, path: str, body: bytes
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        headers: "Mapping[str, str] | None" = None,
     ) -> "tuple[int, dict[str, str], Any]":
         assert self._reader is not None and self._writer is not None
-        head = (
-            f"{method} {path} HTTP/1.1\r\n"
-            f"Host: {self.host}:{self.port}\r\n"
-            "Content-Type: application/json\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            "Connection: keep-alive\r\n\r\n"
-        )
+        lines = [
+            f"{method} {path} HTTP/1.1",
+            f"Host: {self.host}:{self.port}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            "Connection: keep-alive",
+        ]
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        head = "\r\n".join(lines) + "\r\n\r\n"
         self._writer.write(head.encode("latin-1") + body)
         await self._writer.drain()
         status_line = await self._reader.readline()
@@ -103,10 +114,16 @@ class ServeClient:
             await self.close()
         return status, headers, decoded
 
-    async def get(self, path: str) -> "tuple[int, dict[str, str], Any]":
-        return await self.request("GET", path)
+    async def get(
+        self, path: str, *, headers: "Mapping[str, str] | None" = None
+    ) -> "tuple[int, dict[str, str], Any]":
+        return await self.request("GET", path, headers=headers)
 
     async def post(
-        self, path: str, payload: "Mapping[str, Any] | None" = None
+        self,
+        path: str,
+        payload: "Mapping[str, Any] | None" = None,
+        *,
+        headers: "Mapping[str, str] | None" = None,
     ) -> "tuple[int, dict[str, str], Any]":
-        return await self.request("POST", path, payload)
+        return await self.request("POST", path, payload, headers=headers)

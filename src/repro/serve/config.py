@@ -44,6 +44,12 @@ class ServeConfig:
     before connections are torn down.  ``persist_on_shutdown`` writes
     each open tenant's accumulated pair scores back to its store while
     draining, so the next process warm-starts from this one's work.
+
+    ``trace_sample`` is the fraction of requests that record a trace
+    (``1.0`` traces everything, ``0.0`` disables tracing entirely — the
+    zero-cost no-op tracer).  ``trace_dir``, when set, persists every
+    sampled trace as ``<trace_dir>/<trace_id>.json`` span trees readable
+    with ``repro trace show``.
     """
 
     root: str
@@ -57,6 +63,8 @@ class ServeConfig:
     drain_timeout: float = 10.0
     max_body_bytes: int = 8 * 1024 * 1024
     persist_on_shutdown: bool = False
+    trace_sample: float = 1.0
+    trace_dir: "str | None" = None
 
     def __post_init__(self) -> None:
         if not self.root:
@@ -77,3 +85,7 @@ class ServeConfig:
             raise ValueError("retry_after and drain_timeout must be non-negative")
         if self.max_body_bytes < 1024:
             raise ValueError(f"max_body_bytes too small: {self.max_body_bytes}")
+        if not 0.0 <= self.trace_sample <= 1.0:
+            raise ValueError(
+                f"trace_sample must be in [0, 1], got {self.trace_sample}"
+            )

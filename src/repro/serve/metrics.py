@@ -1,56 +1,119 @@
-"""Per-tenant serving diagnostics.
+"""Per-tenant serving diagnostics over the unified metrics registry.
 
-Every tenant accumulates request counts, status/error tallies, a bounded
-reservoir of end-to-end latencies (percentiles are computed over the
-most recent ``RESERVOIR_SIZE`` requests), micro-batch fold counters and
-the degradation events surfaced by
-:class:`~repro.api.results.ExecutionDiagnostics`.  All counters are
-mutated from the event loop thread only, so no locking is needed; the
-``GET /v1/{tenant}/stats`` endpoint serves :meth:`TenantMetrics.snapshot`
-verbatim.
+Each tenant's counters now live as typed instruments in the
+process-wide :class:`~repro.obs.registry.MetricsRegistry` (what
+``GET /metrics`` renders in Prometheus text format), labelled by
+tenant.  :class:`TenantMetrics` is the per-server *view* over those
+instruments: it captures a baseline of the instrument values when the
+tenant is first seen by this server and reports deltas, so the
+``GET /v1/{tenant}/stats`` payload stays byte-compatible with the
+pre-registry implementation even though the underlying counters
+accumulate process-wide (e.g. across multiple servers in one test
+process).  Latency percentiles keep a private per-server
+:class:`~repro.obs.histogram.Reservoir` — the stats payload's
+p50/p99/mean are over *this server's* recent requests, never another
+instance's — while every observation is also fed to the shared
+``repro_request_latency_seconds`` summary.
+
+All mutation happens on the event loop thread; the registry's own lock
+covers the cross-thread ``/metrics`` render.
 """
 
 from __future__ import annotations
 
-import math
 import time
-from collections import Counter, deque
+from collections import Counter as TallyCounter
 from typing import Any, Callable
 
-__all__ = ["TenantMetrics", "ServingMetrics", "percentile"]
+from repro.obs.histogram import RESERVOIR_SIZE, Reservoir, percentile
+from repro.obs.registry import MetricsRegistry, get_registry
 
-#: How many recent latencies back the percentile estimates.
-RESERVOIR_SIZE = 4096
-
-
-def percentile(samples: "list[float]", fraction: float) -> float | None:
-    """The ``fraction`` (0..1) percentile of ``samples`` (nearest-rank)."""
-    if not samples:
-        return None
-    ordered = sorted(samples)
-    rank = max(1, math.ceil(fraction * len(ordered)))
-    return ordered[rank - 1]
+__all__ = ["TenantMetrics", "ServingMetrics", "percentile", "RESERVOIR_SIZE"]
 
 
 class TenantMetrics:
-    """Counters of one tenant's serving history."""
+    """One server's view of one tenant's serving instruments."""
 
-    def __init__(self, name: str, *, clock: Callable[[], float] = time.monotonic) -> None:
+    def __init__(
+        self,
+        name: str,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        registry: "MetricsRegistry | None" = None,
+    ) -> None:
         self.name = name
         self._clock = clock
         self.started = clock()
         self.first_request: float | None = None
         self.last_request: float | None = None
-        self.requests: Counter = Counter()  # per operation
-        self.statuses: Counter = Counter()  # per HTTP status
-        self.errors = 0  # 5xx answers
-        self.rejections = 0  # 429 answers
-        self.degraded_requests = 0  # responses whose diagnostics were degraded
-        self.batches = 0  # engine batches the micro-batcher executed
-        self.folded_requests = 0  # requests those batches folded together
-        self.batched_queries = 0  # unique queries across those batches
-        self.max_fold = 0  # largest single fold
-        self.latencies: deque = deque(maxlen=RESERVOIR_SIZE)
+        self.max_fold = 0  # largest single fold seen by this server
+        self.latencies = Reservoir(RESERVOIR_SIZE)
+
+        registry = registry if registry is not None else get_registry()
+        self._requests = registry.counter(
+            "repro_requests_total",
+            "Requests served, by tenant and operation.",
+            labels=("tenant", "operation"),
+        )
+        self._responses = registry.counter(
+            "repro_responses_total",
+            "Responses sent, by tenant and HTTP status.",
+            labels=("tenant", "status"),
+        )
+        self._errors = registry.counter(
+            "repro_errors_total", "5xx responses, by tenant.", labels=("tenant",)
+        )
+        self._rejections = registry.counter(
+            "repro_rejections_total",
+            "429 admission rejections, by tenant.",
+            labels=("tenant",),
+        )
+        self._degraded = registry.counter(
+            "repro_degraded_requests_total",
+            "Responses whose diagnostics reported degradation, by tenant.",
+            labels=("tenant",),
+        )
+        self._latency = registry.summary(
+            "repro_request_latency_seconds",
+            "End-to-end request latency in seconds, by tenant.",
+            labels=("tenant",),
+        )
+        self._batches = registry.counter(
+            "repro_batches_total",
+            "Engine batches the micro-batcher executed, by tenant.",
+            labels=("tenant",),
+        )
+        self._folded = registry.counter(
+            "repro_batch_folded_requests_total",
+            "Requests folded into engine batches, by tenant.",
+            labels=("tenant",),
+        )
+        self._batched_queries = registry.counter(
+            "repro_batch_unique_queries_total",
+            "Unique queries across engine batches, by tenant.",
+            labels=("tenant",),
+        )
+        self._fold_size = registry.summary(
+            "repro_batch_fold_size",
+            "Requests folded per engine batch, by tenant.",
+            labels=("tenant",),
+        )
+        # Everything above accumulates process-wide; this server's stats
+        # report deltas against the values at construction time.
+        self._baseline: "dict[tuple[str, tuple[str, ...]], float]" = {}
+        for instrument in (
+            self._requests,
+            self._responses,
+            self._errors,
+            self._rejections,
+            self._degraded,
+            self._batches,
+            self._folded,
+            self._batched_queries,
+        ):
+            for key, value in instrument.samples():
+                if key and key[0] == self.name and value:
+                    self._baseline[(instrument.name, key)] = value
 
     # -- recording -----------------------------------------------------------
 
@@ -59,30 +122,85 @@ class TenantMetrics:
         if self.first_request is None:
             self.first_request = now
         self.last_request = now
-        self.requests[operation] += 1
-        self.statuses[status] += 1
+        self._requests.inc(tenant=self.name, operation=operation)
+        self._responses.inc(tenant=self.name, status=str(status))
         if status >= 500:
-            self.errors += 1
+            self._errors.inc(tenant=self.name)
         if status == 429:
-            self.rejections += 1
+            self._rejections.inc(tenant=self.name)
         if degraded:
-            self.degraded_requests += 1
-        self.latencies.append(seconds)
+            self._degraded.inc(tenant=self.name)
+        self.latencies.observe(seconds)
+        self._latency.observe(seconds, tenant=self.name)
 
     def record_batch(self, folded_requests: int, unique_queries: int) -> None:
-        self.batches += 1
-        self.folded_requests += folded_requests
-        self.batched_queries += unique_queries
+        self._batches.inc(tenant=self.name)
+        self._folded.inc(folded_requests, tenant=self.name)
+        self._batched_queries.inc(unique_queries, tenant=self.name)
+        self._fold_size.observe(folded_requests, tenant=self.name)
         self.max_fold = max(self.max_fold, folded_requests)
+
+    # -- instrument views ----------------------------------------------------
+
+    def _delta(self, counter, **labels: Any) -> int:
+        key = tuple(str(labels[name]) for name in counter.label_names)
+        return int(counter.value(**labels) - self._baseline.get((counter.name, key), 0.0))
+
+    def _delta_map(self, counter) -> "dict[str, int]":
+        deltas: "dict[str, int]" = {}
+        for key, value in counter.samples():
+            if not key or key[0] != self.name:
+                continue
+            delta = value - self._baseline.get((counter.name, key), 0.0)
+            if delta:
+                deltas[key[1]] = int(delta)
+        return deltas
+
+    @property
+    def requests(self) -> TallyCounter:
+        """Requests per operation (this server)."""
+        return TallyCounter(self._delta_map(self._requests))
+
+    @property
+    def statuses(self) -> TallyCounter:
+        """Responses per HTTP status code (this server)."""
+        return TallyCounter(
+            {int(status): count for status, count in self._delta_map(self._responses).items()}
+        )
+
+    @property
+    def errors(self) -> int:
+        return self._delta(self._errors, tenant=self.name)
+
+    @property
+    def rejections(self) -> int:
+        return self._delta(self._rejections, tenant=self.name)
+
+    @property
+    def degraded_requests(self) -> int:
+        return self._delta(self._degraded, tenant=self.name)
+
+    @property
+    def batches(self) -> int:
+        return self._delta(self._batches, tenant=self.name)
+
+    @property
+    def folded_requests(self) -> int:
+        return self._delta(self._folded, tenant=self.name)
+
+    @property
+    def batched_queries(self) -> int:
+        return self._delta(self._batched_queries, tenant=self.name)
 
     # -- derived -------------------------------------------------------------
 
     @property
     def fold_factor(self) -> float | None:
         """Mean requests folded per engine batch (``None`` before any batch)."""
-        if not self.batches:
+        batches = self.batches
+        if not batches:
             return None
-        return self.folded_requests / self.batches
+        return self.folded_requests / batches
 
     def qps(self) -> float:
         """Requests per second over the tenant's active window."""
@@ -93,7 +211,7 @@ class TenantMetrics:
         return total / elapsed
 
     def snapshot(self) -> dict[str, Any]:
-        samples = list(self.latencies)
+        samples = self.latencies.values()
         return {
             "tenant": self.name,
             "uptime_seconds": self._clock() - self.started,
@@ -126,14 +244,22 @@ def _ms(seconds: float | None) -> float | None:
 class ServingMetrics:
     """The registry of every tenant's :class:`TenantMetrics`."""
 
-    def __init__(self, *, clock: Callable[[], float] = time.monotonic) -> None:
+    def __init__(
+        self,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        registry: "MetricsRegistry | None" = None,
+    ) -> None:
         self._clock = clock
+        self._registry = registry if registry is not None else get_registry()
         self._tenants: dict[str, TenantMetrics] = {}
 
     def tenant(self, name: str) -> TenantMetrics:
         metrics = self._tenants.get(name)
         if metrics is None:
-            metrics = self._tenants[name] = TenantMetrics(name, clock=self._clock)
+            metrics = self._tenants[name] = TenantMetrics(
+                name, clock=self._clock, registry=self._registry
+            )
         return metrics
 
     def known(self, name: str) -> bool:

@@ -38,6 +38,7 @@ import contextlib
 import json
 import signal
 import time
+import uuid
 from dataclasses import replace
 from functools import partial
 from typing import Any, Mapping
@@ -48,6 +49,9 @@ from ..api import (
     ResultSet,
     SearchRequest,
 )
+from ..obs.logging import console
+from ..obs.registry import get_registry
+from ..obs.tracing import NULL_TRACER, Tracer, get_tracer, json_dir_sink, set_tracer
 from ..store import StoreCorruptionError
 from ..store.layout import validate_tenant_name
 from .admission import AdmissionController
@@ -76,6 +80,16 @@ class _HttpError(Exception):
     def __init__(self, status: int, message: str) -> None:
         super().__init__(message)
         self.status = status
+
+
+class _TextPayload:
+    """A non-JSON response body (the Prometheus exposition page)."""
+
+    __slots__ = ("text", "content_type")
+
+    def __init__(self, text: str, content_type: str) -> None:
+        self.text = text
+        self.content_type = content_type
 
 
 async def _read_request(
@@ -112,15 +126,20 @@ async def _read_request(
 def _write_response(
     writer: asyncio.StreamWriter,
     status: int,
-    payload: "Mapping[str, Any] | None",
+    payload: "Mapping[str, Any] | _TextPayload | None",
     *,
     keep_alive: bool,
     extra_headers: "Mapping[str, str] | None" = None,
 ) -> None:
-    body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+    if isinstance(payload, _TextPayload):
+        body = payload.text.encode("utf-8")
+        content_type = payload.content_type
+    else:
+        body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+        content_type = "application/json"
     lines = [
         f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}",
-        "Content-Type: application/json",
+        f"Content-Type: {content_type}",
         f"Content-Length: {len(body)}",
         f"Connection: {'keep-alive' if keep_alive else 'close'}",
     ]
@@ -150,6 +169,18 @@ class SimilarityServer:
         self._stopped = False
         self._connections: set[asyncio.Task] = set()
         self._writers: set[asyncio.StreamWriter] = set()
+        # Tracing: sample > 0 installs a recording tracer for the
+        # server's lifetime (restored on stop); sample == 0 leaves the
+        # zero-cost null tracer in place.
+        self.tracer = (
+            Tracer(
+                sample=config.trace_sample,
+                sink=json_dir_sink(config.trace_dir) if config.trace_dir else None,
+            )
+            if config.trace_sample > 0
+            else NULL_TRACER
+        )
+        self._previous_tracer = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -161,6 +192,7 @@ class SimilarityServer:
         return self.config.port
 
     async def start(self) -> None:
+        self._previous_tracer = set_tracer(self.tracer)
         self._server = await asyncio.start_server(
             self._handle_connection, host=self.config.host, port=self.config.port
         )
@@ -188,6 +220,9 @@ class SimilarityServer:
         for task in list(self._connections):
             task.cancel()
         await self.tenants.close_all(persist=self.config.persist_on_shutdown)
+        if self._previous_tracer is not None:
+            set_tracer(self._previous_tracer)
+            self._previous_tracer = None
         self._stopped = True
 
     # -- connection handling -------------------------------------------------
@@ -204,21 +239,54 @@ class SimilarityServer:
                 try:
                     request = await _read_request(reader, self.config.max_body_bytes)
                 except _HttpError as error:
+                    # Even protocol-level failures are correlatable.
+                    request_id = uuid.uuid4().hex[:16]
                     _write_response(
-                        writer, error.status, {"error": str(error)}, keep_alive=False
+                        writer,
+                        error.status,
+                        {"error": str(error), "request_id": request_id},
+                        keep_alive=False,
+                        extra_headers={"X-Request-Id": request_id},
                     )
                     await writer.drain()
                     break
                 if request is None:
                     break
                 method, target, headers, body = request
-                status, payload, extra = await self._dispatch(method, target, body)
+                request_id = headers.get("x-request-id") or uuid.uuid4().hex[:16]
+                with self.tracer.span(
+                    "serve.request",
+                    parent=None,
+                    attributes={
+                        "method": method,
+                        "target": target,
+                        "request_id": request_id,
+                    },
+                ) as span:
+                    status, payload, extra = await self._dispatch(method, target, body)
+                    span.set_attribute("status", status)
+                    if status >= 500:
+                        span.set_status("error", f"HTTP {status}")
+                response_headers = dict(extra or {})
+                response_headers["X-Request-Id"] = request_id
+                if span.recording:
+                    response_headers["X-Trace-Id"] = span.trace_id
+                if (
+                    isinstance(payload, dict)
+                    and "error" in payload
+                    and "request_id" not in payload
+                ):
+                    payload = {**payload, "request_id": request_id}
                 keep_alive = (
                     headers.get("connection", "").lower() != "close"
                     and not self._closing
                 )
                 _write_response(
-                    writer, status, payload, keep_alive=keep_alive, extra_headers=extra
+                    writer,
+                    status,
+                    payload,
+                    keep_alive=keep_alive,
+                    extra_headers=response_headers,
                 )
                 await writer.drain()
                 if not keep_alive:
@@ -243,6 +311,11 @@ class SimilarityServer:
             if method != "GET":
                 return 405, {"error": "healthz is GET-only"}, None
             return 200, self._healthz(), None
+        if path == "/metrics":
+            if method != "GET":
+                return 405, {"error": "metrics is GET-only"}, None
+            page = get_registry().render_prometheus()
+            return 200, _TextPayload(page, "text/plain; version=0.0.4"), None
         segments = [segment for segment in path.split("/") if segment]
         if len(segments) >= 3 and segments[0] == "v1":
             tenant, operation = segments[1], "/".join(segments[2:])
@@ -293,6 +366,9 @@ class SimilarityServer:
     ) -> "tuple[int, dict[str, Any] | None, dict[str, str] | None]":
         metrics = self.metrics.tenant(tenant)
         operation_label = operation.replace("/", "_")
+        span = get_tracer().current_span()
+        if span is not None:
+            span.set_attributes({"tenant": tenant, "operation": operation_label})
         started = time.perf_counter()
         if self._closing:
             status, payload, extra = 503, {"error": "server is draining"}, None
@@ -401,11 +477,13 @@ async def _serve_until_signal(config: ServeConfig) -> int:
     server = SimilarityServer(config)
     await server.start()
     tenants = server.tenants.discover()
-    print(
+    console(
         f"serving {len(tenants)} tenant(s) {tenants} from {config.root} "
         f"on http://{config.host}:{server.port} "
         f"(window {config.batch_window * 1000:.0f}ms, "
-        f"max in-flight {config.max_inflight}/tenant)"
+        f"max in-flight {config.max_inflight}/tenant"
+        + (f", traces -> {config.trace_dir}" if config.trace_dir else "")
+        + ")"
     )
     stop_event = asyncio.Event()
     loop = asyncio.get_running_loop()
@@ -417,7 +495,7 @@ async def _serve_until_signal(config: ServeConfig) -> int:
     try:
         await stop_event.wait()
     finally:
-        print("draining in-flight work ...")
+        console("draining in-flight work ...")
         await server.stop()
     return 0
 
@@ -434,14 +512,14 @@ async def _check(config: ServeConfig) -> int:
     try:
         await server.start()
     except OSError as error:
-        print(f"serve check FAILED: cannot bind {config.host}:{config.port}: {error}")
+        console(f"serve check FAILED: cannot bind {config.host}:{config.port}: {error}")
         return 1
     port = server.port  # resolved now; stop() releases the socket
     client = ServeClient(config.host, port)
     try:
         status, _headers, payload = await client.get("/healthz")
     except Exception as error:
-        print(f"serve check FAILED: /healthz probe raised {type(error).__name__}: {error}")
+        console(f"serve check FAILED: /healthz probe raised {type(error).__name__}: {error}")
         await server.stop(drain=False)
         return 1
     finally:
@@ -449,12 +527,12 @@ async def _check(config: ServeConfig) -> int:
     await server.stop(drain=False)
     healthy = status == 200 and isinstance(payload, dict) and payload.get("status") == "ok"
     if healthy:
-        print(
+        console(
             f"serve check OK: bound {config.host}:{port}, /healthz answered, "
             f"{len(payload.get('tenants_on_disk', []))} tenant(s) on disk"
         )
         return 0
-    print(f"serve check FAILED: /healthz answered {status}: {payload}")
+    console(f"serve check FAILED: /healthz answered {status}: {payload}")
     return 1
 
 

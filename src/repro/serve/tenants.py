@@ -31,6 +31,7 @@ correctness).
 from __future__ import annotations
 
 import asyncio
+import contextvars
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from functools import partial
@@ -38,6 +39,8 @@ from pathlib import Path
 from typing import Any, Callable
 
 from ..api import SimilarityService
+from ..obs.registry import get_registry
+from ..obs.tracing import get_tracer
 from ..store import StoreCorruptionError, tenant_cache_dir, tenant_store_exists
 from ..store.layout import discover_tenants, validate_tenant_name
 
@@ -70,9 +73,16 @@ class TenantRuntime:
 
     async def run(self, fn: Callable[[], Any]) -> Any:
         """Run ``fn`` on this tenant's worker thread (the only thread
-        allowed to touch the service)."""
+        allowed to touch the service).
+
+        ``run_in_executor`` does not carry :mod:`contextvars` across the
+        thread hop, so the call runs inside a copy of the submitting
+        context — the active trace span follows the request onto the
+        worker thread and spans opened there parent correctly.
+        """
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(self.executor, fn)
+        context = contextvars.copy_context()
+        return await loop.run_in_executor(self.executor, partial(context.run, fn))
 
 
 class TenantManager:
@@ -87,6 +97,13 @@ class TenantManager:
         #: in flight).  The server wires this to its admission counters.
         self.is_idle: Callable[[str], bool] = lambda name: True
         self.evictions = 0
+        registry = get_registry()
+        self._open_gauge = registry.gauge(
+            "repro_tenants_open", "Tenant services currently open in this process."
+        )
+        self._evictions_counter = registry.counter(
+            "repro_tenant_evictions_total", "LRU evictions of idle tenant services."
+        )
 
     # -- introspection -------------------------------------------------------
 
@@ -123,6 +140,7 @@ class TenantManager:
                 )
             runtime = await self._open(name)
             self._runtimes[name] = runtime
+            self._open_gauge.set(len(self._runtimes))
             await self._evict_over_bound()
             return runtime
 
@@ -134,8 +152,14 @@ class TenantManager:
         )
         try:
             # Opened *on the worker thread* so the store's SQLite
-            # connection lives where every later request runs.
-            service = await loop.run_in_executor(executor, opener)
+            # connection lives where every later request runs — inside a
+            # copied context, so the triggering request's trace captures
+            # the open (store verification, warm loads) as its own span.
+            with get_tracer().span("tenant.open", attributes={"tenant": name}):
+                context = contextvars.copy_context()
+                service = await loop.run_in_executor(
+                    executor, partial(context.run, opener)
+                )
         except StoreCorruptionError as error:
             executor.shutdown(wait=False)
             raise TenantUnavailableError(
@@ -157,6 +181,7 @@ class TenantManager:
                 continue
             await self.close_tenant(name)
             self.evictions += 1
+            self._evictions_counter.inc()
             excess -= 1
 
     async def close_tenant(self, name: str, *, persist: bool = False) -> None:
@@ -179,6 +204,7 @@ class TenantManager:
             await runtime.run(_close)
         finally:
             runtime.executor.shutdown(wait=True)
+            self._open_gauge.set(len(self._runtimes))
 
     async def close_all(self, *, persist: bool = False) -> None:
         for name in list(self._runtimes):

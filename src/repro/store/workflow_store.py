@@ -61,6 +61,8 @@ import struct
 from pathlib import Path
 from typing import Callable, Iterable, TypeVar
 
+from ..obs.registry import get_registry
+from ..obs.tracing import get_tracer
 from ..perf.bounds import LabelBagIndex, workflow_label_bag
 from ..repository.repository import WorkflowRepository
 from ..workflow.serialization import workflow_from_dict, workflow_to_dict
@@ -71,6 +73,13 @@ __all__ = ["WorkflowStore", "corpus_fingerprint"]
 
 SCHEMA_VERSION = 1
 STORE_FILENAME = "repro_store.sqlite"
+
+
+def _RETRIES_COUNTER():
+    return get_registry().counter(
+        "repro_store_retries_total",
+        "Transient 'database is locked' retries across every store.",
+    )
 
 #: Deterministic full-table scans backing the per-table checksums.
 _CHECKSUM_QUERIES = {
@@ -140,6 +149,9 @@ class WorkflowStore:
         #: Optional :class:`~repro.store.faults.FaultInjector` — fired at
         #: the ``"commit"`` and ``"load"`` seams; ``None`` in production.
         self.fault_injector = None
+        # Registered at construction so the family shows up (at zero) on
+        # a /metrics scrape even before any contention happens.
+        self._retries_counter = _RETRIES_COUNTER()
         self._connection: sqlite3.Connection | None = sqlite3.connect(str(self.path))
         try:
             self._apply_pragmas(busy_timeout_ms)
@@ -264,6 +276,10 @@ class WorkflowStore:
         exception rolls back in a ``finally`` and propagates, so a
         failed persist can never leave the transaction (and the file
         lock it holds) open behind it.
+
+        Each call is one ``store.transaction`` span (lock retries are
+        recorded as events on it) and every retry increments the
+        process-wide ``repro_store_retries_total`` counter.
         """
 
         def attempt() -> T:
@@ -285,10 +301,21 @@ class WorkflowStore:
                     except sqlite3.Error:
                         pass
 
-        def count_retry(_attempt: int, _error: BaseException) -> None:
-            self.retry_count += 1
+        with get_tracer().span(
+            "store.transaction",
+            attributes={"operation": getattr(operation, "__name__", "write")},
+        ) as span:
 
-        result, _retries = run_with_retry(attempt, self.retry, on_retry=count_retry)
+            def count_retry(attempt_number: int, error: BaseException) -> None:
+                self.retry_count += 1
+                self._retries_counter.inc()
+                span.add_event(
+                    "lock_retry", attempt=attempt_number, error=str(error)
+                )
+
+            result, retries = run_with_retry(attempt, self.retry, on_retry=count_retry)
+            if retries:
+                span.set_attribute("retries", retries)
         return result
 
     def _refresh_checksum(self, cursor: sqlite3.Cursor, table: str) -> None:

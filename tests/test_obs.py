@@ -1,0 +1,402 @@
+"""Unit tests of the observability package (:mod:`repro.obs`).
+
+Covers the three layers on their own, away from the serving stack:
+
+* the metrics registry — instrument semantics, label handling,
+  get-or-create identity, kind/label conflicts, Prometheus text
+  exposition;
+* the tracer — contextvar parenting across tasks and threads, sampling,
+  link fan-in export (the micro-batcher's shape), sink persistence,
+  and the zero-cost disabled path (``NULL_TRACER`` identity);
+* logging/rendering — JSON log lines, ``console()`` capsys
+  compatibility, the ``trace show`` tree renderer.
+
+Plus the repo-wide hygiene gate: no ``print()`` call anywhere under
+``src/repro/`` (all output goes through :mod:`repro.obs`).
+"""
+
+from __future__ import annotations
+
+import ast
+import asyncio
+import contextvars
+import json
+from concurrent.futures import ThreadPoolExecutor
+from functools import partial
+from pathlib import Path
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    RESERVOIR_SIZE,
+    MetricsRegistry,
+    Reservoir,
+    Tracer,
+    console,
+    get_logger,
+    get_tracer,
+    json_dir_sink,
+    log_event,
+    percentile,
+    render_trace,
+    set_tracer,
+)
+from repro.obs.tracing import NULL_SPAN
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+# -- histogram ---------------------------------------------------------------
+
+
+class TestHistogram:
+    def test_percentile_nearest_rank(self):
+        samples = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(samples, 0.50) == 20.0
+        assert percentile(samples, 0.99) == 40.0
+        assert percentile(samples, 0.25) == 10.0
+        assert percentile([], 0.5) is None
+        assert percentile([7.0], 0.5) == 7.0
+
+    def test_reservoir_bounds_samples_but_counts_everything(self):
+        reservoir = Reservoir(4)
+        for value in range(10):
+            reservoir.observe(float(value))
+        assert len(reservoir) == 4
+        assert reservoir.count == 10
+        assert reservoir.total == sum(range(10))
+        # The bounded window keeps the newest observations.
+        assert sorted(reservoir.values()) == [6.0, 7.0, 8.0, 9.0]
+
+    def test_default_size_matches_serving_layer(self):
+        assert len(Reservoir().samples.maxlen and []) == 0  # smoke the deque
+        assert Reservoir().samples.maxlen == RESERVOIR_SIZE
+
+    def test_serve_metrics_reexports_for_backward_compat(self):
+        from repro.serve import metrics
+
+        assert metrics.percentile is percentile
+        assert metrics.RESERVOIR_SIZE == RESERVOIR_SIZE
+
+
+# -- metrics registry --------------------------------------------------------
+
+
+class TestRegistry:
+    def test_counter_labels_and_value(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x_total", "help", labels=("tenant",))
+        counter.inc(tenant="alpha")
+        counter.inc(2, tenant="alpha")
+        counter.inc(tenant="beta")
+        assert counter.value(tenant="alpha") == 3
+        assert counter.value(tenant="beta") == 1
+        assert counter.value(tenant="ghost") == 0
+
+    def test_counter_rejects_negative_and_wrong_labels(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x_total", labels=("tenant",))
+        with pytest.raises(ValueError):
+            counter.inc(-1, tenant="alpha")
+        with pytest.raises(ValueError):
+            counter.inc(nope="alpha")
+        with pytest.raises(ValueError):
+            counter.inc()
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x_total", "helpful")
+        second = registry.counter("x_total")
+        assert first is second
+        assert second.help == "helpful"
+
+    def test_kind_and_label_conflicts_raise(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", labels=("a",))
+        with pytest.raises(ValueError):
+            registry.gauge("x_total", labels=("a",))
+        with pytest.raises(ValueError):
+            registry.counter("x_total", labels=("b",))
+
+    def test_invalid_metric_names_raise(self):
+        registry = MetricsRegistry()
+        for bad in ("", "1x", "a-b", "a b", "a{b}"):
+            with pytest.raises(ValueError):
+                registry.counter(bad)
+
+    def test_gauge_set_inc_dec(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("open")
+        gauge.set(3)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value() == 2
+
+    def test_summary_quantiles_count_sum(self):
+        registry = MetricsRegistry()
+        summary = registry.summary("lat", labels=("op",))
+        for value in (1.0, 2.0, 3.0, 4.0):
+            summary.observe(value, op="search")
+        assert summary.count(op="search") == 4
+        assert summary.total(op="search") == 10.0
+        assert summary.quantile(0.5, op="search") == 2.0
+        assert summary.count(op="other") == 0
+        assert summary.quantile(0.5, op="other") is None
+
+    def test_prometheus_exposition_format(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total", "b help", labels=("tenant",)).inc(
+            tenant='al"pha'
+        )
+        registry.gauge("a_open").set(2)
+        summary = registry.summary("lat_seconds", "latency")
+        summary.observe(0.25)
+        page = registry.render_prometheus()
+        lines = page.splitlines()
+        # Families sorted by name, HELP before TYPE before samples.
+        assert lines[0] == "# TYPE a_open gauge"
+        assert lines[1] == "a_open 2"
+        assert lines[2] == "# HELP b_total b help"
+        assert lines[3] == "# TYPE b_total counter"
+        assert lines[4] == 'b_total{tenant="al\\"pha"} 1'
+        assert "# TYPE lat_seconds summary" in lines
+        assert 'lat_seconds{quantile="0.5"} 0.25' in lines
+        assert "lat_seconds_count 1" in lines
+        assert "lat_seconds_sum 0.25" in lines
+        assert page.endswith("\n")
+
+
+# -- tracer ------------------------------------------------------------------
+
+
+@pytest.fixture()
+def tracer():
+    return Tracer()
+
+
+class TestTracer:
+    def test_contextvar_parenting(self, tracer):
+        with tracer.span("outer") as outer:
+            assert tracer.current_span() is outer
+            with tracer.span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+        assert tracer.current_span() is None
+
+    def test_parenting_survives_thread_hop_with_copied_context(self, tracer):
+        def child_span_ids():
+            with tracer.span("worker") as span:
+                return span.trace_id, span.parent_id
+
+        with ThreadPoolExecutor(max_workers=1) as executor:
+            with tracer.span("root") as root:
+                context = contextvars.copy_context()
+                trace_id, parent_id = executor.submit(
+                    partial(context.run, child_span_ids)
+                ).result()
+        assert trace_id == root.trace_id
+        assert parent_id == root.span_id
+
+    def test_asyncio_tasks_parent_for_free(self, tracer):
+        async def main():
+            with tracer.span("root") as root:
+
+                async def child():
+                    with tracer.span("task") as span:
+                        return span.parent_id
+
+                return root.span_id, await asyncio.create_task(child())
+
+        root_id, parent_id = asyncio.run(main())
+        assert parent_id == root_id
+
+    def test_exception_marks_error_status(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("kapow")
+        trace_id = tracer.finished_trace_ids()[0]
+        tree = tracer.export_trace(trace_id)
+        assert tree["spans"][0]["status"] == "error"
+        assert "kapow" in tree["spans"][0]["status_message"]
+
+    def test_export_tree_nests_children(self, tracer):
+        with tracer.span("root") as root:
+            with tracer.span("child"):
+                with tracer.span("grandchild"):
+                    pass
+        tree = tracer.export_trace(root.trace_id)
+        assert tree["span_count"] == 3
+        assert [node["name"] for node in tree["spans"]] == ["root"]
+        child = tree["spans"][0]["children"][0]
+        assert child["name"] == "child"
+        assert child["children"][0]["name"] == "grandchild"
+
+    def test_link_fan_in_export(self, tracer):
+        """The micro-batcher's shape: one batch span linked to N request
+        spans from N different traces resolves in *every* request's tree."""
+        requests = []
+        for index in range(3):
+            with tracer.span(f"request-{index}") as span:
+                requests.append(span)
+                if index == 0:
+                    first = span
+        with tracer.span(
+            "batch", parent=first, links=tuple(requests)
+        ) as batch:
+            with tracer.span("engine", parent=batch):
+                pass
+        trace_ids = {span.trace_id for span in requests}
+        assert len(trace_ids) == 3  # three distinct root traces
+        for span in requests:
+            tree = tracer.export_trace(span.trace_id)
+            flat = json.dumps(tree)
+            assert f"request-{requests.index(span)}" in flat
+            assert '"batch"' in flat
+            assert '"engine"' in flat  # linked subtree came along
+
+    def test_sampling_zero_records_nothing(self):
+        tracer = Tracer(sample=0.5, _random=lambda: 0.99)
+        span = tracer.span("root")
+        assert span is NULL_SPAN
+        assert not span.recording
+        # Children of a non-recording parent start fresh traces only if
+        # sampled themselves; with the same roll they stay null.
+        with span:
+            assert tracer.current_span() is None
+
+    def test_sampling_one_always_records(self):
+        tracer = Tracer(sample=1.0, _random=lambda: 0.999999)
+        with tracer.span("root") as span:
+            assert span.recording
+
+    def test_sink_receives_finished_trace(self, tmp_path):
+        tracer = Tracer(sink=json_dir_sink(tmp_path))
+        with tracer.span("root") as root:
+            with tracer.span("child"):
+                pass
+        exported = json.loads((tmp_path / f"{root.trace_id}.json").read_text())
+        assert exported["trace_id"] == root.trace_id
+        assert exported["span_count"] == 2
+
+    def test_retention_bound(self):
+        tracer = Tracer(retention=2)
+        ids = []
+        for index in range(4):
+            with tracer.span(f"root-{index}") as span:
+                ids.append(span.trace_id)
+        assert tracer.finished_trace_ids() == ids[-2:]
+        assert tracer.export_trace(ids[0]) is None
+
+    def test_null_tracer_is_free_and_pinned(self):
+        assert NULL_TRACER.span("anything") is NULL_SPAN
+        assert NULL_TRACER.span("other", attributes={"k": 1}) is NULL_SPAN
+        assert NULL_TRACER.current_span() is None
+        assert NULL_TRACER.export_trace("x") is None
+        with NULL_SPAN as span:
+            span.set_attribute("k", 1)
+            span.add_event("e")
+            span.set_status("error")
+        assert NULL_SPAN.attributes == {}
+        assert NULL_SPAN.status == "ok"
+
+    def test_set_tracer_roundtrip(self, tracer):
+        previous = set_tracer(tracer)
+        try:
+            assert get_tracer() is tracer
+        finally:
+            set_tracer(previous)
+        assert get_tracer() is previous
+
+
+# -- logging + console -------------------------------------------------------
+
+
+class TestLogging:
+    def test_log_event_emits_one_json_line(self, capsys):
+        logger = get_logger("test.obs")
+        log_event(logger, "pool unavailable", level=30, error="boom")
+        line = capsys.readouterr().err.strip()
+        payload = json.loads(line)
+        assert payload["event"] == "pool unavailable"
+        assert payload["level"] == "warning"
+        assert payload["logger"] == "repro.test.obs"
+        assert payload["error"] == "boom"
+
+    def test_console_writes_through_current_stdout(self, capsys):
+        console("hello", 42)
+        console("oops", err=True)
+        captured = capsys.readouterr()
+        assert captured.out == "hello 42\n"
+        assert captured.err == "oops\n"
+
+
+# -- trace rendering ---------------------------------------------------------
+
+
+class TestRender:
+    def test_render_trace_tree(self):
+        tracer = Tracer()
+        with tracer.span("serve.request", attributes={"tenant": "alpha"}) as root:
+            with tracer.span("service.search", attributes={"path": "pruned"}):
+                pass
+        text = render_trace(tracer.export_trace(root.trace_id))
+        lines = text.splitlines()
+        assert lines[0].startswith(f"trace {root.trace_id}  spans=2  root=")
+        assert "serve.request" in lines[1]
+        assert "tenant=alpha" in lines[1]
+        assert "└─ " in lines[2]
+        assert "path=pruned" in lines[2]
+
+    def test_render_marks_error_status(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("fail") as root:
+                raise ValueError("nope")
+        text = render_trace(tracer.export_trace(root.trace_id))
+        assert "!error(ValueError: nope)" in text
+
+    def test_cli_trace_show(self, tmp_path, capsys):
+        from repro.cli import main
+
+        tracer = Tracer(sink=json_dir_sink(tmp_path))
+        with tracer.span("root") as root:
+            pass
+        trace_file = tmp_path / f"{root.trace_id}.json"
+        assert main(["trace", "show", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert f"trace {root.trace_id}" in out
+        assert "root" in out
+
+    def test_cli_trace_show_bad_inputs(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["trace", "show", str(tmp_path / "missing.json")]) == 2
+        garbage = tmp_path / "garbage.json"
+        garbage.write_text("not json")
+        assert main(["trace", "show", str(garbage)]) == 1
+        not_a_trace = tmp_path / "other.json"
+        not_a_trace.write_text('{"foo": 1}')
+        assert main(["trace", "show", str(not_a_trace)]) == 1
+        err = capsys.readouterr().err
+        assert "not found" in err
+        assert "spans" in err
+
+
+# -- hygiene: no print() under src/repro -------------------------------------
+
+
+def test_no_print_calls_under_src_repro():
+    """Library output goes through repro.obs (console / loggers), never
+    bare ``print`` — the same gate CI runs on every push."""
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                offenders.append(f"{path.relative_to(SRC.parent.parent)}:{node.lineno}")
+    assert not offenders, "print() calls found:\n" + "\n".join(offenders)
