@@ -24,8 +24,11 @@ fast path ever disagrees with the reference path.
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
+import os
 import shutil
+import subprocess
 import sys
 import tempfile
 import time
@@ -47,6 +50,43 @@ from repro.api import (  # noqa: E402
 from repro.core.framework import SimilarityFramework  # noqa: E402
 from repro.corpus.generator import CorpusSpec, generate_myexperiment_corpus  # noqa: E402
 from repro.text.levenshtein import levenshtein_similarity  # noqa: E402
+
+
+def _result_digest(result_set) -> str:
+    """A stable fingerprint of the full ranked payload (ids, scores,
+    ranks) for cross-process identity checks."""
+    return hashlib.sha256(repr(result_set.result_tuples()).encode("utf-8")).hexdigest()
+
+
+def _rss_probe_child(args: argparse.Namespace) -> int:
+    """Child mode of the sql-pushdown section: open the store, run the
+    probe searches, report peak RSS.  ``ru_maxrss`` is monotonic per
+    process, so each admission tier must be measured in its own process
+    (the parent sets ``REPRO_FORCE_SQL_ADMISSION`` to pick the tier)."""
+    import resource
+
+    service = SimilarityService.open(
+        cache_dir=Path(args.rss_cache_dir), framework=SimilarityFramework()
+    )
+    query_ids = service.repository.identifiers()[: args.queries]
+    report: dict = {"measures": {}}
+    for measure in ("BW", args.measure):
+        result = service.search(
+            SearchRequest(measure=measure, queries=query_ids, k=args.k)
+        )
+        report["measures"][measure] = {
+            "path": result.diagnostics.path,
+            "index_candidates": result.diagnostics.index_candidates,
+            "seconds": result.diagnostics.seconds,
+            "digest": _result_digest(result),
+        }
+    report["index_materialized"] = (
+        service.index is not None or service.label_bags is not None
+    )
+    report["max_rss_kb"] = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    service.close()
+    print(json.dumps(report))
+    return 0
 
 
 def run_benchmark(args: argparse.Namespace) -> dict:
@@ -285,6 +325,94 @@ def run_benchmark(args: argparse.Namespace) -> dict:
             f"identical: {bound_identical})"
         )
 
+    # -- sql-pushdown section ------------------------------------------------
+    # The SQL admission tier answers preselection straight from the
+    # persisted postings, so a warm process never materializes the
+    # in-memory index.  Peak RSS is compared across two child processes
+    # over the same store — one forced onto the SQL tier, one onto the
+    # in-memory tier — because ru_maxrss is monotonic within a process.
+    sql_dir = Path(tempfile.mkdtemp(prefix="repro-bench-sqltier-"))
+    try:
+        setup_service = SimilarityService(repository, framework=SimilarityFramework())
+        setup_service.attach_cache_dir(sql_dir)
+        setup_service.build_index()
+        setup_service.persist()
+        setup_service.close()
+
+        sequential_digests = {"BW": None, args.measure: _result_digest(seed_set)}
+        bw_reference = SimilarityService(
+            repository, framework=SimilarityFramework()
+        ).search(
+            SearchRequest(
+                measure="BW",
+                queries=query_ids,
+                k=args.k,
+                policy=ExecutionPolicy.sequential(),
+            )
+        )
+        sequential_digests["BW"] = _result_digest(bw_reference)
+
+        probes = {}
+        for tier, forced in (("sql", "1"), ("memory", "0")):
+            child_env = dict(os.environ, REPRO_FORCE_SQL_ADMISSION=forced)
+            completed = subprocess.run(
+                [
+                    sys.executable,
+                    str(Path(__file__).resolve()),
+                    "--rss-probe",
+                    "--rss-cache-dir",
+                    str(sql_dir),
+                    "--queries",
+                    str(args.queries),
+                    "-k",
+                    str(args.k),
+                    "--measure",
+                    args.measure,
+                ],
+                env=child_env,
+                capture_output=True,
+                text=True,
+                check=True,
+            )
+            probes[tier] = json.loads(completed.stdout.splitlines()[-1])
+
+        sql_identical = all(
+            probes["sql"]["measures"][m]["digest"] == sequential_digests[m]
+            and probes["memory"]["measures"][m]["digest"] == sequential_digests[m]
+            for m in sequential_digests
+        )
+        sql_paths_ok = (
+            all(
+                section["path"] == "sql-indexed"
+                for section in probes["sql"]["measures"].values()
+            )
+            and all(
+                section["path"] == "indexed"
+                for section in probes["memory"]["measures"].values()
+            )
+            and not probes["sql"]["index_materialized"]
+            and probes["memory"]["index_materialized"]
+        )
+        rss_delta_kb = probes["memory"]["max_rss_kb"] - probes["sql"]["max_rss_kb"]
+        sql_pushdown = {
+            "queries": len(query_ids),
+            "sql": probes["sql"],
+            "memory": probes["memory"],
+            "rss_delta_kb": rss_delta_kb,
+            "identical": sql_identical,
+            "paths_ok": sql_paths_ok,
+        }
+        print(
+            f"  sql pushdown: sql tier "
+            f"{probes['sql']['max_rss_kb']} kB peak RSS vs in-memory "
+            f"{probes['memory']['max_rss_kb']} kB (delta {rss_delta_kb} kB), "
+            f"candidates "
+            f"{[s['index_candidates'] for s in probes['sql']['measures'].values()]}, "
+            f"identical: {sql_identical}, paths ok: {sql_paths_ok}"
+        )
+    finally:
+        shutil.rmtree(sql_dir, ignore_errors=True)
+
     return {
         "benchmark": "bench_perf_search",
         "scale": describe_scale(),
@@ -315,6 +443,7 @@ def run_benchmark(args: argparse.Namespace) -> dict:
         },
         "warm_start": warm_report,
         "bounds": bounds_report,
+        "sql_pushdown": sql_pushdown,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
     }
 
@@ -345,7 +474,16 @@ def main(argv=None) -> int:
         default=0.0,
         help="exit non-zero if the search speedup falls below this factor",
     )
+    parser.add_argument(
+        "--rss-probe",
+        action="store_true",
+        help="internal: run as a peak-RSS probe child over --rss-cache-dir",
+    )
+    parser.add_argument("--rss-cache-dir", default=None, help="internal: probe store")
     args = parser.parse_args(argv)
+
+    if args.rss_probe:
+        return _rss_probe_child(args)
 
     report = run_benchmark(args)
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
@@ -379,6 +517,16 @@ def main(argv=None) -> int:
                 file=sys.stderr,
             )
             return 2
+    sql_pushdown = report["sql_pushdown"]
+    if not sql_pushdown["identical"] or not sql_pushdown["paths_ok"]:
+        # Identity and tier routing are hard gates; the RSS delta is
+        # recorded for the perf trajectory but never fails the run.
+        print(
+            "FAIL: sql-pushdown admission differs from the reference path "
+            "or did not stay on its forced tier",
+            file=sys.stderr,
+        )
+        return 2
     if args.min_speedup and report["search"]["speedup"] < args.min_speedup:
         print(
             f"FAIL: speedup {report['search']['speedup']:.1f}x below "

@@ -50,6 +50,7 @@ request records ``degraded``, ``degradation_reason`` and the
 
 from __future__ import annotations
 
+import os
 import sqlite3
 import time
 from pathlib import Path
@@ -82,6 +83,7 @@ from ..store import (
     quarantine_store,
 )
 from ..store.resilience import is_locked_error
+from ..store.sql_admission import SqlAdmissionPlanner
 from ..store.workflow_store import STORE_FILENAME
 from ..workflow.model import Workflow
 from .requests import (
@@ -346,28 +348,57 @@ class SimilarityService:
         self._store_trusted = trusted
         store.fault_injector = self._fault_injector
         self.context.attach_store(store)
-        if trusted and self.index is None:
+        # The persisted preselection structures are *not* materialized
+        # here: a trusted store answers admission directly in SQL (the
+        # "sql-indexed" tier), and the in-memory structures are lazily
+        # loaded by _ensure_memory_structures only if that tier is
+        # unavailable or faults.  Tenant/service open therefore never
+        # pays index materialization.
+
+    def _ensure_memory_structures(self, admission: AdmissionBound) -> bool:
+        """Materialize the in-memory structure an admission needs, lazily.
+
+        Only a *trusted* store may back the lazy load (same rule the
+        eager warm load used to apply); a service without a store keeps
+        whatever :meth:`build_index` built.  A load failure degrades —
+        if the store can't decode its rows but the live corpus is
+        intact, the structure is rebuilt from the corpus instead (the
+        trusted store equals the corpus by fingerprint, so the rebuild
+        is exact).  Returns whether the structure is now usable.
+        """
+        if admission.kind == "annotation":
+            if self.index is not None:
+                return True
+            if not self.store_trusted:
+                return False
             try:
-                self.index = store.load_index()
+                self.index = self.store.load_index()
             except Exception as error:
-                # A verified store should always decode; treat a failure
-                # here as a (recoverable) degradation, not a hard error.
-                self.index = None
                 self._pending_degradations.append(
                     f"persisted index failed to load ({error}); "
-                    "continuing without candidate preselection"
+                    "rebuilt candidate preselection from the live corpus"
                 )
-        if trusted and self.label_bags is None:
+                self.index = InvertedAnnotationIndex.build(
+                    self.repository.workflows()
+                )
+            return self.index is not None
+        if admission.kind == "label":
+            if self.label_bags is not None:
+                return True
+            if not self.store_trusted:
+                return False
             try:
                 # None for stores written before label bags existed —
                 # those simply keep the pruned (non-indexed) MS path.
-                self.label_bags = store.load_label_bags()
+                self.label_bags = self.store.load_label_bags()
             except Exception as error:
-                self.label_bags = None
                 self._pending_degradations.append(
                     f"persisted label bags failed to load ({error}); "
-                    "continuing without label preselection"
+                    "rebuilt label preselection from the live corpus"
                 )
+                self.label_bags = LabelBagIndex.build(self.repository.workflows())
+            return self.label_bags is not None
+        return False
 
     def build_index(self) -> dict[str, int]:
         """(Re)build the preselection structures over the live corpus.
@@ -422,20 +453,25 @@ class SimilarityService:
         # reinsert every row per call).  A matching snapshot written
         # before label bags existed still gets one rewrite to backfill
         # the bag rows and their marker.
-        if (
+        snapshot_rewritten = (
             self.store.fingerprint() != corpus_fingerprint(self.repository)
             or not self.store.has_label_bags()
-        ):
+        )
+        if snapshot_rewritten:
             self.store.save_repository(self.repository)
         pair_scores = self.context.persist_scores(self.store)
-        # Without a live index any previously persisted postings would
-        # describe the *old* snapshot — drop them rather than let a
-        # future warm start preselect over a stale index.
-        postings = (
-            self.store.save_index(self.index)
-            if self.index is not None
-            else self.store.clear_postings()
-        )
+        if self.index is not None:
+            postings = self.store.save_index(self.index)
+        elif snapshot_rewritten:
+            # Without a live index any postings persisted for the *old*
+            # snapshot would be stale — drop them rather than let a
+            # future warm start preselect over them.
+            postings = self.store.clear_postings()
+        else:
+            # Snapshot unchanged and no in-memory index materialized
+            # (the SQL tier serves admission directly): the persisted
+            # postings still describe this exact corpus — keep them.
+            postings = self.store.stats()["postings"]
         self._store_trusted = True
         return {
             "workflows": len(self.repository),
@@ -557,12 +593,12 @@ class SimilarityService:
         degraded = False
         degradation_reason: str | None = None
 
-        # The degradation ladder: indexed → parallel → accelerated batch
-        # → sequential exact scan.  Each tier is bit-identical to the
-        # next, so a faulting tier costs time, never correctness; a
-        # request under SEQUENTIAL mode (or one whose every acceleration
-        # tier faulted) lands on the reference scan, which touches no
-        # store, no index and no pool.
+        # The degradation ladder: sql-indexed → in-memory-indexed →
+        # parallel → accelerated batch → sequential exact scan.  Each
+        # tier is bit-identical to the next, so a faulting tier costs
+        # time, never correctness; a request under SEQUENTIAL mode (or
+        # one whose every acceleration tier faulted) lands on the
+        # reference scan, which touches no store, no index and no pool.
         if mode is not ExecutionMode.SEQUENTIAL:
             admission: AdmissionBound | None = None
             if mode is ExecutionMode.AUTO and policy.preselect and candidates is None:
@@ -573,53 +609,110 @@ class SimilarityService:
                     # Real configuration errors (unknown measure)
                     # re-raise identically from the later tiers.
                     admission = None
-                if admission is not None:
-                    # The admission is only usable when its postings
-                    # structure has actually been built or warm-loaded.
-                    structure_ready = (
-                        self.index is not None
-                        if admission.kind == "annotation"
-                        else self.label_bags is not None
-                    )
-                    if not structure_ready:
-                        admission = None
             if admission is not None:
                 indexed = None
-                try:
-                    self._fire_fault("indexed")
-                    with get_tracer().span(
-                        "engine.preselect", attributes={"bound": admission.name}
-                    ) as stage:
-                        indexed = self._indexed_search(
-                            query_list, instance, admission, request.k, prune=policy.prune
+                sql_tier = False
+                declined = False
+                # REPRO_FORCE_SQL_ADMISSION: "1" lets *only* the SQL
+                # tier preselect (CI equivalence forcing — a silent
+                # in-memory fallback would defeat the comparison), "0"
+                # disables the SQL tier entirely (in-memory reference
+                # runs for benchmarks/tests).  Unset prefers SQL when a
+                # trusted store can answer, in-memory otherwise.
+                sql_override = os.environ.get("REPRO_FORCE_SQL_ADMISSION", "")
+                if sql_override != "0" and self._sql_admission_ready(admission):
+                    try:
+                        self._fire_fault("sql")
+                        with get_tracer().span(
+                            "engine.preselect",
+                            attributes={"bound": admission.name, "tier": "sql"},
+                        ) as stage:
+                            admitted_sets = self._sql_admitted_sets(
+                                query_list, admission
+                            )
+                            if admitted_sets is None:
+                                # The admission declined a query in the
+                                # batch; the in-memory structures would
+                                # decline it identically, so skip them
+                                # without materializing anything.
+                                declined = True
+                            else:
+                                indexed = self._indexed_search(
+                                    query_list,
+                                    instance,
+                                    admission,
+                                    request.k,
+                                    admitted_sets,
+                                    prune=policy.prune,
+                                )
+                                sql_tier = True
+                                stage.set_attribute("candidates", indexed[1])
+                    except Exception as error:
+                        degraded = True
+                        degradation_reason = (
+                            f"sql admission tier failed ({type(error).__name__}: {error})"
                         )
-                        if indexed is not None:
-                            stage.set_attribute("candidates", indexed[1])
-                except Exception as error:
-                    degraded = True
-                    degradation_reason = (
-                        f"indexed tier failed ({type(error).__name__}: {error})"
-                    )
-                    notes.append(
-                        "inverted-index preselection faulted; "
-                        "fell back to the accelerated batch"
-                    )
-                    # The faulting postings structure is no longer
-                    # trusted for any later request either.
-                    if admission.kind == "annotation":
-                        self.index = None
-                    else:
-                        self.label_bags = None
+                        notes.append(
+                            "sql candidate admission faulted; "
+                            "fell back to the in-memory index"
+                        )
+                        if (
+                            isinstance(error, sqlite3.DatabaseError)
+                            and self.context.store_fault is None
+                        ):
+                            # A store-level fault — park it for the
+                            # resilience epilogue (keep the store on
+                            # contention, quarantine-and-rebuild on
+                            # corruption), like any other store read.
+                            self.context.store_fault = error
+                if (
+                    indexed is None
+                    and not declined
+                    and sql_override != "1"
+                    and self._ensure_memory_structures(admission)
+                ):
+                    try:
+                        self._fire_fault("indexed")
+                        with get_tracer().span(
+                            "engine.preselect", attributes={"bound": admission.name}
+                        ) as stage:
+                            admitted_sets = self._memory_admitted_sets(
+                                query_list, admission
+                            )
+                            if admitted_sets is not None:
+                                indexed = self._indexed_search(
+                                    query_list,
+                                    instance,
+                                    admission,
+                                    request.k,
+                                    admitted_sets,
+                                    prune=policy.prune,
+                                )
+                                stage.set_attribute("candidates", indexed[1])
+                    except Exception as error:
+                        degraded = True
+                        if degradation_reason is None:
+                            degradation_reason = (
+                                f"indexed tier failed ({type(error).__name__}: {error})"
+                            )
+                        notes.append(
+                            "inverted-index preselection faulted; "
+                            "fell back to the accelerated batch"
+                        )
+                        # The faulting postings structure is no longer
+                        # trusted for any later request either.
+                        if admission.kind == "annotation":
+                            self.index = None
+                        else:
+                            self.label_bags = None
                 if indexed is not None:
-                    # None (without an exception) means the admission
-                    # declined this batch (see LabelCharAdmission
-                    # .query_chars); fall through silently.
                     results, index_candidates, batch_stats = indexed
-                    path = "indexed"
+                    path = "sql-indexed" if sql_tier else "indexed"
                     prune_stats = batch_stats.as_dict()
-                    notes.append(
-                        f"candidates admitted by bound {admission.name!r}"
-                    )
+                    note = f"candidates admitted by bound {admission.name!r}"
+                    if sql_tier:
+                        note += " (sql pushdown)"
+                    notes.append(note)
             wants_pool = results is None and (
                 mode is ExecutionMode.PARALLEL
                 or (mode is ExecutionMode.AUTO and policy.workers and policy.workers > 1)
@@ -1064,24 +1157,75 @@ class SimilarityService:
         )
         return event
 
+    def _sql_admission_ready(self, admission: AdmissionBound) -> bool:
+        """Whether a trusted store can answer this admission in SQL."""
+        if self.store is None or not self._store_trusted:
+            return False
+        try:
+            return SqlAdmissionPlanner(self.store).available(admission)
+        except Exception:
+            # An unreadable store is simply not a tier; the in-memory
+            # ladder (and the resilience epilogue, once a real read
+            # faults) handles the rest.
+            return False
+
+    def _sql_admitted_sets(
+        self, query_list: Sequence[Workflow], admission: AdmissionBound
+    ) -> "list[set[str]] | None":
+        """Admitted id sets resolved in-database; ``None`` on decline."""
+        planner = SqlAdmissionPlanner(self.store)
+        admitted_sets: list[set[str]] = []
+        for query in query_list:
+            plan = admission.sql_plan(query)
+            if plan is None:
+                return None
+            admitted_sets.append(planner.admitted(plan))
+        return admitted_sets
+
+    def _memory_admitted_sets(
+        self, query_list: Sequence[Workflow], admission: AdmissionBound
+    ) -> "list[set[str]] | None":
+        """Admitted id sets from the in-memory structures; ``None`` on
+        decline (one uncertifiable query sends the whole batch down the
+        pruned path instead)."""
+        admitted_sets: list[set[str]] = []
+        if admission.kind == "annotation":
+            for query in query_list:
+                tokens = self.index.workflow_tokens(admission.field, query)
+                admitted_sets.append(self.index.candidates(admission.field, tokens))
+            return admitted_sets
+        for query in query_list:
+            certified = admission.query_chars(query)
+            if certified is None:
+                return None
+            chars, carve_out = certified
+            admitted_sets.append(
+                self.label_bags.admitted(chars, include_empty_label=carve_out)
+            )
+        return admitted_sets
+
     def _indexed_search(
         self,
         query_list: Sequence[Workflow],
         measure,
         admission: AdmissionBound,
         k: int,
+        admitted_sets: "list[set[str]]",
         *,
         prune: bool = True,
-    ) -> "tuple[list[SearchResultList], int, PruneStats] | None":
+    ) -> "tuple[list[SearchResultList], int, PruneStats]":
         """Top-``k`` search via certified admission + frontier pruning.
 
         Admission is score-safe by the :class:`AdmissionBound` contract:
         every workflow outside the admitted postings union has a true
         score of exactly ``0.0`` — token-set intersection for the
         annotation kind, label character-bag overlap for the label kind.
-        The admitted subpool (kept in global pool order, so tie-breaks
-        survive) then runs through :func:`bounded_top_k` — exact scores
-        from the measure itself, frontier-pruned when a pruning
+        ``admitted_sets`` (one set per query, resolved by the SQL or the
+        in-memory tier — both compute the identical set) names the
+        candidates that may score above zero.  The admitted subpool
+        (kept in global pool order, so tie-breaks survive) runs through
+        :func:`bounded_top_k` — exact scores from the measure itself,
+        frontier-pruned when a pruning
         :class:`~repro.perf.bounds.CertifiedBound` certifies the measure
         — and the result merges with the first ``k`` non-admitted zeros
         in pool order, of which only the first ``k`` can ever rank.
@@ -1089,29 +1233,8 @@ class SimilarityService:
         :meth:`SimilarityFramework.rank`'s ordering — scores, ranks and
         tie-breaks — bit for bit, while only the admitted candidates pay
         for a comparison.
-
-        Returns ``None`` when the admission declines a query in the
-        batch (a processed-empty ``MS`` query scores 1.0 against other
-        processed-empty candidates, which no postings union can see) —
-        the caller falls through to the pruned tier, silently.
         """
         pool = self.repository.workflows()
-        # Resolve every query's admitted set up front: one uncertifiable
-        # query sends the whole batch down the pruned path instead.
-        admitted_sets: list[set[str]] = []
-        if admission.kind == "annotation":
-            for query in query_list:
-                tokens = self.index.workflow_tokens(admission.field, query)
-                admitted_sets.append(self.index.candidates(admission.field, tokens))
-        else:
-            for query in query_list:
-                certified = admission.query_chars(query)
-                if certified is None:
-                    return None
-                chars, carve_out = certified
-                admitted_sets.append(
-                    self.label_bags.admitted(chars, include_empty_label=carve_out)
-                )
         position_of = {
             workflow.identifier: position for position, workflow in enumerate(pool)
         }

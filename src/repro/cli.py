@@ -352,12 +352,18 @@ def _open_existing_store(cache_dir: str):
 
 
 def _cmd_index_stats(args: argparse.Namespace) -> int:
+    from .store.sql_admission import SqlAdmissionPlanner
+
     store, code = _open_existing_store(args.cache_dir)
     if store is None:
         return code
     try:
         for key, value in store.stats().items():
             console(f"{key:<20} {value}")
+        # The SQL admission tier: which bounds this store can answer
+        # in-database, without materializing an index in Python.
+        for key, value in SqlAdmissionPlanner(store).stats().items():
+            console(f"sql_{key:<16} {value}")
     finally:
         store.close()
     return 0

@@ -53,6 +53,7 @@ service supplies whatever index structures an admission needs.
 from __future__ import annotations
 
 import sys
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 from ..core.annotations import (
@@ -83,6 +84,7 @@ __all__ = [
     "AdmissionBound",
     "BagOverlapAdmission",
     "LabelCharAdmission",
+    "SqlAdmissionPlan",
     "find_admission",
     "LabelBagIndex",
     "workflow_label_bag",
@@ -690,6 +692,26 @@ def find_frontier_bound(measure: WorkflowSimilarityMeasure, context) -> Certifie
 # -- admission (zero-certification) for the indexed tier ---------------------
 
 
+@dataclass(frozen=True)
+class SqlAdmissionPlan:
+    """A declarative, in-database execution plan for an admission bound.
+
+    Produced by :meth:`AdmissionBound.sql_plan` and executed by
+    :class:`repro.store.sql_admission.SqlAdmissionPlanner` against the
+    persisted postings tables, so preselection never has to materialize
+    the in-memory index structures.  ``tokens`` carries the query-side
+    match set: annotation tokens for ``kind == "annotation"`` plans
+    (matched against ``postings.token`` under ``field``), lowered label
+    characters for ``kind == "label"`` plans (matched against the
+    per-character lowering of ``label_bags.token``).
+    """
+
+    kind: str
+    tokens: frozenset[str]
+    field: str | None = None
+    include_empty_label: bool = False
+
+
 class AdmissionBound:
     """A postings-based prefilter admitting a superset of non-zero scorers.
 
@@ -699,11 +721,24 @@ class AdmissionBound:
     named by :attr:`field`; ``"label"`` admissions run over a
     :class:`LabelBagIndex`.  Every candidate outside the admitted set
     has a true score of exactly ``0.0``.
+
+    Bounds whose predicate can also run *inside* the store implement
+    :meth:`sql_plan`; the default ``None`` keeps a bound memory-only.
     """
 
     kind: str = "annotation"
     name: str = "admission"
     field: str | None = None
+
+    def sql_plan(self, workflow: Workflow) -> SqlAdmissionPlan | None:
+        """The in-database plan for this query, or ``None``.
+
+        ``None`` means either this bound cannot be pushed down at all or
+        this particular query cannot be certified (the same queries the
+        in-memory structures decline) — the caller falls back exactly as
+        it would for the in-memory admission.
+        """
+        return None
 
 
 class BagOverlapAdmission(AdmissionBound):
@@ -714,6 +749,15 @@ class BagOverlapAdmission(AdmissionBound):
     def __init__(self, name: str, field: str) -> None:
         self.name = name
         self.field = field
+
+    def sql_plan(self, workflow: Workflow) -> SqlAdmissionPlan:
+        # Deliberately the index's own tokenizer (a lazy import — the
+        # perf layer stays store-free at module load): the SQL tier must
+        # admit exactly the set the in-memory postings would.
+        from ..store.inverted_index import InvertedAnnotationIndex
+
+        tokens = InvertedAnnotationIndex.workflow_tokens(self.field, workflow)
+        return SqlAdmissionPlan(kind=self.kind, tokens=tokens, field=self.field)
 
 
 class LabelCharAdmission(AdmissionBound):
@@ -775,6 +819,15 @@ class LabelCharAdmission(AdmissionBound):
         # candidates with an empty-label module must be admitted too.
         carve_out = has_empty_label and not self.skip_if_both_empty
         return frozenset(chars), carve_out
+
+    def sql_plan(self, workflow: Workflow) -> SqlAdmissionPlan | None:
+        certified = self.query_chars(workflow)
+        if certified is None:
+            return None
+        chars, carve_out = certified
+        return SqlAdmissionPlan(
+            kind=self.kind, tokens=chars, include_empty_label=carve_out
+        )
 
 
 def find_admission(measure: WorkflowSimilarityMeasure) -> AdmissionBound | None:

@@ -35,7 +35,10 @@ class ServeClient:
             self._writer.close()
             try:
                 await self._writer.wait_closed()
-            except Exception:
+            except (OSError, asyncio.TimeoutError):
+                # Shutdown races (peer already gone, reset in flight)
+                # are expected here; anything else is a real bug and
+                # must surface.
                 pass
             self._reader = self._writer = None
 
@@ -67,6 +70,7 @@ class ServeClient:
                 await self.close()
                 if attempt == 2:
                     raise
+        raise AssertionError("unreachable")  # both attempts return or raise
 
     async def _round_trip(
         self,

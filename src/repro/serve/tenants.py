@@ -126,22 +126,24 @@ class TenantManager:
         if runtime is not None:
             self._runtimes.move_to_end(name)
             return runtime
+        # 404 before lock creation: probing unknown names must not grow
+        # _locks (one asyncio.Lock per name ever requested, forever).
+        if not tenant_store_exists(self.root, name):
+            raise UnknownTenantError(
+                f"unknown tenant {name!r}: no persisted store under "
+                f"{str(tenant_cache_dir(self.root, name))!r} "
+                "(build one with 'repro index build')"
+            )
         lock = self._locks.setdefault(name, asyncio.Lock())
         async with lock:
             runtime = self._runtimes.get(name)
             if runtime is not None:
                 self._runtimes.move_to_end(name)
                 return runtime
-            if not tenant_store_exists(self.root, name):
-                raise UnknownTenantError(
-                    f"unknown tenant {name!r}: no persisted store under "
-                    f"{str(tenant_cache_dir(self.root, name))!r} "
-                    "(build one with 'repro index build')"
-                )
             runtime = await self._open(name)
             self._runtimes[name] = runtime
             self._open_gauge.set(len(self._runtimes))
-            await self._evict_over_bound()
+            await self._evict_over_bound(exclude=name)
             return runtime
 
     async def _open(self, name: str) -> TenantRuntime:
@@ -170,14 +172,21 @@ class TenantManager:
             raise
         return TenantRuntime(name, service, executor)
 
-    async def _evict_over_bound(self) -> None:
+    async def _evict_over_bound(self, *, exclude: str | None = None) -> None:
+        """Evict least-recently-used idle tenants down to the bound.
+
+        ``exclude`` names the tenant whose open triggered this scan: it
+        is in ``_runtimes`` and (until its request is admitted) may look
+        idle, but evicting it would hand the caller a runtime whose
+        executor is already shut down.
+        """
         excess = len(self._runtimes) - self.max_tenants
         if excess <= 0:
             return
         for name in list(self._runtimes):
             if excess <= 0:
                 break
-            if not self.is_idle(name):
+            if name == exclude or not self.is_idle(name):
                 continue
             await self.close_tenant(name)
             self.evictions += 1
@@ -185,6 +194,14 @@ class TenantManager:
             excess -= 1
 
     async def close_tenant(self, name: str, *, persist: bool = False) -> None:
+        # The lock only guards the open; once the tenant is closed (or
+        # was never open) keeping it would leak one entry per tenant
+        # ever seen.  A lock currently held (a concurrent open) stays —
+        # its holder still inserts into _runtimes, and the next close
+        # collects it.
+        lock = self._locks.get(name)
+        if lock is not None and not lock.locked():
+            del self._locks[name]
         runtime = self._runtimes.pop(name, None)
         if runtime is None:
             return
@@ -209,3 +226,6 @@ class TenantManager:
     async def close_all(self, *, persist: bool = False) -> None:
         for name in list(self._runtimes):
             await self.close_tenant(name, persist=persist)
+        for name, lock in list(self._locks.items()):
+            if not lock.locked():
+                del self._locks[name]

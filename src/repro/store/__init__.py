@@ -41,12 +41,14 @@ from .resilience import (
     StoreVerification,
     quarantine_store,
 )
+from .sql_admission import SqlAdmissionPlanner
 from .workflow_store import WorkflowStore, corpus_fingerprint
 
 __all__ = [
     "FaultInjector",
     "InvertedAnnotationIndex",
     "RetryPolicy",
+    "SqlAdmissionPlanner",
     "StoreCorruptionError",
     "StoreVerification",
     "WorkflowStore",

@@ -14,7 +14,9 @@ registry installable on the seams that can fail in production:
   seam where a store corrupted mid-flight first surfaces;
 * ``"parallel"`` — fired by the service before the process-pool tier
   runs (kill-worker / ``BrokenProcessPool``);
-* ``"indexed"`` — fired before the inverted-index preselection tier.
+* ``"indexed"`` — fired before the inverted-index preselection tier;
+* ``"sql"`` — fired before the in-database (SQL pushdown) admission
+  tier resolves its candidate set.
 
 Faults are *armed* with a budget (``times``) and an optional ``after``
 skip count, so "the third commit fails" is expressible without
@@ -171,6 +173,16 @@ class FaultInjector:
             "indexed",
             lambda: RuntimeError("inverted index unavailable"),
             label="break-index",
+            times=times,
+            after=after,
+        )
+
+    def break_sql(self, *, times: int = 1, after: int = 0) -> "FaultInjector":
+        """Fail the in-database (SQL pushdown) admission tier."""
+        return self._arm_raiser(
+            "sql",
+            lambda: RuntimeError("sql admission unavailable"),
+            label="break-sql",
             times=times,
             after=after,
         )

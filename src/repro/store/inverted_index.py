@@ -211,10 +211,10 @@ class InvertedAnnotationIndex:
         back to the exact full scan.
         """
         index = cls()
-        known = set(cls.FIELDS)
+        valid_fields = set(cls.FIELDS)
         collect: dict[str, dict[str, set[str]]] = {field: {} for field in cls.FIELDS}
         for field, token, identifier in rows:
-            if field not in known:
+            if field not in valid_fields:
                 raise ValueError(
                     f"unknown index field {field!r} in persisted postings; "
                     f"expected one of {cls.FIELDS} — the postings table is "
@@ -228,11 +228,11 @@ class InvertedAnnotationIndex:
             }
         # A workflow indexed only under some fields still needs document
         # entries for the others, so later removal stays precise.
-        known = set()
+        indexed_ids: set[str] = set()
         for documents in index._documents.values():
-            known.update(documents)
+            indexed_ids.update(documents)
         for field in cls.FIELDS:
             documents = index._documents[field]
-            for identifier in known:
+            for identifier in indexed_ids:
                 documents.setdefault(identifier, frozenset())
         return index

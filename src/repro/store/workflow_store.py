@@ -221,6 +221,15 @@ class WorkflowStore:
                 " count INTEGER NOT NULL,"
                 " PRIMARY KEY (workflow_id, token))"
             )
+            # Admission pushdown (repro.store.sql_admission) resolves
+            # candidates by token: the postings primary key already
+            # serves (field, token) prefix lookups, label_bags needs its
+            # own token-first index.  IF NOT EXISTS doubles as the
+            # migration for stores created before the SQL tier existed.
+            cursor.execute(
+                "CREATE INDEX IF NOT EXISTS label_bags_by_token"
+                " ON label_bags (token, workflow_id)"
+            )
             row = cursor.execute("SELECT value FROM meta WHERE key = 'schema_version'").fetchone()
             if row is None:
                 cursor.execute(
@@ -691,6 +700,12 @@ class WorkflowStore:
         if not rows:
             return None
         return InvertedAnnotationIndex.from_rows(rows)
+
+    def has_postings(self) -> bool:
+        """Whether a persisted index exists (the SQL-admission gate:
+        mirrors :meth:`load_index` returning non-``None``)."""
+        row = self.connection.execute("SELECT 1 FROM postings LIMIT 1").fetchone()
+        return row is not None
 
     # -- label character bags ------------------------------------------------
 

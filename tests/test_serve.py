@@ -29,6 +29,7 @@ import pytest
 from repro.api import ResultSet, SearchRequest, SimilarityService
 from repro.corpus.generator import CorpusSpec, generate_myexperiment_corpus
 from repro.serve import ServeClient, ServeConfig, SimilarityServer
+from repro.serve.tenants import TenantManager, UnknownTenantError
 from repro.store import discover_tenants, tenant_cache_dir, validate_tenant_name
 from repro.store.workflow_store import STORE_FILENAME
 
@@ -329,6 +330,70 @@ class TestOperations:
         assert first == 200 and second == 200
         assert open_tenants == ["beta"]
         assert evictions == 1
+
+
+# -- tenant lifecycle races --------------------------------------------------
+
+
+class TestTenantLifecycleRegressions:
+    """Unit-level regressions for the eviction and lock-leak races."""
+
+    def test_eviction_never_evicts_the_triggering_tenant(self, serve_root):
+        # Regression: with every *other* tenant busy, the over-bound scan
+        # used to evict the tenant whose open triggered it — handing the
+        # caller a runtime whose executor was already shut down.
+        async def scenario():
+            manager = TenantManager(serve_root, max_tenants=1)
+            try:
+                await manager.get("alpha")
+                manager.is_idle = lambda name: name != "alpha"  # alpha busy
+                runtime = await manager.get("beta")
+                # The just-opened tenant survived and its thread works.
+                assert await runtime.run(lambda: 7) == 7
+                assert "beta" in manager.open_tenants()
+                assert manager.evictions == 0  # soft bound: nothing evictable
+            finally:
+                manager.is_idle = lambda name: True
+                await manager.close_all()
+
+        asyncio.run(scenario())
+
+    def test_idle_lru_tenant_is_still_evicted(self, serve_root):
+        async def scenario():
+            manager = TenantManager(serve_root, max_tenants=1)
+            try:
+                await manager.get("alpha")
+                await manager.get("beta")
+                assert manager.open_tenants() == ["beta"]
+                assert manager.evictions == 1
+            finally:
+                await manager.close_all()
+
+        asyncio.run(scenario())
+
+    def test_unknown_tenant_probe_leaves_no_lock(self, serve_root):
+        # Regression: every probed name used to get an asyncio.Lock that
+        # was never dropped — unbounded growth under 404 scanning.
+        async def scenario():
+            manager = TenantManager(serve_root, max_tenants=2)
+            with pytest.raises(UnknownTenantError):
+                await manager.get("ghost")
+            assert "ghost" not in manager._locks
+
+        asyncio.run(scenario())
+
+    def test_closed_tenant_drops_its_lock(self, serve_root):
+        async def scenario():
+            manager = TenantManager(serve_root, max_tenants=2)
+            await manager.get("alpha")
+            assert "alpha" in manager._locks
+            await manager.close_tenant("alpha")
+            assert "alpha" not in manager._locks
+            await manager.get("alpha")  # reopens cleanly after the drop
+            await manager.close_all()
+            assert manager._locks == {}
+
+        asyncio.run(scenario())
 
 
 # -- tenant isolation under corruption ---------------------------------------

@@ -1,0 +1,220 @@
+"""SQL-pushdown candidate admission: equivalence, laziness, chaos.
+
+The acceptance contract of :mod:`repro.store.sql_admission`: a warm
+service answers admission-certified ``AUTO`` searches entirely from the
+persisted store (``path == "sql-indexed"``) with results bit-identical
+to both the in-memory indexed tier and the sequential seed path — and
+it does so *without* materializing ``InvertedAnnotationIndex`` or
+``LabelBagIndex`` in Python.  When the SQL tier faults mid-query, the
+service degrades to the in-memory tier, still bit-identically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import ExecutionPolicy, SearchRequest, SimilarityService
+from repro.repository import WorkflowRepository
+from repro.store import FaultInjector, SqlAdmissionPlanner
+from repro.store.inverted_index import InvertedAnnotationIndex
+
+#: One measure per admission structure: text postings, tag postings,
+#: label character bags.
+MEASURES = ("BW", "BT", "MS_ip_te_pll")
+
+
+def fresh_repository(workflows, name="fresh"):
+    return WorkflowRepository(list(workflows), name=name)
+
+
+def request(measure, query_ids, k=10, **policy_kwargs):
+    policy = ExecutionPolicy(**policy_kwargs) if policy_kwargs else None
+    kwargs = {"policy": policy} if policy is not None else {}
+    return SearchRequest(measure=measure, queries=query_ids, k=k, **kwargs)
+
+
+def sequential_request(measure, query_ids, k=10):
+    return SearchRequest(
+        measure=measure,
+        queries=query_ids,
+        k=k,
+        policy=ExecutionPolicy.sequential(),
+    )
+
+
+@pytest.fixture()
+def corpus_slice(small_corpus):
+    return small_corpus.repository.workflows()[:35]
+
+
+@pytest.fixture()
+def query_ids(corpus_slice):
+    return [workflow.identifier for workflow in corpus_slice[:4]]
+
+
+@pytest.fixture()
+def warm_cache(tmp_path, corpus_slice, query_ids):
+    """A store persisted with both admission structures."""
+    cache_dir = tmp_path / "store"
+    service = SimilarityService(fresh_repository(corpus_slice), cache_dir=cache_dir)
+    service.build_index()
+    service.search(request("MS_ip_te_pll", query_ids))
+    service.persist()
+    service.close()
+    return cache_dir
+
+
+class TestSqlAdmissionEquivalence:
+    """Tentpole: sql-indexed ≡ in-memory indexed ≡ sequential, bit for bit."""
+
+    def test_sql_tier_bit_identical_across_measures(
+        self, warm_cache, corpus_slice, query_ids, monkeypatch
+    ):
+        reference_service = SimilarityService(fresh_repository(corpus_slice))
+        for measure in MEASURES:
+            reference = reference_service.search(
+                sequential_request(measure, query_ids)
+            )
+
+            monkeypatch.setenv("REPRO_FORCE_SQL_ADMISSION", "1")
+            sql_service = SimilarityService.open(cache_dir=warm_cache)
+            sql_set = sql_service.search(request(measure, query_ids))
+            assert sql_set == reference
+            assert sql_set.result_tuples() == reference.result_tuples()
+            assert sql_set.diagnostics.path == "sql-indexed"
+            sql_service.close()
+
+            monkeypatch.setenv("REPRO_FORCE_SQL_ADMISSION", "0")
+            memory_service = SimilarityService.open(cache_dir=warm_cache)
+            memory_set = memory_service.search(request(measure, query_ids))
+            assert memory_set == reference
+            assert memory_set.diagnostics.path == "indexed"
+            # Same bound, same admitted candidates — the SQL set algebra
+            # reproduces the in-memory postings union exactly.
+            assert (
+                sql_set.diagnostics.index_candidates
+                == memory_set.diagnostics.index_candidates
+            )
+            memory_service.close()
+
+    def test_sql_tier_never_materializes_structures(self, warm_cache, query_ids):
+        service = SimilarityService.open(cache_dir=warm_cache)
+        for measure in MEASURES:
+            result = service.search(request(measure, query_ids))
+            assert result.diagnostics.path == "sql-indexed"
+            assert "sql pushdown" in " ".join(result.diagnostics.notes)
+        assert service.index is None
+        assert service.label_bags is None
+        service.close()
+
+    def test_sql_tier_survives_corpus_churn(
+        self, warm_cache, small_corpus, corpus_slice, query_ids
+    ):
+        extra = small_corpus.repository.workflows()[35:40]
+        service = SimilarityService.open(cache_dir=warm_cache)
+        service.add_workflows(extra)
+        service.remove_workflows([corpus_slice[-1].identifier])
+        mutated_pool = service.repository.workflows()
+
+        fresh = SimilarityService(fresh_repository(mutated_pool))
+        for measure in MEASURES:
+            churned = service.search(request(measure, query_ids))
+            assert churned == fresh.search(sequential_request(measure, query_ids))
+            assert churned.diagnostics.path == "sql-indexed"
+        assert service.index is None
+        service.close()
+
+    def test_planner_stats_report_readiness(self, warm_cache):
+        service = SimilarityService.open(cache_dir=warm_cache)
+        stats = SqlAdmissionPlanner(service.store).stats()
+        assert stats["annotation_ready"] is True
+        assert stats["label_ready"] is True
+        assert stats["label_alphabet"] > 0
+        assert "label_bags_by_token" in stats["indexes"]
+        service.close()
+
+
+class TestSqlAdmissionChaos:
+    """Satellite: the SQL tier faults mid-query; degradation stays exact."""
+
+    def test_injected_sql_fault_falls_back_to_memory_tier(
+        self, warm_cache, corpus_slice, query_ids
+    ):
+        reference = SimilarityService(fresh_repository(corpus_slice)).search(
+            sequential_request("BW", query_ids)
+        )
+        service = SimilarityService.open(cache_dir=warm_cache)
+        injector = FaultInjector()
+        injector.break_sql(times=1)
+        service.fault_injector = injector
+
+        result = service.search(request("BW", query_ids))
+        assert result == reference
+        assert result.diagnostics.degraded
+        assert "sql admission tier failed" in result.diagnostics.degradation_reason
+        # The in-memory index picked the query up, same answer.
+        assert result.diagnostics.path == "indexed"
+        assert ("sql", "break-sql") in injector.fired
+
+        # The fault was transient: the next request is back on SQL.
+        healed = service.search(request("BW", query_ids))
+        assert healed == reference
+        assert healed.diagnostics.path == "sql-indexed"
+        service.close()
+
+    def test_dropped_postings_mid_session_degrade_bit_identically(
+        self, warm_cache, corpus_slice, query_ids
+    ):
+        reference = SimilarityService(fresh_repository(corpus_slice)).search(
+            sequential_request("BW", query_ids)
+        )
+        service = SimilarityService.open(cache_dir=warm_cache)
+        # The table vanishes *between* the availability probe and query
+        # execution — has_postings() still sees it, admitted() does not.
+        original_ready = service._sql_admission_ready
+
+        def ready_then_drop(admission):
+            ready = original_ready(admission)
+            if ready:
+                service.store.connection.execute("DROP TABLE postings")
+            return ready
+
+        service._sql_admission_ready = ready_then_drop
+        result = service.search(request("BW", query_ids))
+        assert result == reference
+        assert result.diagnostics.degraded
+        service._sql_admission_ready = original_ready
+
+        # And the service healed: clean follow-up, identical answer.
+        follow_up = service.search(request("BW", query_ids))
+        assert follow_up == reference
+        service.close()
+
+
+class TestFromRowsRemovalPrecision:
+    """Satellite: a workflow persisted under only some fields is still
+    removed precisely (the rebuilt index backfills empty documents)."""
+
+    def test_partial_rows_remove_cleanly(self):
+        rows = [
+            ("text", "alpha", "wf-1"),
+            ("text", "alpha", "wf-2"),
+            ("tags", "tag-a", "wf-1"),
+            # wf-2 has no tags row and neither has a label row.
+        ]
+        index = InvertedAnnotationIndex.from_rows(rows)
+        assert index.candidates("text", ["alpha"]) == {"wf-1", "wf-2"}
+        assert index.candidates("tags", ["tag-a"]) == {"wf-1"}
+
+        assert index.remove_workflow("wf-2") is True
+        assert index.remove_workflow("wf-2") is False  # idempotent
+        assert index.candidates("text", ["alpha"]) == {"wf-1"}
+        assert "wf-2" not in index
+
+        assert index.remove_workflow("wf-1") is True
+        assert index.candidates("text", ["alpha"]) == set()
+        assert index.candidates("tags", ["tag-a"]) == set()
+
+    def test_unknown_field_rows_fail_loudly(self):
+        with pytest.raises(ValueError):
+            InvertedAnnotationIndex.from_rows([("bogus", "t", "wf-1")])

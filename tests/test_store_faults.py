@@ -226,11 +226,13 @@ class TestExecutionTierFaults:
     def test_every_fault_everywhere_still_bit_identical(
         self, warm_cache, query_ids, reference
     ):
-        """The everything-is-on-fire scenario: store reads corrupt, pool
-        broken, index gone — the answer is still exactly the seed's."""
+        """The everything-is-on-fire scenario: SQL admission down, store
+        reads corrupt, pool broken, index gone — the answer is still
+        exactly the seed's."""
         service = SimilarityService.open(cache_dir=warm_cache)
         service.build_index()
         injector = FaultInjector()
+        injector.break_sql(times=1)
         injector.corrupt_load(times=1)
         injector.kill_worker(times=1)
         injector.break_index(times=1)

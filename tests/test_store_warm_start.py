@@ -52,9 +52,12 @@ class TestWarmStartIdentity:
         assert warm_set == cold_set
         assert warm_set.result_tuples() == cold_set.result_tuples()
         assert warm_set.diagnostics.cache_warm_hits > 0
-        # The persisted index came back too.
-        assert warm.index is not None
-        assert len(warm.index) == 40
+        # The persisted postings answered admission inside SQL; the
+        # in-memory index never had to materialize on the warm path.
+        assert warm_set.diagnostics.path == "sql-indexed"
+        assert warm.index is None
+        assert warm.store is not None and warm.store.has_postings()
+        assert len(warm.store.load_index()) == 40
 
     def test_warm_matches_sequential_reference(self, small_corpus, cache_dir):
         workflows = small_corpus.repository.workflows()[:30]
@@ -120,13 +123,16 @@ class TestWarmStartIdentity:
 
         warm = SimilarityService.open(cache_dir=cache_dir)
         assert warm.repository.identifiers() == [w.identifier for w in mutated_pool]
-        assert warm.index is not None
+        # Incremental row updates kept the postings current, so the SQL
+        # admission tier answers without loading the index into memory.
+        assert warm.store is not None and warm.store.has_postings()
         fresh = SimilarityService(fresh_repository(mutated_pool))
         assert warm.search(ms_request(query_ids)) == fresh.search(ms_request(query_ids))
         bw_request = SearchRequest(measure="BW", queries=query_ids, k=10)
         warm_bw = warm.search(bw_request)
         assert warm_bw == fresh.search(bw_request)
-        assert warm_bw.diagnostics.path == "indexed"
+        assert warm_bw.diagnostics.path == "sql-indexed"
+        assert warm.index is None
 
 
 class TestStoreRoundTrips:
